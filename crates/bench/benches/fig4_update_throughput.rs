@@ -1,0 +1,6 @@
+//! Reproduction bench: Figure 4 (update transaction throughput).
+
+fn main() {
+    let report = camelot_harness::fig45::run_fig4(camelot_bench::quick());
+    println!("{report}");
+}

@@ -1,0 +1,6 @@
+//! Reproduction bench: Figure 5 (read transaction throughput).
+
+fn main() {
+    let report = camelot_harness::fig45::run_fig5(camelot_bench::quick());
+    println!("{report}");
+}

@@ -1,0 +1,159 @@
+//! Criterion micro-benchmarks of the hot paths: engine step, lock
+//! manager, WAL append/force, message codec, group-commit batcher.
+//!
+//! These complement the reproduction benches (which report virtual-
+//! time results): they measure the real CPU cost of the protocol
+//! processor itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use camelot_core::{CommitMode, Engine, EngineConfig, Input};
+use camelot_locks::{LockManager, Mode};
+use camelot_net::msg::NbInfo;
+use camelot_net::{Envelope, TmMessage};
+use camelot_types::wire::Wire;
+use camelot_types::{FamilyId, Lsn, ObjectId, ServerId, SiteId, Tid, Time};
+use camelot_wal::{BatchPolicy, GroupCommitBatcher, LogRecord, MemStore, ReqId, Wal};
+
+fn bench_engine_local_commit(c: &mut Criterion) {
+    c.bench_function("engine/local_update_commit_roundtrip", |b| {
+        let mut engine = Engine::new(SiteId(1), EngineConfig::default());
+        let mut req = 0u64;
+        b.iter(|| {
+            req += 1;
+            let actions = engine.handle(Input::Begin { req }, Time::ZERO);
+            let tid = match &actions[0] {
+                camelot_core::Action::Began { tid, .. } => tid.clone(),
+                _ => unreachable!(),
+            };
+            engine.handle(
+                Input::Join {
+                    tid: tid.clone(),
+                    server: ServerId(1),
+                },
+                Time::ZERO,
+            );
+            engine.handle(
+                Input::CommitTop {
+                    req,
+                    tid: tid.clone(),
+                    mode: CommitMode::TwoPhase,
+                    participants: vec![],
+                },
+                Time::ZERO,
+            );
+            let actions = engine.handle(
+                Input::ServerVote {
+                    tid: tid.clone(),
+                    server: ServerId(1),
+                    vote: camelot_core::Vote::Yes,
+                },
+                Time::ZERO,
+            );
+            // Complete the force.
+            for a in actions {
+                if let camelot_core::Action::Force { token, .. } = a {
+                    black_box(engine.handle(Input::LogForced { token }, Time::ZERO));
+                }
+            }
+        });
+    });
+}
+
+fn bench_locks(c: &mut Criterion) {
+    c.bench_function("locks/acquire_release_cycle", |b| {
+        let mut lm = LockManager::new();
+        let mut seq = 0u64;
+        b.iter(|| {
+            seq += 1;
+            let fam = FamilyId {
+                origin: SiteId(1),
+                seq,
+            };
+            let tid = Tid::top_level(fam);
+            for i in 0..8u64 {
+                black_box(lm.acquire(ObjectId(i), &tid, Mode::Exclusive));
+            }
+            black_box(lm.release_family(fam));
+        });
+    });
+}
+
+fn bench_wal(c: &mut Criterion) {
+    c.bench_function("wal/append_force", |b| {
+        let mut wal = Wal::new(MemStore::new());
+        let tid = Tid::top_level(FamilyId {
+            origin: SiteId(1),
+            seq: 1,
+        });
+        let rec = LogRecord::Commit {
+            tid,
+            subs: vec![SiteId(2), SiteId(3)],
+        };
+        b.iter(|| {
+            black_box(wal.append_force(&rec).unwrap());
+        });
+    });
+}
+
+fn bench_codec(c: &mut Criterion) {
+    c.bench_function("codec/envelope_roundtrip", |b| {
+        let tid = Tid::top_level(FamilyId {
+            origin: SiteId(1),
+            seq: 42,
+        })
+        .child(1);
+        let env = Envelope {
+            src: SiteId(1),
+            dst: SiteId(2),
+            seq: 9,
+            primary: TmMessage::NbPrepare {
+                tid: tid.clone(),
+                coordinator: SiteId(1),
+                info: NbInfo {
+                    sites: vec![SiteId(1), SiteId(2), SiteId(3)],
+                    yes_votes: vec![SiteId(2)],
+                    commit_quorum: 2,
+                    abort_quorum: 2,
+                },
+            },
+            piggyback: vec![TmMessage::CommitAck {
+                tid,
+                from: SiteId(2),
+            }],
+        };
+        b.iter(|| {
+            let bytes = env.to_bytes();
+            black_box(Envelope::from_bytes(&bytes).unwrap());
+        });
+    });
+}
+
+fn bench_batcher(c: &mut Criterion) {
+    c.bench_function("batcher/coalesce_cycle", |b| {
+        let mut batcher = GroupCommitBatcher::new(BatchPolicy::Coalesce);
+        let mut n = 0u64;
+        b.iter(|| {
+            n += 1;
+            let base = n * 100;
+            let a1 = batcher.request(ReqId(base), Lsn(base), Time(n));
+            let _ = batcher.request(ReqId(base + 1), Lsn(base + 50), Time(n));
+            black_box(&a1);
+            black_box(batcher.write_complete(Time(n)));
+            if batcher.pending_len() > 0 {
+                black_box(batcher.write_complete(Time(n)));
+            }
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_engine_local_commit,
+    bench_locks,
+    bench_wal,
+    bench_codec,
+    bench_batcher
+);
+criterion_main!(benches);

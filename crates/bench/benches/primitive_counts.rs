@@ -1,0 +1,9 @@
+//! Reproduction bench: measured primitive counts per protocol
+//! (validates the paper's 2-force/3-message vs 4-force/5-message
+//! critical-path accounting). Run with
+//! `cargo bench --bench primitive_counts`.
+
+fn main() {
+    let report = camelot_harness::counts::run(camelot_bench::quick());
+    println!("{report}");
+}

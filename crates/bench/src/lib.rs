@@ -1,0 +1,10 @@
+//! Shared plumbing for the benchmark targets.
+//!
+//! Each `benches/*.rs` target reproduces one table or figure from the
+//! paper via `camelot-harness` and prints the report. `QUICK=1` in the
+//! environment shrinks repetition counts (useful in CI).
+
+/// True when the `QUICK` environment variable asks for short runs.
+pub fn quick() -> bool {
+    std::env::var("QUICK").map(|v| v == "1").unwrap_or(false)
+}

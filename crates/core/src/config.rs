@@ -1,0 +1,113 @@
+//! Engine configuration: protocol variants and timeouts.
+
+use camelot_types::Duration;
+
+/// Which commitment protocol to run for a top-level commit — "the type
+/// of commitment protocol to execute (two-phase versus non-blocking)
+/// is specified as an argument to the commit-transaction call" (§3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CommitMode {
+    TwoPhase,
+    NonBlocking,
+}
+
+/// Subordinate-side behaviour of two-phase commit — the three write
+/// variants measured in §4.2 / Figure 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TwoPhaseVariant {
+    /// The §3.2 delayed-commit optimization: locks dropped on receipt
+    /// of the commit notice, commit record written lazily (no force),
+    /// commit-ack delayed until the record is durable and piggybacked
+    /// on later traffic.
+    Optimized,
+    /// Commit record forced, but the ack still delayed/piggybacked —
+    /// the §4.2 "dissection" of the optimization (variation 3).
+    SemiOptimized,
+    /// Completely unoptimized: commit record forced, locks dropped
+    /// only after the force, ack sent immediately in its own datagram.
+    Unoptimized,
+}
+
+/// Tunables of one transaction-manager engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Two-phase-commit subordinate variant.
+    pub variant: TwoPhaseVariant,
+    /// Whether commit-acks (and other off-critical-path messages) are
+    /// piggybacked at all; `false` forces immediate dedicated
+    /// datagrams regardless of `variant` (used to dissect variants).
+    pub piggyback_acks: bool,
+    /// Upper bound on how long a queued piggybackable message waits
+    /// for a carrier before being flushed in its own datagram.
+    pub ack_flush_interval: Duration,
+    /// Coordinator timeout collecting phase-one votes before deciding
+    /// abort ("if some operation fails to respond, the site that
+    /// invoked it should eventually initiate the abort protocol").
+    pub vote_timeout: Duration,
+    /// Prepared 2PC subordinate's interval between outcome inquiries
+    /// to the coordinator.
+    pub inquiry_interval: Duration,
+    /// Interval at which a coordinator re-sends unacknowledged
+    /// commit/outcome notices.
+    pub notify_resend_interval: Duration,
+    /// Non-blocking subordinate's patience for the outcome before it
+    /// becomes a coordinator itself (change 2 of §3.3).
+    pub nb_outcome_timeout: Duration,
+    /// How long a takeover coordinator collects status replies before
+    /// deciding what it can decide.
+    pub takeover_window: Duration,
+    /// How long a takeover coordinator waits for recruiting
+    /// (replication or abort-join) acknowledgements.
+    pub recruit_window: Duration,
+    /// Pause before a blocked takeover retries from the top.
+    pub takeover_retry: Duration,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            variant: TwoPhaseVariant::Optimized,
+            piggyback_acks: true,
+            ack_flush_interval: Duration::from_millis(50),
+            vote_timeout: Duration::from_secs(5),
+            inquiry_interval: Duration::from_secs(10),
+            notify_resend_interval: Duration::from_secs(5),
+            nb_outcome_timeout: Duration::from_secs(3),
+            takeover_window: Duration::from_millis(500),
+            recruit_window: Duration::from_millis(500),
+            takeover_retry: Duration::from_secs(2),
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Configuration matching one Figure-2 protocol variation.
+    pub fn for_variant(variant: TwoPhaseVariant) -> Self {
+        let piggyback = !matches!(variant, TwoPhaseVariant::Unoptimized);
+        EngineConfig {
+            variant,
+            piggyback_acks: piggyback,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_fully_optimized() {
+        let c = EngineConfig::default();
+        assert_eq!(c.variant, TwoPhaseVariant::Optimized);
+        assert!(c.piggyback_acks);
+    }
+
+    #[test]
+    fn unoptimized_variant_disables_piggyback() {
+        let c = EngineConfig::for_variant(TwoPhaseVariant::Unoptimized);
+        assert!(!c.piggyback_acks);
+        let c = EngineConfig::for_variant(TwoPhaseVariant::SemiOptimized);
+        assert!(c.piggyback_acks);
+    }
+}

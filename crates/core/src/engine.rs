@@ -1,0 +1,967 @@
+//! The transaction-manager engine: state, dispatch, and the calls
+//! common to both commitment protocols (begin, join, nested
+//! transactions, the abort protocol, piggyback queues).
+//!
+//! Protocol-specific handling lives in [`crate::twophase`] and
+//! [`crate::nonblocking`]; restart recovery in [`crate::recovery`].
+
+use std::collections::HashMap;
+
+use camelot_net::{Outcome, TmMessage, Vote};
+use camelot_types::{AbortReason, FamilyId, ServerId, SiteId, Tid, Time};
+use camelot_wal::LogRecord;
+
+use crate::config::{CommitMode, EngineConfig};
+use crate::family::{Family, FamilyView, Role, TxnStatus};
+use crate::io::{Action, ForceToken, Input, TimerToken};
+
+/// Why a force/append-notify was issued; routes the completion input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ForcePurpose {
+    CoordCommit(FamilyId),
+    SubPrepared(FamilyId),
+    SubCommit(FamilyId),
+    SubCommitLazy(FamilyId),
+    NbBegin(FamilyId),
+    NbSubPrepared(FamilyId),
+    NbSubReplicate(FamilyId),
+    NbCoordCommit(FamilyId),
+    NbSubOutcomeLazy(FamilyId),
+    NbSubAbortJoin(FamilyId),
+    TkCommit(FamilyId),
+    TkAbortJoin(FamilyId),
+}
+
+/// Why a timer was set; routes the firing input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TimerPurpose {
+    VoteTimeout(FamilyId),
+    Inquiry(FamilyId),
+    NotifyResend(FamilyId),
+    NbOutcome(FamilyId),
+    TakeoverWindow(FamilyId),
+    RecruitWindow(FamilyId),
+    TakeoverRetry(FamilyId),
+    AckFlush(SiteId),
+}
+
+/// Counters the experiments read off the engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Top-level transactions begun here.
+    pub begins: u64,
+    /// Nested transactions begun here.
+    pub nested_begins: u64,
+    /// Commits resolved here as coordinator (either protocol).
+    pub commits: u64,
+    /// Of those, commits that needed no log write at all (read-only
+    /// optimization).
+    pub read_only_commits: u64,
+    /// Aborts resolved here.
+    pub aborts: u64,
+    /// Log forces issued (`Action::Force`).
+    pub forces: u64,
+    /// Lazy appends issued (`Action::AppendNotify`) — each is a force
+    /// the delayed-commit optimization avoided.
+    pub lazy_appends: u64,
+    /// Datagrams sent (`Action::Send`, plus broadcast fan-out).
+    pub datagrams: u64,
+    /// Messages that travelled piggybacked instead of alone.
+    pub piggybacked: u64,
+    /// Takeovers started (non-blocking termination).
+    pub takeovers: u64,
+    /// Times a takeover found itself blocked.
+    pub blocked: u64,
+}
+
+/// The Camelot transaction manager for one site, sans-io.
+pub struct Engine {
+    pub(crate) site: SiteId,
+    pub(crate) config: EngineConfig,
+    next_family_seq: u64,
+    pub(crate) families: HashMap<FamilyId, Family>,
+    pub(crate) forces: HashMap<ForceToken, ForcePurpose>,
+    pub(crate) timers: HashMap<TimerToken, TimerPurpose>,
+    next_token: u64,
+    /// Queued piggybackable messages per destination.
+    pending_acks: HashMap<SiteId, Vec<TmMessage>>,
+    ack_flush_timer: HashMap<SiteId, TimerToken>,
+    /// Outcomes of families resolved at this site (kept for inquiry
+    /// answering in tests and for idempotence; presumed abort lets a
+    /// real system drop these).
+    pub(crate) resolutions: HashMap<FamilyId, Outcome>,
+    pub(crate) stats: EngineStats,
+}
+
+impl Engine {
+    /// Creates an engine for `site`.
+    pub fn new(site: SiteId, config: EngineConfig) -> Self {
+        Engine {
+            site,
+            config,
+            next_family_seq: 1,
+            families: HashMap::new(),
+            forces: HashMap::new(),
+            timers: HashMap::new(),
+            next_token: 1,
+            pending_acks: HashMap::new(),
+            ack_flush_timer: HashMap::new(),
+            resolutions: HashMap::new(),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// This engine's site.
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Snapshot of a family's state at this site, if it exists.
+    pub fn family_view(&self, id: &FamilyId) -> Option<FamilyView> {
+        self.families.get(id).map(|f| f.view())
+    }
+
+    /// Number of live family descriptors.
+    pub fn live_families(&self) -> usize {
+        self.families.len()
+    }
+
+    /// The locally known outcome of a family, if it resolved here.
+    pub fn resolution(&self, id: &FamilyId) -> Option<Outcome> {
+        self.resolutions.get(id).copied()
+    }
+
+    /// Raises the family sequence counter (recovery: never reuse a
+    /// sequence number that may appear in the durable log).
+    pub(crate) fn bump_family_seq(&mut self, at_least: u64) {
+        self.next_family_seq = self.next_family_seq.max(at_least);
+    }
+
+    // -----------------------------------------------------------------
+    // Token and messaging helpers (shared with protocol modules)
+    // -----------------------------------------------------------------
+
+    pub(crate) fn alloc_force(&mut self, p: ForcePurpose) -> ForceToken {
+        let t = ForceToken(self.next_token);
+        self.next_token += 1;
+        self.forces.insert(t, p);
+        t
+    }
+
+    pub(crate) fn alloc_timer(&mut self, p: TimerPurpose) -> TimerToken {
+        let t = TimerToken(self.next_token);
+        self.next_token += 1;
+        self.timers.insert(t, p);
+        t
+    }
+
+    pub(crate) fn cancel_timer(&mut self, out: &mut Vec<Action>, t: Option<TimerToken>) {
+        if let Some(t) = t {
+            self.timers.remove(&t);
+            out.push(Action::CancelTimer { token: t });
+        }
+    }
+
+    /// Emits a datagram, attaching any queued piggybackable messages
+    /// for the same destination.
+    pub(crate) fn send(&mut self, out: &mut Vec<Action>, to: SiteId, msg: TmMessage) {
+        let piggyback = self.pending_acks.remove(&to).unwrap_or_default();
+        self.stats.datagrams += 1;
+        self.stats.piggybacked += piggyback.len() as u64;
+        out.push(Action::Send { to, msg, piggyback });
+    }
+
+    /// Emits one message to many sites (the runtime chooses multicast
+    /// or sequential unicast).
+    pub(crate) fn broadcast(&mut self, out: &mut Vec<Action>, to: Vec<SiteId>, msg: TmMessage) {
+        if to.is_empty() {
+            return;
+        }
+        if to.len() == 1 {
+            self.send(out, to[0], msg);
+            return;
+        }
+        self.stats.datagrams += to.len() as u64;
+        out.push(Action::Broadcast { to, msg });
+    }
+
+    /// Queues an off-critical-path message for piggybacking, or sends
+    /// it immediately when piggybacking is off.
+    pub(crate) fn queue_ack(&mut self, out: &mut Vec<Action>, to: SiteId, msg: TmMessage) {
+        debug_assert!(msg.piggybackable());
+        if !self.config.piggyback_acks {
+            self.send(out, to, msg);
+            return;
+        }
+        self.pending_acks.entry(to).or_default().push(msg);
+        if !self.ack_flush_timer.contains_key(&to) {
+            let t = self.alloc_timer(TimerPurpose::AckFlush(to));
+            self.ack_flush_timer.insert(to, t);
+            out.push(Action::SetTimer {
+                token: t,
+                after: self.config.ack_flush_interval,
+            });
+        }
+    }
+
+    /// Drops all per-family bookkeeping.
+    pub(crate) fn forget_family(&mut self, id: &FamilyId) {
+        self.families.remove(id);
+        self.forces.retain(|_, p| {
+            !matches!(p,
+                ForcePurpose::CoordCommit(f)
+                | ForcePurpose::SubPrepared(f)
+                | ForcePurpose::SubCommit(f)
+                | ForcePurpose::SubCommitLazy(f)
+                | ForcePurpose::NbBegin(f)
+                | ForcePurpose::NbSubPrepared(f)
+                | ForcePurpose::NbSubReplicate(f)
+                | ForcePurpose::NbCoordCommit(f)
+                | ForcePurpose::NbSubOutcomeLazy(f)
+                | ForcePurpose::NbSubAbortJoin(f)
+                | ForcePurpose::TkCommit(f)
+                | ForcePurpose::TkAbortJoin(f)
+                if f == id)
+        });
+    }
+
+    /// Record a family's final outcome.
+    pub(crate) fn record_resolution(&mut self, id: FamilyId, outcome: Outcome) {
+        match outcome {
+            Outcome::Committed => self.stats.commits += 1,
+            Outcome::Aborted => self.stats.aborts += 1,
+        }
+        self.resolutions.insert(id, outcome);
+    }
+
+    // -----------------------------------------------------------------
+    // Dispatch
+    // -----------------------------------------------------------------
+
+    /// Consumes one input, returning the actions the runtime must
+    /// perform. The engine never blocks; long-running work is split
+    /// across force/timer completions.
+    pub fn handle(&mut self, input: Input, now: Time) -> Vec<Action> {
+        let mut out = Vec::new();
+        match input {
+            Input::Begin { req } => self.on_begin(&mut out, req),
+            Input::BeginNested { req, parent } => self.on_begin_nested(&mut out, req, parent),
+            Input::Join { tid, server } => self.on_join(&mut out, tid, server),
+            Input::CommitTop {
+                req,
+                tid,
+                mode,
+                participants,
+            } => match mode {
+                CommitMode::TwoPhase => self.commit_2pc(&mut out, req, tid, participants, now),
+                CommitMode::NonBlocking => self.commit_nb(&mut out, req, tid, participants, now),
+            },
+            Input::CommitNested {
+                req,
+                tid,
+                participants,
+            } => self.on_commit_nested(&mut out, req, tid, participants),
+            Input::AbortTx {
+                req,
+                tid,
+                reason,
+                participants,
+            } => self.on_abort(&mut out, req, tid, reason, participants),
+            Input::ServerVote { tid, server, vote } => {
+                self.on_server_vote(&mut out, tid, server, vote, now)
+            }
+            Input::Datagram { from, msg } => self.on_datagram(&mut out, from, msg, now),
+            Input::LogForced { token } | Input::LogDurable { token } => {
+                self.on_log_done(&mut out, token, now)
+            }
+            Input::TimerFired { token } => self.on_timer(&mut out, token, now),
+        }
+        out
+    }
+
+    // -----------------------------------------------------------------
+    // Application calls
+    // -----------------------------------------------------------------
+
+    fn on_begin(&mut self, out: &mut Vec<Action>, req: u64) {
+        let id = FamilyId {
+            origin: self.site,
+            seq: self.next_family_seq,
+        };
+        self.next_family_seq += 1;
+        let fam = Family::new(id);
+        let tid = fam.top_tid();
+        self.families.insert(id, fam);
+        self.stats.begins += 1;
+        out.push(Action::Began { req, tid });
+    }
+
+    fn on_begin_nested(&mut self, out: &mut Vec<Action>, req: u64, parent: Tid) {
+        let Some(fam) = self.families.get_mut(&parent.family) else {
+            out.push(Action::Rejected {
+                req,
+                tid: parent,
+                detail: "unknown family",
+            });
+            return;
+        };
+        if fam.committing() {
+            out.push(Action::Rejected {
+                req,
+                tid: parent,
+                detail: "commitment in progress",
+            });
+            return;
+        }
+        match fam.alloc_child(&parent) {
+            Some(tid) => {
+                self.stats.nested_begins += 1;
+                out.push(Action::Began { req, tid });
+            }
+            None => out.push(Action::Rejected {
+                req,
+                tid: parent,
+                detail: "parent not active",
+            }),
+        }
+    }
+
+    fn on_join(&mut self, out: &mut Vec<Action>, tid: Tid, server: ServerId) {
+        let fam = self
+            .families
+            .entry(tid.family)
+            .or_insert_with(|| Family::new(tid.family));
+        fam.ensure_txn(&tid);
+        if fam.servers.insert(server) {
+            out.push(Action::Append {
+                rec: LogRecord::ServerJoin {
+                    tid: tid.clone(),
+                    server,
+                },
+            });
+        }
+    }
+
+    fn on_commit_nested(
+        &mut self,
+        out: &mut Vec<Action>,
+        req: u64,
+        tid: Tid,
+        participants: Vec<SiteId>,
+    ) {
+        if tid.is_top_level() {
+            out.push(Action::Rejected {
+                req,
+                tid,
+                detail: "top-level commit needs CommitTop",
+            });
+            return;
+        }
+        let Some(fam) = self.families.get_mut(&tid.family) else {
+            out.push(Action::Rejected {
+                req,
+                tid,
+                detail: "unknown family",
+            });
+            return;
+        };
+        if fam.effective_status(&tid) != Some(TxnStatus::Active) {
+            out.push(Action::Rejected {
+                req,
+                tid,
+                detail: "transaction not active",
+            });
+            return;
+        }
+        fam.mark_subtree(&tid, TxnStatus::Committed);
+        let servers: Vec<ServerId> = fam.servers.iter().copied().collect();
+        if !servers.is_empty() {
+            out.push(Action::ServerSubCommit {
+                tid: tid.clone(),
+                servers,
+            });
+        }
+        self.broadcast(
+            out,
+            participants,
+            TmMessage::SubResolved {
+                tid: tid.clone(),
+                outcome: Outcome::Committed,
+            },
+        );
+        out.push(Action::Resolved {
+            req,
+            tid,
+            outcome: Outcome::Committed,
+            reason: None,
+        });
+    }
+
+    fn on_abort(
+        &mut self,
+        out: &mut Vec<Action>,
+        req: u64,
+        tid: Tid,
+        reason: AbortReason,
+        participants: Vec<SiteId>,
+    ) {
+        let Some(fam) = self.families.get_mut(&tid.family) else {
+            out.push(Action::Rejected {
+                req,
+                tid,
+                detail: "unknown family",
+            });
+            return;
+        };
+        if !tid.is_top_level() {
+            // Nested abort: purely local decision, propagated so
+            // remote servers undo the subtree promptly.
+            if fam.effective_status(&tid) != Some(TxnStatus::Active) {
+                out.push(Action::Rejected {
+                    req,
+                    tid,
+                    detail: "transaction not active",
+                });
+                return;
+            }
+            fam.mark_subtree(&tid, TxnStatus::Aborted);
+            let servers: Vec<ServerId> = fam.servers.iter().copied().collect();
+            // The abort record is what recovery uses to exclude this
+            // subtree's updates from redo if the family later commits.
+            out.push(Action::Append {
+                rec: LogRecord::Abort { tid: tid.clone() },
+            });
+            if !servers.is_empty() {
+                out.push(Action::ServerSubAbort {
+                    tid: tid.clone(),
+                    servers,
+                });
+            }
+            self.broadcast(
+                out,
+                participants,
+                TmMessage::SubResolved {
+                    tid: tid.clone(),
+                    outcome: Outcome::Aborted,
+                },
+            );
+            out.push(Action::Resolved {
+                req,
+                tid,
+                outcome: Outcome::Aborted,
+                reason: Some(reason),
+            });
+            return;
+        }
+        // Top-level abort.
+        match &fam.role {
+            Role::Executing => {
+                let servers: Vec<ServerId> = fam.servers.iter().copied().collect();
+                fam.mark_subtree(&tid, TxnStatus::Aborted);
+                out.push(Action::Append {
+                    rec: LogRecord::Abort { tid: tid.clone() },
+                });
+                if !servers.is_empty() {
+                    out.push(Action::ServerAbort {
+                        tid: tid.clone(),
+                        servers,
+                    });
+                }
+                self.broadcast(out, participants, TmMessage::Abort { tid: tid.clone() });
+                self.record_resolution(tid.family, Outcome::Aborted);
+                self.forget_family(&tid.family);
+                out.push(Action::Resolved {
+                    req,
+                    tid,
+                    outcome: Outcome::Aborted,
+                    reason: Some(reason),
+                });
+            }
+            Role::Coord2pc(_) | Role::CoordNb(_) => {
+                // Abort during early commitment: fold into the
+                // protocol's abort path if the decision is still open.
+                self.coordinator_abort_request(out, req, tid, reason);
+            }
+            _ => {
+                out.push(Action::Rejected {
+                    req,
+                    tid,
+                    detail: "not the coordinator",
+                });
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Server votes and datagrams route to the protocol modules
+    // -----------------------------------------------------------------
+
+    fn on_server_vote(
+        &mut self,
+        out: &mut Vec<Action>,
+        tid: Tid,
+        server: ServerId,
+        vote: Vote,
+        now: Time,
+    ) {
+        let Some(fam) = self.families.get(&tid.family) else {
+            return;
+        };
+        match &fam.role {
+            Role::Coord2pc(_) => self.coord2pc_server_vote(out, tid, server, vote, now),
+            Role::Sub2pc(_) => self.sub2pc_server_vote(out, tid, server, vote, now),
+            Role::CoordNb(_) => self.coordnb_server_vote(out, tid, server, vote, now),
+            Role::SubNb(_) => self.subnb_server_vote(out, tid, server, vote, now),
+            _ => {}
+        }
+    }
+
+    fn on_datagram(&mut self, out: &mut Vec<Action>, from: SiteId, msg: TmMessage, now: Time) {
+        match msg {
+            // Two-phase commit.
+            TmMessage::Prepare { tid, coordinator } => {
+                self.sub2pc_prepare(out, tid, coordinator, now)
+            }
+            TmMessage::VoteMsg { tid, from, vote } => self.coord2pc_vote(out, tid, from, vote, now),
+            TmMessage::Commit { tid } => self.sub2pc_commit(out, tid, now),
+            TmMessage::Abort { tid } => self.participant_abort(out, tid),
+            TmMessage::CommitAck { tid, from } => self.coord2pc_ack(out, tid, from),
+            TmMessage::Inquire { tid, from } => self.answer_inquiry(out, tid, from),
+            TmMessage::InquireResp { tid, outcome } => {
+                self.sub2pc_inquire_resp(out, tid, outcome, now)
+            }
+            // Non-blocking commit.
+            TmMessage::NbPrepare {
+                tid,
+                coordinator,
+                info,
+            } => self.subnb_prepare(out, tid, coordinator, info, now),
+            TmMessage::NbVote { tid, from, vote } => self.coordnb_vote(out, tid, from, vote, now),
+            TmMessage::NbReplicate { tid, info } => self.subnb_replicate(out, from, tid, info, now),
+            TmMessage::NbReplicateAck { tid, from, joined } => {
+                self.nb_replicate_ack(out, tid, from, joined, now)
+            }
+            TmMessage::NbOutcome { tid, outcome } => {
+                self.subnb_outcome(out, from, tid, outcome, now)
+            }
+            TmMessage::NbOutcomeAck { tid, from } => self.nb_outcome_ack(out, tid, from),
+            TmMessage::NbStatusReq { tid, from } => self.nb_status_req(out, tid, from),
+            TmMessage::NbStatus {
+                tid,
+                from,
+                state,
+                info,
+            } => self.takeover_status(out, tid, from, state, info, now),
+            TmMessage::NbAbortJoinReq { tid, from } => self.nb_abort_join_req(out, tid, from, now),
+
+            TmMessage::NbAbortJoinResp { tid, from, joined } => {
+                self.takeover_abort_join_resp(out, tid, from, joined, now)
+            }
+            TmMessage::NbForget { tid } => {
+                self.forget_family(&tid.family);
+            }
+            // Nested transactions.
+            TmMessage::SubResolved { tid, outcome } => self.on_sub_resolved(out, tid, outcome),
+        }
+        let _ = from;
+    }
+
+    fn on_sub_resolved(&mut self, out: &mut Vec<Action>, tid: Tid, outcome: Outcome) {
+        let Some(fam) = self.families.get_mut(&tid.family) else {
+            return;
+        };
+        fam.ensure_txn(&tid);
+        let status = match outcome {
+            Outcome::Committed => TxnStatus::Committed,
+            Outcome::Aborted => TxnStatus::Aborted,
+        };
+        fam.mark_subtree(&tid, status);
+        let servers: Vec<ServerId> = fam.servers.iter().copied().collect();
+        if outcome == Outcome::Aborted {
+            // Durable undo marker for recovery (see on_abort).
+            out.push(Action::Append {
+                rec: LogRecord::Abort { tid: tid.clone() },
+            });
+        }
+        if servers.is_empty() {
+            return;
+        }
+        match outcome {
+            Outcome::Committed => out.push(Action::ServerSubCommit { tid, servers }),
+            Outcome::Aborted => out.push(Action::ServerSubAbort { tid, servers }),
+        }
+    }
+
+    /// Abort notice (or the abort protocol) arriving at a participant.
+    pub(crate) fn participant_abort(&mut self, out: &mut Vec<Action>, tid: Tid) {
+        let family = tid.family;
+        let Some(fam) = self.families.get_mut(&family) else {
+            return;
+        };
+        let top = fam.top_tid();
+        let servers: Vec<ServerId> = fam.servers.iter().copied().collect();
+        let timers: Vec<Option<TimerToken>> = match &fam.role {
+            Role::Sub2pc(s) => vec![s.inquiry_timer],
+            Role::SubNb(s) => vec![s.outcome_timer],
+            Role::Takeover(t) => vec![t.timer],
+            _ => vec![None],
+        };
+        fam.mark_subtree(&top, TxnStatus::Aborted);
+        out.push(Action::Append {
+            rec: LogRecord::Abort { tid: tid.clone() },
+        });
+        if !servers.is_empty() {
+            out.push(Action::ServerAbort {
+                tid: tid.clone(),
+                servers,
+            });
+        }
+        for t in timers {
+            self.cancel_timer(out, t);
+        }
+        // Ref [7]: forward the abort along this site's own outgoing
+        // calls — the initiator may not know the full participant set.
+        out.push(Action::RelayAbort { tid });
+        self.resolutions.insert(family, Outcome::Aborted);
+        self.forget_family(&family);
+    }
+
+    // -----------------------------------------------------------------
+    // Log and timer completions route by purpose
+    // -----------------------------------------------------------------
+
+    fn on_log_done(&mut self, out: &mut Vec<Action>, token: ForceToken, now: Time) {
+        let Some(purpose) = self.forces.remove(&token) else {
+            return;
+        };
+        match purpose {
+            ForcePurpose::CoordCommit(f) => self.coord2pc_commit_forced(out, f, now),
+            ForcePurpose::SubPrepared(f) => self.sub2pc_prepared_forced(out, f, now),
+            ForcePurpose::SubCommit(f) => self.sub2pc_commit_forced(out, f),
+            ForcePurpose::SubCommitLazy(f) => self.sub2pc_commit_durable(out, f),
+            ForcePurpose::NbBegin(f) => self.coordnb_begin_forced(out, f, now),
+            ForcePurpose::NbSubPrepared(f) => self.subnb_prepared_forced(out, f, now),
+            ForcePurpose::NbSubReplicate(f) => self.subnb_replicate_forced(out, f, now),
+            ForcePurpose::NbCoordCommit(f) => self.coordnb_commit_forced(out, f, now),
+            ForcePurpose::NbSubOutcomeLazy(f) => self.subnb_outcome_durable(out, f),
+            ForcePurpose::NbSubAbortJoin(f) => self.subnb_abort_join_forced(out, f),
+            ForcePurpose::TkCommit(f) => self.takeover_commit_forced(out, f, now),
+            ForcePurpose::TkAbortJoin(f) => self.takeover_abort_join_forced(out, f, now),
+        }
+    }
+
+    fn on_timer(&mut self, out: &mut Vec<Action>, token: TimerToken, now: Time) {
+        let Some(purpose) = self.timers.remove(&token) else {
+            return;
+        };
+        match purpose {
+            TimerPurpose::VoteTimeout(f) => self.vote_timeout(out, f, now),
+            TimerPurpose::Inquiry(f) => self.sub2pc_inquiry_timer(out, f, now),
+            TimerPurpose::NotifyResend(f) => self.notify_resend(out, f, now),
+            TimerPurpose::NbOutcome(f) => self.subnb_outcome_timeout(out, f, now),
+            TimerPurpose::TakeoverWindow(f) => self.takeover_window_fired(out, f, now),
+            TimerPurpose::RecruitWindow(f) => self.takeover_recruit_fired(out, f, now),
+            TimerPurpose::TakeoverRetry(f) => self.takeover_retry_fired(out, f, now),
+            TimerPurpose::AckFlush(site) => {
+                self.ack_flush_timer.remove(&site);
+                if let Some(mut msgs) = self.pending_acks.remove(&site) {
+                    if !msgs.is_empty() {
+                        let first = msgs.remove(0);
+                        self.stats.datagrams += 1;
+                        self.stats.piggybacked += msgs.len() as u64;
+                        out.push(Action::Send {
+                            to: site,
+                            msg: first,
+                            piggyback: msgs,
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+
+    fn engine() -> Engine {
+        Engine::new(SiteId(1), EngineConfig::default())
+    }
+
+    #[test]
+    fn begin_allocates_unique_top_level_tids() {
+        let mut e = engine();
+        let a1 = e.handle(Input::Begin { req: 1 }, Time::ZERO);
+        let a2 = e.handle(Input::Begin { req: 2 }, Time::ZERO);
+        let t1 = match &a1[0] {
+            Action::Began { req: 1, tid } => tid.clone(),
+            other => panic!("{other:?}"),
+        };
+        let t2 = match &a2[0] {
+            Action::Began { req: 2, tid } => tid.clone(),
+            other => panic!("{other:?}"),
+        };
+        assert_ne!(t1, t2);
+        assert!(t1.is_top_level());
+        assert_eq!(e.stats().begins, 2);
+        assert_eq!(e.live_families(), 2);
+    }
+
+    #[test]
+    fn begin_nested_allocates_children() {
+        let mut e = engine();
+        let a = e.handle(Input::Begin { req: 1 }, Time::ZERO);
+        let top = match &a[0] {
+            Action::Began { tid, .. } => tid.clone(),
+            other => panic!("{other:?}"),
+        };
+        let a = e.handle(
+            Input::BeginNested {
+                req: 2,
+                parent: top.clone(),
+            },
+            Time::ZERO,
+        );
+        match &a[0] {
+            Action::Began { req: 2, tid } => {
+                assert_eq!(tid.parent(), Some(top));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(e.stats().nested_begins, 1);
+    }
+
+    #[test]
+    fn begin_nested_unknown_family_rejected() {
+        let mut e = engine();
+        let ghost = Tid::top_level(FamilyId {
+            origin: SiteId(9),
+            seq: 9,
+        });
+        let a = e.handle(
+            Input::BeginNested {
+                req: 1,
+                parent: ghost,
+            },
+            Time::ZERO,
+        );
+        assert!(matches!(a[0], Action::Rejected { req: 1, .. }));
+    }
+
+    #[test]
+    fn join_registers_server_and_logs_once() {
+        let mut e = engine();
+        let a = e.handle(Input::Begin { req: 1 }, Time::ZERO);
+        let top = match &a[0] {
+            Action::Began { tid, .. } => tid.clone(),
+            other => panic!("{other:?}"),
+        };
+        let a = e.handle(
+            Input::Join {
+                tid: top.clone(),
+                server: ServerId(4),
+            },
+            Time::ZERO,
+        );
+        assert!(matches!(
+            a[0],
+            Action::Append {
+                rec: LogRecord::ServerJoin { .. }
+            }
+        ));
+        // Second join of the same server: no second record.
+        let a = e.handle(
+            Input::Join {
+                tid: top.clone(),
+                server: ServerId(4),
+            },
+            Time::ZERO,
+        );
+        assert!(a.is_empty());
+        let v = e.family_view(&top.family).unwrap();
+        assert_eq!(v.servers, 1);
+    }
+
+    #[test]
+    fn join_from_remote_operation_creates_family() {
+        // A subordinate site first hears of a family when a server
+        // joins on behalf of a remote transaction.
+        let mut e = engine();
+        let remote = Tid::top_level(FamilyId {
+            origin: SiteId(9),
+            seq: 3,
+        });
+        e.handle(
+            Input::Join {
+                tid: remote.clone(),
+                server: ServerId(1),
+            },
+            Time::ZERO,
+        );
+        assert_eq!(e.live_families(), 1);
+    }
+
+    #[test]
+    fn top_level_abort_while_executing() {
+        let mut e = engine();
+        let a = e.handle(Input::Begin { req: 1 }, Time::ZERO);
+        let top = match &a[0] {
+            Action::Began { tid, .. } => tid.clone(),
+            other => panic!("{other:?}"),
+        };
+        e.handle(
+            Input::Join {
+                tid: top.clone(),
+                server: ServerId(2),
+            },
+            Time::ZERO,
+        );
+        let a = e.handle(
+            Input::AbortTx {
+                req: 7,
+                tid: top.clone(),
+                reason: AbortReason::Application,
+                participants: vec![SiteId(5)],
+            },
+            Time::ZERO,
+        );
+        // Abort record, server abort, abort datagram, resolution.
+        assert!(a.iter().any(|x| matches!(
+            x,
+            Action::Append {
+                rec: LogRecord::Abort { .. }
+            }
+        )));
+        assert!(a.iter().any(|x| matches!(x, Action::ServerAbort { .. })));
+        assert!(a.iter().any(|x| matches!(
+            x,
+            Action::Send {
+                to: SiteId(5),
+                msg: TmMessage::Abort { .. },
+                ..
+            }
+        )));
+        assert!(a.iter().any(|x| matches!(
+            x,
+            Action::Resolved {
+                req: 7,
+                outcome: Outcome::Aborted,
+                ..
+            }
+        )));
+        assert_eq!(e.live_families(), 0);
+        assert_eq!(e.resolution(&top.family), Some(Outcome::Aborted));
+    }
+
+    #[test]
+    fn nested_commit_propagates_to_participants() {
+        let mut e = engine();
+        let a = e.handle(Input::Begin { req: 1 }, Time::ZERO);
+        let top = match &a[0] {
+            Action::Began { tid, .. } => tid.clone(),
+            other => panic!("{other:?}"),
+        };
+        let a = e.handle(
+            Input::BeginNested {
+                req: 2,
+                parent: top.clone(),
+            },
+            Time::ZERO,
+        );
+        let child = match &a[0] {
+            Action::Began { tid, .. } => tid.clone(),
+            other => panic!("{other:?}"),
+        };
+        e.handle(
+            Input::Join {
+                tid: child.clone(),
+                server: ServerId(2),
+            },
+            Time::ZERO,
+        );
+        let a = e.handle(
+            Input::CommitNested {
+                req: 3,
+                tid: child.clone(),
+                participants: vec![SiteId(8)],
+            },
+            Time::ZERO,
+        );
+        assert!(a
+            .iter()
+            .any(|x| matches!(x, Action::ServerSubCommit { .. })));
+        assert!(a.iter().any(|x| matches!(
+            x,
+            Action::Send {
+                to: SiteId(8),
+                msg: TmMessage::SubResolved { .. },
+                ..
+            }
+        )));
+        assert!(a.iter().any(|x| matches!(
+            x,
+            Action::Resolved {
+                req: 3,
+                outcome: Outcome::Committed,
+                ..
+            }
+        )));
+        // Committing the same child again is rejected.
+        let a = e.handle(
+            Input::CommitNested {
+                req: 4,
+                tid: child,
+                participants: vec![],
+            },
+            Time::ZERO,
+        );
+        assert!(matches!(a[0], Action::Rejected { req: 4, .. }));
+    }
+
+    #[test]
+    fn sub_resolved_datagram_updates_remote_family() {
+        let mut e = engine();
+        let remote_child = Tid::top_level(FamilyId {
+            origin: SiteId(9),
+            seq: 1,
+        })
+        .child(2);
+        e.handle(
+            Input::Join {
+                tid: remote_child.clone(),
+                server: ServerId(3),
+            },
+            Time::ZERO,
+        );
+        let a = e.handle(
+            Input::Datagram {
+                from: SiteId(9),
+                msg: TmMessage::SubResolved {
+                    tid: remote_child.clone(),
+                    outcome: Outcome::Aborted,
+                },
+            },
+            Time::ZERO,
+        );
+        // First the durable undo marker, then the server instruction.
+        assert!(matches!(
+            &a[0],
+            Action::Append {
+                rec: LogRecord::Abort { .. }
+            }
+        ));
+        assert!(matches!(&a[1], Action::ServerSubAbort { tid, .. } if *tid == remote_child));
+    }
+}

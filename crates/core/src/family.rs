@@ -1,0 +1,515 @@
+//! Family and transaction descriptors.
+//!
+//! "The principal data structure is a hash table of family
+//! descriptors, each with an attached hash table of transaction
+//! descriptors." (paper §3.4). A family descriptor carries the set of
+//! local data servers that joined any member of the family, and — once
+//! commitment begins — the state of the commitment role this site
+//! plays (coordinator or subordinate, two-phase or non-blocking, or a
+//! takeover coordinator during non-blocking termination).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use camelot_net::msg::NbInfo;
+use camelot_net::{NbSiteState, Outcome};
+use camelot_types::{FamilyId, ServerId, SiteId, Tid};
+use camelot_wal::record::QuorumKind;
+
+use crate::io::TimerToken;
+
+/// Lifecycle of one (sub)transaction within its family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnStatus {
+    Active,
+    /// Nested: committed into its parent.
+    Committed,
+    Aborted,
+}
+
+/// Descriptor of one (sub)transaction.
+#[derive(Debug, Clone)]
+pub struct TxnDesc {
+    pub status: TxnStatus,
+    /// Next child ordinal to hand out.
+    pub next_child: u32,
+}
+
+impl TxnDesc {
+    fn new() -> Self {
+        TxnDesc {
+            status: TxnStatus::Active,
+            next_child: 1,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Two-phase commit roles
+// ---------------------------------------------------------------------
+
+/// Coordinator progress through presumed-abort 2PC.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoordPhase {
+    /// Waiting for local servers' votes.
+    CollectLocal,
+    /// Prepare sent; waiting for subordinate votes.
+    CollectVotes,
+    /// All yes; commit record force in flight (the commit point).
+    ForcingCommit,
+    /// Committed; waiting for subordinate commit-acks before the end
+    /// record can be written and the transaction forgotten.
+    Notifying { awaiting_acks: BTreeSet<SiteId> },
+}
+
+/// State of a 2PC commitment this site coordinates.
+#[derive(Debug, Clone)]
+pub struct Coord2pc {
+    pub participants: Vec<SiteId>,
+    pub awaiting_local: BTreeSet<ServerId>,
+    pub local_update: bool,
+    pub awaiting_sites: BTreeSet<SiteId>,
+    /// Update subordinates (voted yes) — phase two goes only to them.
+    pub yes_subs: BTreeSet<SiteId>,
+    pub phase: CoordPhase,
+    pub vote_timer: Option<TimerToken>,
+    pub resend_timer: Option<TimerToken>,
+}
+
+/// Subordinate progress through presumed-abort 2PC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubPhase {
+    /// Prepare received; collecting local server votes.
+    CollectLocal,
+    /// Prepared-record force in flight.
+    ForcingPrepared,
+    /// Voted yes; in doubt until the outcome arrives (the window of
+    /// vulnerability — a 2PC subordinate here is *blocked* if the
+    /// coordinator dies).
+    Prepared,
+    /// Commit notice received; commit-record force in flight
+    /// (unoptimized / semi-optimized variants).
+    ForcingCommit,
+    /// Commit notice received; locks dropped; lazy commit record
+    /// awaiting durability (the delayed-commit optimization).
+    AwaitDurable,
+}
+
+/// State of a 2PC commitment this site participates in.
+#[derive(Debug, Clone)]
+pub struct Sub2pc {
+    pub coordinator: SiteId,
+    pub awaiting_local: BTreeSet<ServerId>,
+    pub local_update: bool,
+    pub phase: SubPhase,
+    pub inquiry_timer: Option<TimerToken>,
+}
+
+// ---------------------------------------------------------------------
+// Non-blocking commit roles
+// ---------------------------------------------------------------------
+
+/// Coordinator progress through the non-blocking protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NbCoordPhase {
+    /// Begin record forcing and/or votes outstanding.
+    CollectVotes,
+    /// Replication phase: waiting for enough replicate-acks to form a
+    /// commit quorum together with our own commit record.
+    Replicating,
+    /// Commit record force in flight (writing it forms the quorum —
+    /// the commitment point, change 3 of §3.3).
+    ForcingCommit,
+    /// Outcome sent; waiting for outcome-acks from all participants
+    /// that hold state (change 4: nobody forgets early).
+    Notifying {
+        awaiting_acks: BTreeSet<SiteId>,
+        outcome: Outcome,
+    },
+}
+
+/// State of a non-blocking commitment this site coordinates.
+#[derive(Debug, Clone)]
+pub struct CoordNb {
+    pub info: NbInfo,
+    /// The begin record is durable (gate for the replication phase).
+    pub begun: bool,
+    pub awaiting_local: BTreeSet<ServerId>,
+    pub local_update: bool,
+    pub awaiting_sites: BTreeSet<SiteId>,
+    pub yes_subs: BTreeSet<SiteId>,
+    pub ro_subs: BTreeSet<SiteId>,
+    /// Sites the replication record was sent to.
+    pub replication_targets: BTreeSet<SiteId>,
+    pub repl_acks: BTreeSet<SiteId>,
+    pub phase: NbCoordPhase,
+    pub vote_timer: Option<TimerToken>,
+    pub resend_timer: Option<TimerToken>,
+}
+
+/// Subordinate progress through the non-blocking protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NbSubPhase {
+    CollectLocal,
+    ForcingPrepared,
+    /// Voted yes; awaiting the replication phase or outcome.
+    Prepared,
+    /// Replication record force in flight.
+    ForcingReplicate,
+    /// Holds the replicated decision information (member of the
+    /// commit quorum).
+    Replicated,
+    /// Commit outcome received; lazy commit record awaiting
+    /// durability before the outcome-ack goes out.
+    CommitAwaitDurable,
+    /// Resolved; tombstone retained until the coordinator's forget
+    /// note (change 4 of §3.3).
+    Resolved,
+}
+
+/// State of a non-blocking commitment this site participates in.
+#[derive(Debug, Clone)]
+pub struct SubNb {
+    pub coordinator: SiteId,
+    pub info: NbInfo,
+    pub awaiting_local: BTreeSet<ServerId>,
+    pub local_update: bool,
+    pub phase: NbSubPhase,
+    pub outcome: Option<Outcome>,
+    pub outcome_timer: Option<TimerToken>,
+    /// Which quorum this site irrevocably joined, if any.
+    pub joined: Option<QuorumKind>,
+    /// Where the acknowledgement of an in-flight force must go (the
+    /// original coordinator or a takeover coordinator).
+    pub pending_ack_to: Option<SiteId>,
+}
+
+/// Takeover coordinator progress (non-blocking termination protocol).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TakeoverPhase {
+    /// Collecting status reports.
+    Gathering,
+    /// Recruiting prepared sites into the commit quorum.
+    RecruitCommit,
+    /// Recruiting sites into the abort quorum.
+    RecruitAbort,
+    /// Commit record force in flight.
+    ForcingCommit,
+    /// Abort-quorum join record force in flight.
+    ForcingAbortJoin,
+    /// Outcome decided and announced; awaiting acks.
+    Announcing {
+        awaiting_acks: BTreeSet<SiteId>,
+        outcome: Outcome,
+    },
+    /// Neither quorum reachable; will retry (possible only under
+    /// multiple failures).
+    Blocked,
+}
+
+/// State of a takeover ("a subordinate becomes a coordinator",
+/// change 2 of §3.3).
+#[derive(Debug, Clone)]
+pub struct Takeover {
+    pub info: NbInfo,
+    /// Our own protocol state at takeover time.
+    pub self_state: NbSiteState,
+    pub joined: Option<QuorumKind>,
+    /// Whether local servers still hold this family's locks here.
+    pub local_update: bool,
+    pub statuses: BTreeMap<SiteId, NbSiteState>,
+    /// Sites known to hold the replication record (commit-quorum
+    /// members), including ourselves when applicable.
+    pub replicated: BTreeSet<SiteId>,
+    /// Sites known to have joined the abort quorum.
+    pub abort_joined: BTreeSet<SiteId>,
+    pub phase: TakeoverPhase,
+    pub timer: Option<TimerToken>,
+}
+
+// ---------------------------------------------------------------------
+// Family descriptor
+// ---------------------------------------------------------------------
+
+/// The commitment role this site currently plays for a family.
+#[derive(Debug, Clone)]
+pub enum Role {
+    /// Still executing; no commitment protocol under way.
+    Executing,
+    Coord2pc(Coord2pc),
+    Sub2pc(Sub2pc),
+    CoordNb(CoordNb),
+    SubNb(SubNb),
+    Takeover(Takeover),
+}
+
+/// One family descriptor.
+#[derive(Debug, Clone)]
+pub struct Family {
+    pub id: FamilyId,
+    /// Transaction descriptors keyed by nesting path (the top-level
+    /// transaction has the empty path).
+    pub txns: BTreeMap<Vec<u32>, TxnDesc>,
+    /// Local data servers that joined any member of the family.
+    pub servers: BTreeSet<ServerId>,
+    pub role: Role,
+    /// Correlation id of the pending commit/abort call, if this is
+    /// the application's home site.
+    pub commit_req: Option<u64>,
+}
+
+impl Family {
+    /// Creates a family descriptor with its top-level transaction.
+    pub fn new(id: FamilyId) -> Self {
+        let mut txns = BTreeMap::new();
+        txns.insert(Vec::new(), TxnDesc::new());
+        Family {
+            id,
+            txns,
+            servers: BTreeSet::new(),
+            role: Role::Executing,
+            commit_req: None,
+        }
+    }
+
+    /// The family's top-level transaction identifier.
+    pub fn top_tid(&self) -> Tid {
+        Tid::top_level(self.id)
+    }
+
+    /// Allocates the next child of `parent`, creating its descriptor.
+    /// Returns `None` if `parent` is unknown or not active.
+    pub fn alloc_child(&mut self, parent: &Tid) -> Option<Tid> {
+        debug_assert_eq!(parent.family, self.id);
+        let desc = self.txns.get_mut(&parent.path)?;
+        if desc.status != TxnStatus::Active {
+            return None;
+        }
+        let n = desc.next_child;
+        desc.next_child += 1;
+        let child = parent.child(n);
+        self.txns.insert(child.path.clone(), TxnDesc::new());
+        Some(child)
+    }
+
+    /// Ensures a descriptor exists for `tid` (used when a remote
+    /// operation introduces a nested tid this site has not seen).
+    pub fn ensure_txn(&mut self, tid: &Tid) {
+        debug_assert_eq!(tid.family, self.id);
+        // Materialize ancestors too, so status checks work.
+        for depth in 0..=tid.path.len() {
+            let path = tid.path[..depth].to_vec();
+            self.txns.entry(path).or_insert_with(TxnDesc::new);
+        }
+    }
+
+    /// Status of `tid`, taking ancestors into account: a transaction
+    /// whose ancestor aborted is aborted.
+    pub fn effective_status(&self, tid: &Tid) -> Option<TxnStatus> {
+        let own = self.txns.get(&tid.path)?.status;
+        for depth in 0..tid.path.len() {
+            if let Some(anc) = self.txns.get(&tid.path[..depth].to_vec()) {
+                if anc.status == TxnStatus::Aborted {
+                    return Some(TxnStatus::Aborted);
+                }
+            }
+        }
+        Some(own)
+    }
+
+    /// Marks `tid` and every descendant with `status`.
+    pub fn mark_subtree(&mut self, tid: &Tid, status: TxnStatus) {
+        for (path, desc) in self.txns.iter_mut() {
+            if path.len() >= tid.path.len() && path[..tid.path.len()] == tid.path[..] {
+                desc.status = status;
+            }
+        }
+    }
+
+    /// True once a commitment protocol has begun for the family.
+    pub fn committing(&self) -> bool {
+        !matches!(self.role, Role::Executing)
+    }
+}
+
+// ---------------------------------------------------------------------
+// External view (tests, harness, monitoring)
+// ---------------------------------------------------------------------
+
+/// Coarse phase of a family at this site, for inspection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FamilyPhase {
+    Executing,
+    Preparing,
+    /// In doubt: prepared and waiting for an outcome.
+    Prepared,
+    /// Non-blocking: member of the commit quorum.
+    Replicated,
+    /// Commitment decided, cleanup (acks / durability) outstanding.
+    Resolving,
+    /// Takeover coordinator at work.
+    TakingOver,
+    /// Takeover could not assemble a quorum (≥ 2 failures).
+    Blocked,
+}
+
+/// Snapshot of a family descriptor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FamilyView {
+    pub id: FamilyId,
+    pub phase: FamilyPhase,
+    pub role: &'static str,
+    pub servers: usize,
+}
+
+impl Family {
+    /// Builds the external snapshot.
+    pub fn view(&self) -> FamilyView {
+        let (phase, role) = match &self.role {
+            Role::Executing => (FamilyPhase::Executing, "executing"),
+            Role::Coord2pc(c) => {
+                let p = match c.phase {
+                    CoordPhase::CollectLocal | CoordPhase::CollectVotes => FamilyPhase::Preparing,
+                    CoordPhase::ForcingCommit => FamilyPhase::Resolving,
+                    CoordPhase::Notifying { .. } => FamilyPhase::Resolving,
+                };
+                (p, "2pc-coordinator")
+            }
+            Role::Sub2pc(s) => {
+                let p = match s.phase {
+                    SubPhase::CollectLocal | SubPhase::ForcingPrepared => FamilyPhase::Preparing,
+                    SubPhase::Prepared => FamilyPhase::Prepared,
+                    SubPhase::ForcingCommit | SubPhase::AwaitDurable => FamilyPhase::Resolving,
+                };
+                (p, "2pc-subordinate")
+            }
+            Role::CoordNb(c) => {
+                let p = match c.phase {
+                    NbCoordPhase::CollectVotes => FamilyPhase::Preparing,
+                    NbCoordPhase::Replicating | NbCoordPhase::ForcingCommit => {
+                        FamilyPhase::Resolving
+                    }
+                    NbCoordPhase::Notifying { .. } => FamilyPhase::Resolving,
+                };
+                (p, "nb-coordinator")
+            }
+            Role::SubNb(s) => {
+                let p = match s.phase {
+                    NbSubPhase::CollectLocal | NbSubPhase::ForcingPrepared => {
+                        FamilyPhase::Preparing
+                    }
+                    NbSubPhase::Prepared => FamilyPhase::Prepared,
+                    NbSubPhase::ForcingReplicate | NbSubPhase::Replicated => {
+                        FamilyPhase::Replicated
+                    }
+                    NbSubPhase::CommitAwaitDurable | NbSubPhase::Resolved => FamilyPhase::Resolving,
+                };
+                (p, "nb-subordinate")
+            }
+            Role::Takeover(t) => {
+                let p = match t.phase {
+                    TakeoverPhase::Blocked => FamilyPhase::Blocked,
+                    _ => FamilyPhase::TakingOver,
+                };
+                (p, "nb-takeover")
+            }
+        };
+        FamilyView {
+            id: self.id,
+            phase,
+            role,
+            servers: self.servers.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camelot_types::SiteId;
+
+    fn fam() -> Family {
+        Family::new(FamilyId {
+            origin: SiteId(1),
+            seq: 7,
+        })
+    }
+
+    #[test]
+    fn new_family_has_active_top_level() {
+        let f = fam();
+        let top = f.top_tid();
+        assert_eq!(f.effective_status(&top), Some(TxnStatus::Active));
+        assert!(!f.committing());
+        assert_eq!(f.view().phase, FamilyPhase::Executing);
+    }
+
+    #[test]
+    fn alloc_children_in_order() {
+        let mut f = fam();
+        let top = f.top_tid();
+        let c1 = f.alloc_child(&top).unwrap();
+        let c2 = f.alloc_child(&top).unwrap();
+        assert_eq!(c1.path, vec![1]);
+        assert_eq!(c2.path, vec![2]);
+        let gc = f.alloc_child(&c1).unwrap();
+        assert_eq!(gc.path, vec![1, 1]);
+    }
+
+    #[test]
+    fn alloc_child_of_resolved_parent_fails() {
+        let mut f = fam();
+        let top = f.top_tid();
+        let c1 = f.alloc_child(&top).unwrap();
+        f.mark_subtree(&c1, TxnStatus::Aborted);
+        assert!(f.alloc_child(&c1).is_none());
+    }
+
+    #[test]
+    fn effective_status_inherits_ancestor_abort() {
+        let mut f = fam();
+        let top = f.top_tid();
+        let c1 = f.alloc_child(&top).unwrap();
+        let gc = f.alloc_child(&c1).unwrap();
+        f.mark_subtree(&c1, TxnStatus::Aborted);
+        assert_eq!(f.effective_status(&gc), Some(TxnStatus::Aborted));
+        assert_eq!(f.effective_status(&top), Some(TxnStatus::Active));
+    }
+
+    #[test]
+    fn mark_subtree_spares_siblings() {
+        let mut f = fam();
+        let top = f.top_tid();
+        let c1 = f.alloc_child(&top).unwrap();
+        let c2 = f.alloc_child(&top).unwrap();
+        f.mark_subtree(&c1, TxnStatus::Committed);
+        assert_eq!(f.effective_status(&c1), Some(TxnStatus::Committed));
+        assert_eq!(f.effective_status(&c2), Some(TxnStatus::Active));
+    }
+
+    #[test]
+    fn ensure_txn_materializes_ancestors() {
+        let mut f = fam();
+        let deep = f.top_tid().child(3).child(1);
+        f.ensure_txn(&deep);
+        assert_eq!(f.effective_status(&deep), Some(TxnStatus::Active));
+        assert_eq!(
+            f.effective_status(&f.top_tid().child(3)),
+            Some(TxnStatus::Active)
+        );
+    }
+
+    #[test]
+    fn view_reports_role() {
+        let mut f = fam();
+        f.role = Role::Sub2pc(Sub2pc {
+            coordinator: SiteId(2),
+            awaiting_local: BTreeSet::new(),
+            local_update: true,
+            phase: SubPhase::Prepared,
+            inquiry_timer: None,
+        });
+        let v = f.view();
+        assert_eq!(v.phase, FamilyPhase::Prepared);
+        assert_eq!(v.role, "2pc-subordinate");
+    }
+}

@@ -1,0 +1,299 @@
+//! Restart recovery of transaction-manager protocol state.
+//!
+//! After a crash, the recovery process replays the stable log and
+//! rebuilds the transaction manager's in-memory state. For each
+//! transaction family the durable records determine what must happen:
+//!
+//! - **commit record without end record, with subordinates** — the
+//!   coordinator crashed mid-notify: resume the notify phase (the
+//!   outcome is decided; presumed abort obliges the coordinator to
+//!   keep re-announcing until every ack arrives).
+//! - **2PC prepared record without outcome** — an in-doubt
+//!   subordinate: rebuild the prepared state and inquire (it stays
+//!   *blocked* until the coordinator answers — the vulnerability
+//!   non-blocking commitment removes).
+//! - **non-blocking prepared/replication record without outcome** —
+//!   rebuild the subordinate state and let the outcome timer drive a
+//!   takeover.
+//! - **non-blocking begin record without outcome** — the original
+//!   coordinator crashed mid-protocol: it rejoins as a takeover
+//!   coordinator (its own decision may have been made *for* it by a
+//!   quorum while it was down, so it must ask, not assume).
+//! - **anything else without a prepare** — presumed abort: the
+//!   transaction simply aborted; an abort record is appended for
+//!   hygiene.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use camelot_net::NbSiteState;
+use camelot_types::{FamilyId, Lsn, ServerId, SiteId};
+use camelot_wal::record::{QuorumKind, ReplicationInfo};
+use camelot_wal::LogRecord;
+
+use crate::config::EngineConfig;
+use crate::engine::{Engine, TimerPurpose};
+use crate::family::{
+    Coord2pc, CoordPhase, Family, NbSubPhase, Role, SubNb, Takeover, TakeoverPhase,
+};
+use crate::io::Action;
+use crate::nonblocking::info_from_record;
+use camelot_net::{Outcome, TmMessage};
+
+#[derive(Default)]
+struct FamScan {
+    prepared_2pc: Option<SiteId>,
+    nb_prepared: Option<(SiteId, Vec<SiteId>)>,
+    nb_begin: Option<ReplicationInfo>,
+    nb_replicate: Option<ReplicationInfo>,
+    quorum: Option<QuorumKind>,
+    commit_subs: Option<Vec<SiteId>>,
+    aborted: bool,
+    ended: bool,
+    servers: BTreeSet<ServerId>,
+}
+
+impl Engine {
+    /// Rebuilds an engine from the durable log. Returns the engine and
+    /// the immediate actions (inquiries, takeover status requests,
+    /// re-announcements, timers) the runtime must execute.
+    pub fn recover(
+        site: SiteId,
+        config: EngineConfig,
+        records: &[(Lsn, LogRecord)],
+    ) -> (Engine, Vec<Action>) {
+        let mut scans: BTreeMap<FamilyId, FamScan> = BTreeMap::new();
+        let mut max_seq = 0u64;
+        for (_, rec) in records {
+            let Some(tid) = rec.tid() else { continue };
+            let fid = tid.family;
+            if fid.origin == site {
+                max_seq = max_seq.max(fid.seq);
+            }
+            let s = scans.entry(fid).or_default();
+            match rec {
+                LogRecord::Prepared { coordinator, .. } => s.prepared_2pc = Some(*coordinator),
+                LogRecord::Commit { subs, .. } => s.commit_subs = Some(subs.clone()),
+                LogRecord::Abort { .. } => s.aborted = true,
+                LogRecord::End { .. } => s.ended = true,
+                LogRecord::NbBegin { info, .. } => s.nb_begin = Some(info.clone()),
+                LogRecord::NbPrepared {
+                    coordinator, sites, ..
+                } => s.nb_prepared = Some((*coordinator, sites.clone())),
+                LogRecord::NbReplicate { info, .. } => s.nb_replicate = Some(info.clone()),
+                LogRecord::NbQuorum { kind, .. } => s.quorum = Some(*kind),
+                LogRecord::ServerJoin { server, .. } => {
+                    s.servers.insert(*server);
+                }
+                LogRecord::ServerUpdate { server, .. } => {
+                    s.servers.insert(*server);
+                }
+                LogRecord::Checkpoint | LogRecord::ServerSnapshot { .. } => {}
+            }
+        }
+
+        let mut engine = Engine::new(site, config);
+        engine.bump_family_seq(max_seq + 1);
+        let mut out = Vec::new();
+
+        for (fid, s) in scans {
+            let mut fam = Family::new(fid);
+            fam.servers = s.servers.clone();
+            let tid = fam.top_tid();
+            if s.ended || (s.aborted && s.commit_subs.is_none()) {
+                // Fully resolved (or presumed-abort aborted): nothing
+                // to rebuild. Remember outcomes for inquiries.
+                if s.aborted {
+                    engine.resolutions.insert(fid, Outcome::Aborted);
+                } else if s.commit_subs.is_some() {
+                    engine.resolutions.insert(fid, Outcome::Committed);
+                }
+                continue;
+            }
+            if let Some(subs) = s.commit_subs {
+                engine.resolutions.insert(fid, Outcome::Committed);
+                if subs.is_empty() {
+                    // A subordinate's own (lazy) commit record, or a
+                    // local-only commit whose end record was lost:
+                    // nothing further owed by us.
+                    continue;
+                }
+                // Coordinator mid-notify: re-announce until acked.
+                if let Some(info) = s.nb_begin {
+                    let info = info_from_record(&info);
+                    let peers: BTreeSet<SiteId> =
+                        info.sites.iter().copied().filter(|p| *p != site).collect();
+                    fam.role = Role::Takeover(Takeover {
+                        info,
+                        self_state: NbSiteState::Committed,
+                        joined: Some(QuorumKind::Commit),
+                        local_update: true,
+                        statuses: BTreeMap::new(),
+                        replicated: BTreeSet::new(),
+                        abort_joined: BTreeSet::new(),
+                        phase: TakeoverPhase::Announcing {
+                            awaiting_acks: peers.clone(),
+                            outcome: Outcome::Committed,
+                        },
+                        timer: None,
+                    });
+                    engine.families.insert(fid, fam);
+                    engine.arm_notify_resend(&mut out, fid);
+                    engine.broadcast(
+                        &mut out,
+                        peers.into_iter().collect(),
+                        TmMessage::NbOutcome {
+                            tid,
+                            outcome: Outcome::Committed,
+                        },
+                    );
+                } else {
+                    let awaiting: BTreeSet<SiteId> = subs.iter().copied().collect();
+                    fam.role = Role::Coord2pc(Coord2pc {
+                        participants: subs.clone(),
+                        awaiting_local: BTreeSet::new(),
+                        local_update: true,
+                        awaiting_sites: BTreeSet::new(),
+                        yes_subs: awaiting.clone(),
+                        phase: CoordPhase::Notifying {
+                            awaiting_acks: awaiting,
+                        },
+                        vote_timer: None,
+                        resend_timer: None,
+                    });
+                    engine.families.insert(fid, fam);
+                    engine.arm_notify_resend(&mut out, fid);
+                    engine.broadcast(&mut out, subs, TmMessage::Commit { tid });
+                }
+                continue;
+            }
+            if s.aborted {
+                engine.resolutions.insert(fid, Outcome::Aborted);
+                continue;
+            }
+            if let Some(info) = s.nb_replicate {
+                // In-doubt, replicated: quorum member. Take over
+                // promptly.
+                let info = info_from_record(&info);
+                let coordinator = s.nb_prepared.map(|(c, _)| c).unwrap_or(info.sites[0]);
+                fam.role = Role::SubNb(SubNb {
+                    coordinator,
+                    info,
+                    awaiting_local: BTreeSet::new(),
+                    local_update: true,
+                    phase: NbSubPhase::Replicated,
+                    outcome: None,
+                    outcome_timer: None,
+                    joined: Some(QuorumKind::Commit),
+                    pending_ack_to: None,
+                });
+                engine.families.insert(fid, fam);
+                engine.arm_outcome_timer(&mut out, fid);
+                continue;
+            }
+            if let Some((coordinator, sites)) = s.nb_prepared {
+                // In-doubt non-blocking subordinate.
+                let n = sites.len();
+                let (vc, va) = crate::nonblocking::quorum_sizes(n);
+                fam.role = Role::SubNb(SubNb {
+                    coordinator,
+                    info: camelot_net::msg::NbInfo {
+                        sites,
+                        yes_votes: vec![],
+                        commit_quorum: vc,
+                        abort_quorum: va,
+                    },
+                    awaiting_local: BTreeSet::new(),
+                    local_update: true,
+                    phase: NbSubPhase::Prepared,
+                    outcome: None,
+                    outcome_timer: None,
+                    joined: s.quorum,
+                    pending_ack_to: None,
+                });
+                engine.families.insert(fid, fam);
+                engine.arm_outcome_timer(&mut out, fid);
+                continue;
+            }
+            if let Some(info) = s.nb_begin {
+                // The original coordinator, crashed before deciding:
+                // it must ask the quorum, not assume.
+                let info = info_from_record(&info);
+                fam.role = Role::Takeover(Takeover {
+                    info,
+                    self_state: NbSiteState::Prepared,
+                    joined: s.quorum,
+                    local_update: true,
+                    statuses: BTreeMap::new(),
+                    replicated: BTreeSet::new(),
+                    abort_joined: BTreeSet::new(),
+                    phase: TakeoverPhase::Gathering,
+                    timer: None,
+                });
+                engine.families.insert(fid, fam);
+                engine.begin_gathering(&mut out, fid, camelot_types::Time::ZERO);
+                continue;
+            }
+            if let Some(coordinator) = s.prepared_2pc {
+                // In-doubt 2PC subordinate: blocked until the
+                // coordinator answers.
+                crate::twophase::prepared_subordinate(&mut fam, coordinator);
+                engine.families.insert(fid, fam);
+                engine.arm_inquiry(&mut out, fid, coordinator);
+                continue;
+            }
+            // Active but never prepared: presumed abort.
+            out.push(Action::Append {
+                rec: LogRecord::Abort { tid },
+            });
+            engine.resolutions.insert(fid, Outcome::Aborted);
+        }
+        (engine, out)
+    }
+
+    fn arm_notify_resend(&mut self, out: &mut Vec<Action>, fid: FamilyId) {
+        let t = self.alloc_timer(TimerPurpose::NotifyResend(fid));
+        let interval = self.config.notify_resend_interval;
+        if let Some(fam) = self.families.get_mut(&fid) {
+            match &mut fam.role {
+                Role::Coord2pc(c) => c.resend_timer = Some(t),
+                Role::Takeover(tk) => tk.timer = Some(t),
+                _ => {}
+            }
+        }
+        out.push(Action::SetTimer {
+            token: t,
+            after: interval,
+        });
+    }
+
+    fn arm_outcome_timer(&mut self, out: &mut Vec<Action>, fid: FamilyId) {
+        let t = self.alloc_timer(TimerPurpose::NbOutcome(fid));
+        let timeout = self.config.nb_outcome_timeout;
+        if let Some(fam) = self.families.get_mut(&fid) {
+            if let Role::SubNb(s) = &mut fam.role {
+                s.outcome_timer = Some(t);
+            }
+        }
+        out.push(Action::SetTimer {
+            token: t,
+            after: timeout,
+        });
+    }
+
+    fn arm_inquiry(&mut self, out: &mut Vec<Action>, fid: FamilyId, coordinator: SiteId) {
+        let tid = camelot_types::Tid::top_level(fid);
+        let t = self.alloc_timer(TimerPurpose::Inquiry(fid));
+        let interval = self.config.inquiry_interval;
+        if let Some(fam) = self.families.get_mut(&fid) {
+            if let Role::Sub2pc(s) = &mut fam.role {
+                s.inquiry_timer = Some(t);
+            }
+        }
+        let me = self.site;
+        self.send(out, coordinator, TmMessage::Inquire { tid, from: me });
+        out.push(Action::SetTimer {
+            token: t,
+            after: interval,
+        });
+    }
+}

@@ -1,0 +1,794 @@
+//! Non-blocking termination: a timed-out subordinate becomes a
+//! coordinator (change 2 of §3.3).
+//!
+//! The takeover coordinator gathers every reachable site's state. If
+//! any site already committed or aborted, that outcome is adopted and
+//! re-announced. Otherwise it tries to assemble a quorum:
+//!
+//! - **Commit** is possible only if at least one site already holds
+//!   the replication record — proof that the original coordinator
+//!   collected a complete set of yes votes (so no site can have
+//!   unilaterally aborted). Prepared sites are then recruited into
+//!   the commit quorum with further `NbReplicate` messages until
+//!   `Vc` members exist.
+//! - **Abort** is chosen when no replicated site is reachable: the
+//!   takeover coordinator recruits an abort quorum of `Va` sites,
+//!   each of which durably records that it joined (and will forever
+//!   refuse to join the commit quorum).
+//!
+//! Because `Vc + Va > N`, the two quorums intersect and at most one
+//! outcome can ever be decided, no matter how many coordinators run
+//! simultaneously. If neither quorum is reachable — possible only
+//! with two or more failures, matching the protocol's optimality
+//! bound — the takeover blocks and retries later.
+
+use std::collections::BTreeSet;
+
+use camelot_net::{NbSiteState, Outcome, TmMessage};
+use camelot_types::{FamilyId, ServerId, SiteId, Time};
+use camelot_wal::record::QuorumKind;
+use camelot_wal::LogRecord;
+
+use crate::engine::{Engine, ForcePurpose, TimerPurpose};
+use crate::family::{
+    Family, NbCoordPhase, NbSubPhase, Role, SubNb, Takeover, TakeoverPhase, TxnStatus,
+};
+use crate::io::Action;
+use crate::nonblocking::info_to_record;
+
+impl Engine {
+    /// The outcome timer of a prepared/replicated subordinate fired:
+    /// become a coordinator.
+    pub(crate) fn subnb_outcome_timeout(
+        &mut self,
+        out: &mut Vec<Action>,
+        family: FamilyId,
+        now: Time,
+    ) {
+        let Some(fam) = self.families.get_mut(&family) else {
+            return;
+        };
+        let Role::SubNb(s) = &mut fam.role else {
+            return;
+        };
+        if !matches!(s.phase, NbSubPhase::Prepared | NbSubPhase::Replicated) {
+            return;
+        }
+        let self_state = if s.phase == NbSubPhase::Replicated {
+            NbSiteState::Replicated
+        } else {
+            NbSiteState::Prepared
+        };
+        let takeover = Takeover {
+            info: s.info.clone(),
+            self_state,
+            joined: s.joined,
+            local_update: s.local_update,
+            statuses: Default::default(),
+            replicated: if self_state == NbSiteState::Replicated {
+                [self.site].into_iter().collect()
+            } else {
+                BTreeSet::new()
+            },
+            abort_joined: BTreeSet::new(),
+            phase: TakeoverPhase::Gathering,
+            timer: None,
+        };
+        fam.role = Role::Takeover(takeover);
+        self.begin_gathering(out, family, now);
+    }
+
+    /// (Re)starts the status-gathering round of a takeover.
+    pub(crate) fn begin_gathering(&mut self, out: &mut Vec<Action>, family: FamilyId, _now: Time) {
+        self.stats.takeovers += 1;
+        let Some(fam) = self.families.get_mut(&family) else {
+            return;
+        };
+        let tid = fam.top_tid();
+        let Role::Takeover(t) = &mut fam.role else {
+            return;
+        };
+        t.phase = TakeoverPhase::Gathering;
+        t.statuses.clear();
+        let peers: Vec<SiteId> = t
+            .info
+            .sites
+            .iter()
+            .copied()
+            .filter(|s| *s != self.site)
+            .collect();
+        let timer = self.alloc_timer(TimerPurpose::TakeoverWindow(family));
+        let window = self.config.takeover_window;
+        if let Some(fam) = self.families.get_mut(&family) {
+            if let Role::Takeover(t) = &mut fam.role {
+                t.timer = Some(timer);
+            }
+        }
+        let me = self.site;
+        self.broadcast(out, peers, TmMessage::NbStatusReq { tid, from: me });
+        out.push(Action::SetTimer {
+            token: timer,
+            after: window,
+        });
+    }
+
+    /// Any site answers a status request with its protocol state.
+    pub(crate) fn nb_status_req(
+        &mut self,
+        out: &mut Vec<Action>,
+        tid: camelot_types::Tid,
+        from: SiteId,
+    ) {
+        let family = tid.family;
+        let me = self.site;
+        let (state, info) = match self.families.get(&family) {
+            None => {
+                let state = match self.resolutions.get(&family) {
+                    Some(Outcome::Committed) => NbSiteState::Committed,
+                    Some(Outcome::Aborted) => NbSiteState::Aborted,
+                    None => NbSiteState::Unknown,
+                };
+                (state, None)
+            }
+            Some(fam) => match &fam.role {
+                Role::SubNb(s) => {
+                    let state = match s.phase {
+                        NbSubPhase::CollectLocal
+                        | NbSubPhase::ForcingPrepared
+                        | NbSubPhase::Prepared
+                        | NbSubPhase::ForcingReplicate => NbSiteState::Prepared,
+                        NbSubPhase::Replicated => NbSiteState::Replicated,
+                        NbSubPhase::CommitAwaitDurable => NbSiteState::Committed,
+                        NbSubPhase::Resolved => match s.outcome {
+                            Some(Outcome::Committed) => NbSiteState::Committed,
+                            _ => NbSiteState::Aborted,
+                        },
+                    };
+                    (state, Some(s.info.clone()))
+                }
+                Role::CoordNb(c) => {
+                    let state = match &c.phase {
+                        NbCoordPhase::Notifying { outcome, .. } => match outcome {
+                            Outcome::Committed => NbSiteState::Committed,
+                            Outcome::Aborted => NbSiteState::Aborted,
+                        },
+                        // Not durably decided: report prepared (our
+                        // commit record, once forced, is what joins
+                        // the quorum).
+                        _ => NbSiteState::Prepared,
+                    };
+                    (state, Some(c.info.clone()))
+                }
+                Role::Takeover(t) => {
+                    let state = match &t.phase {
+                        TakeoverPhase::Announcing { outcome, .. } => match outcome {
+                            Outcome::Committed => NbSiteState::Committed,
+                            Outcome::Aborted => NbSiteState::Aborted,
+                        },
+                        _ => t.self_state,
+                    };
+                    (state, Some(t.info.clone()))
+                }
+                _ => (NbSiteState::Unknown, None),
+            },
+        };
+        self.send(
+            out,
+            from,
+            TmMessage::NbStatus {
+                tid,
+                from: me,
+                state,
+                info,
+            },
+        );
+    }
+
+    /// A status report reached a takeover coordinator.
+    pub(crate) fn takeover_status(
+        &mut self,
+        out: &mut Vec<Action>,
+        tid: camelot_types::Tid,
+        from: SiteId,
+        state: NbSiteState,
+        _info: Option<camelot_net::msg::NbInfo>,
+        now: Time,
+    ) {
+        let family = tid.family;
+        let Some(fam) = self.families.get_mut(&family) else {
+            return;
+        };
+        let Role::Takeover(t) = &mut fam.role else {
+            return;
+        };
+        t.statuses.insert(from, state);
+        match state {
+            NbSiteState::Committed => {
+                self.takeover_finish(out, family, Outcome::Committed, now);
+            }
+            NbSiteState::Aborted => {
+                self.takeover_finish(out, family, Outcome::Aborted, now);
+            }
+            NbSiteState::Replicated => {
+                t.replicated.insert(from);
+                if matches!(t.phase, TakeoverPhase::RecruitCommit)
+                    && t.replicated.len() >= t.info.commit_quorum as usize
+                {
+                    self.takeover_finish(out, family, Outcome::Committed, now);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// The status-gathering window closed: decide what can be decided.
+    pub(crate) fn takeover_window_fired(
+        &mut self,
+        out: &mut Vec<Action>,
+        family: FamilyId,
+        now: Time,
+    ) {
+        let Some(fam) = self.families.get_mut(&family) else {
+            return;
+        };
+        let tid = fam.top_tid();
+        let Role::Takeover(t) = &mut fam.role else {
+            return;
+        };
+        if !matches!(t.phase, TakeoverPhase::Gathering) {
+            return;
+        }
+        let vc = t.info.commit_quorum as usize;
+        let va = t.info.abort_quorum as usize;
+        if t.replicated.len() >= vc {
+            self.takeover_finish(out, family, Outcome::Committed, now);
+            return;
+        }
+        // Reachable prepared peers (and whether we ourselves are
+        // merely prepared).
+        let prepared_peers: Vec<SiteId> = t
+            .statuses
+            .iter()
+            .filter(|(_, s)| **s == NbSiteState::Prepared)
+            .map(|(site, _)| *site)
+            .collect();
+        let self_prepared =
+            t.self_state == NbSiteState::Prepared && t.joined != Some(QuorumKind::Abort);
+        if !t.replicated.is_empty() {
+            // Commit is the only possibly-decided outcome; recruit
+            // prepared sites into the commit quorum.
+            let achievable = t.replicated.len() + prepared_peers.len() + usize::from(self_prepared);
+            if achievable >= vc {
+                t.phase = TakeoverPhase::RecruitCommit;
+                let info = t.info.clone();
+                let timer = self.alloc_timer(TimerPurpose::RecruitWindow(family));
+                let window = self.config.recruit_window;
+                if let Some(fam) = self.families.get_mut(&family) {
+                    if let Role::Takeover(t) = &mut fam.role {
+                        t.timer = Some(timer);
+                    }
+                }
+                out.push(Action::SetTimer {
+                    token: timer,
+                    after: window,
+                });
+                if self_prepared {
+                    // Recruit ourselves: force our own replication
+                    // record.
+                    out.push(Action::Append {
+                        rec: LogRecord::NbQuorum {
+                            tid: tid.clone(),
+                            kind: QuorumKind::Commit,
+                        },
+                    });
+                    let token = self.alloc_force(ForcePurpose::NbSubReplicate(family));
+                    self.stats.forces += 1;
+                    out.push(Action::Force {
+                        rec: LogRecord::NbReplicate {
+                            tid: tid.clone(),
+                            info: info_to_record(&info),
+                        },
+                        token,
+                    });
+                }
+                self.broadcast(out, prepared_peers, TmMessage::NbReplicate { tid, info });
+                return;
+            }
+            self.takeover_blocked(out, family);
+            return;
+        }
+        // No replicated site reachable: the vote may never have
+        // completed, so abort is the only safe outcome. Recruit an
+        // abort quorum.
+        let self_eligible =
+            t.joined != Some(QuorumKind::Commit) && t.self_state != NbSiteState::Replicated;
+        let achievable = prepared_peers.len() + usize::from(self_eligible);
+        if achievable >= va {
+            t.phase = TakeoverPhase::RecruitAbort;
+            let timer = self.alloc_timer(TimerPurpose::RecruitWindow(family));
+            let window = self.config.recruit_window;
+            if let Some(fam) = self.families.get_mut(&family) {
+                if let Role::Takeover(t) = &mut fam.role {
+                    t.timer = Some(timer);
+                }
+            }
+            out.push(Action::SetTimer {
+                token: timer,
+                after: window,
+            });
+            if self_eligible {
+                let token = self.alloc_force(ForcePurpose::TkAbortJoin(family));
+                self.stats.forces += 1;
+                out.push(Action::Force {
+                    rec: LogRecord::NbQuorum {
+                        tid: tid.clone(),
+                        kind: QuorumKind::Abort,
+                    },
+                    token,
+                });
+            }
+            let me = self.site;
+            self.broadcast(
+                out,
+                prepared_peers,
+                TmMessage::NbAbortJoinReq { tid, from: me },
+            );
+            return;
+        }
+        self.takeover_blocked(out, family);
+    }
+
+    /// The recruiting window closed without a quorum.
+    pub(crate) fn takeover_recruit_fired(
+        &mut self,
+        out: &mut Vec<Action>,
+        family: FamilyId,
+        _now: Time,
+    ) {
+        let Some(fam) = self.families.get(&family) else {
+            return;
+        };
+        let Role::Takeover(t) = &fam.role else { return };
+        match t.phase {
+            TakeoverPhase::RecruitCommit | TakeoverPhase::RecruitAbort => {
+                self.takeover_blocked(out, family);
+            }
+            _ => {}
+        }
+    }
+
+    /// Mark blocked and schedule a retry (reachable only under
+    /// multiple failures).
+    fn takeover_blocked(&mut self, out: &mut Vec<Action>, family: FamilyId) {
+        self.stats.blocked += 1;
+        let timer = self.alloc_timer(TimerPurpose::TakeoverRetry(family));
+        let retry = self.config.takeover_retry;
+        let Some(fam) = self.families.get_mut(&family) else {
+            return;
+        };
+        let Role::Takeover(t) = &mut fam.role else {
+            return;
+        };
+        t.phase = TakeoverPhase::Blocked;
+        t.timer = Some(timer);
+        out.push(Action::SetTimer {
+            token: timer,
+            after: retry,
+        });
+    }
+
+    /// Retry a blocked takeover from the top.
+    pub(crate) fn takeover_retry_fired(
+        &mut self,
+        out: &mut Vec<Action>,
+        family: FamilyId,
+        now: Time,
+    ) {
+        let Some(fam) = self.families.get(&family) else {
+            return;
+        };
+        let Role::Takeover(t) = &fam.role else { return };
+        if !matches!(t.phase, TakeoverPhase::Blocked) {
+            return;
+        }
+        self.begin_gathering(out, family, now);
+    }
+
+    /// Our own abort-quorum join record is durable (we recruited
+    /// ourselves during takeover).
+    pub(crate) fn takeover_abort_join_forced(
+        &mut self,
+        out: &mut Vec<Action>,
+        family: FamilyId,
+        now: Time,
+    ) {
+        let Some(fam) = self.families.get_mut(&family) else {
+            return;
+        };
+        let Role::Takeover(t) = &mut fam.role else {
+            return;
+        };
+        t.joined = Some(QuorumKind::Abort);
+        t.abort_joined.insert(self.site);
+        if matches!(t.phase, TakeoverPhase::RecruitAbort)
+            && t.abort_joined.len() >= t.info.abort_quorum as usize
+        {
+            self.takeover_finish(out, family, Outcome::Aborted, now);
+        }
+    }
+
+    /// A participant is asked to join the abort quorum.
+    pub(crate) fn nb_abort_join_req(
+        &mut self,
+        out: &mut Vec<Action>,
+        tid: camelot_types::Tid,
+        from: SiteId,
+        _now: Time,
+    ) {
+        let family = tid.family;
+        let me = self.site;
+        // A site that resolved (or never heard of) the transaction:
+        // under change 4 a resolved site still has its tombstone, so
+        // "unknown" really means "never prepared" — free to join.
+        if let Some(outcome) = self.resolutions.get(&family).copied() {
+            match outcome {
+                Outcome::Aborted => {
+                    self.send(
+                        out,
+                        from,
+                        TmMessage::NbAbortJoinResp {
+                            tid,
+                            from: me,
+                            joined: true,
+                        },
+                    );
+                }
+                Outcome::Committed => {
+                    self.send(
+                        out,
+                        from,
+                        TmMessage::NbStatus {
+                            tid,
+                            from: me,
+                            state: NbSiteState::Committed,
+                            info: None,
+                        },
+                    );
+                }
+            }
+            return;
+        }
+        let fam = self
+            .families
+            .entry(family)
+            .or_insert_with(|| Family::new(family));
+        match &mut fam.role {
+            Role::Executing => {
+                // Never prepared here: join the abort quorum and
+                // resolve locally as aborted.
+                let servers: Vec<ServerId> = fam.servers.iter().copied().collect();
+                fam.mark_subtree(&tid, TxnStatus::Aborted);
+                fam.role = Role::SubNb(SubNb {
+                    coordinator: from,
+                    info: camelot_net::msg::NbInfo {
+                        sites: vec![],
+                        yes_votes: vec![],
+                        commit_quorum: 0,
+                        abort_quorum: 0,
+                    },
+                    awaiting_local: BTreeSet::new(),
+                    local_update: false,
+                    phase: NbSubPhase::Resolved,
+                    outcome: Some(Outcome::Aborted),
+                    outcome_timer: None,
+                    joined: Some(QuorumKind::Abort),
+                    pending_ack_to: Some(from),
+                });
+                if !servers.is_empty() {
+                    out.push(Action::ServerAbort {
+                        tid: tid.clone(),
+                        servers,
+                    });
+                }
+                out.push(Action::Append {
+                    rec: LogRecord::Abort { tid: tid.clone() },
+                });
+                let token = self.alloc_force(ForcePurpose::NbSubAbortJoin(family));
+                self.stats.forces += 1;
+                self.record_resolution(family, Outcome::Aborted);
+                out.push(Action::Force {
+                    rec: LogRecord::NbQuorum {
+                        tid,
+                        kind: QuorumKind::Abort,
+                    },
+                    token,
+                });
+            }
+            Role::SubNb(s) => {
+                if s.joined == Some(QuorumKind::Commit)
+                    || matches!(
+                        s.phase,
+                        NbSubPhase::Replicated | NbSubPhase::CommitAwaitDurable
+                    )
+                {
+                    self.send(
+                        out,
+                        from,
+                        TmMessage::NbAbortJoinResp {
+                            tid,
+                            from: me,
+                            joined: false,
+                        },
+                    );
+                    return;
+                }
+                if s.joined == Some(QuorumKind::Abort) {
+                    self.send(
+                        out,
+                        from,
+                        TmMessage::NbAbortJoinResp {
+                            tid,
+                            from: me,
+                            joined: true,
+                        },
+                    );
+                    return;
+                }
+                if matches!(s.phase, NbSubPhase::Resolved) {
+                    let joined = s.outcome == Some(Outcome::Aborted);
+                    self.send(
+                        out,
+                        from,
+                        TmMessage::NbAbortJoinResp {
+                            tid,
+                            from: me,
+                            joined,
+                        },
+                    );
+                    return;
+                }
+                // Prepared and unjoined: force the join record.
+                s.pending_ack_to = Some(from);
+                let token = self.alloc_force(ForcePurpose::NbSubAbortJoin(family));
+                self.stats.forces += 1;
+                out.push(Action::Force {
+                    rec: LogRecord::NbQuorum {
+                        tid,
+                        kind: QuorumKind::Abort,
+                    },
+                    token,
+                });
+            }
+            Role::Takeover(t) => {
+                let joined = match t.joined {
+                    Some(QuorumKind::Commit) => false,
+                    Some(QuorumKind::Abort) => true,
+                    None if t.self_state == NbSiteState::Replicated => false,
+                    None => {
+                        // Join their abort quorum (abandoning our own
+                        // commit ambitions is safe: we had none — we
+                        // are not replicated).
+                        t.joined = Some(QuorumKind::Abort);
+                        t.abort_joined.insert(me);
+                        out.push(Action::Append {
+                            rec: LogRecord::NbQuorum {
+                                tid: tid.clone(),
+                                kind: QuorumKind::Abort,
+                            },
+                        });
+                        true
+                    }
+                };
+                self.send(
+                    out,
+                    from,
+                    TmMessage::NbAbortJoinResp {
+                        tid,
+                        from: me,
+                        joined,
+                    },
+                );
+            }
+            _ => {
+                self.send(
+                    out,
+                    from,
+                    TmMessage::NbAbortJoinResp {
+                        tid,
+                        from: me,
+                        joined: false,
+                    },
+                );
+            }
+        }
+    }
+
+    /// A subordinate's abort-join record became durable: reply.
+    pub(crate) fn subnb_abort_join_forced(&mut self, out: &mut Vec<Action>, family: FamilyId) {
+        let Some(fam) = self.families.get_mut(&family) else {
+            return;
+        };
+        let tid = fam.top_tid();
+        let Role::SubNb(s) = &mut fam.role else {
+            return;
+        };
+        s.joined = Some(QuorumKind::Abort);
+        let to = s.pending_ack_to.take();
+        // A prepared site that joined the abort quorum resolves as
+        // aborted once the takeover coordinator announces; until then
+        // it stays prepared (locks held) — joining is a promise not to
+        // commit, not an abort.
+        let me = self.site;
+        if let Some(to) = to {
+            self.send(
+                out,
+                to,
+                TmMessage::NbAbortJoinResp {
+                    tid,
+                    from: me,
+                    joined: true,
+                },
+            );
+        }
+    }
+
+    /// An abort-join reply reached the takeover coordinator.
+    pub(crate) fn takeover_abort_join_resp(
+        &mut self,
+        out: &mut Vec<Action>,
+        tid: camelot_types::Tid,
+        from: SiteId,
+        joined: bool,
+        now: Time,
+    ) {
+        let family = tid.family;
+        let Some(fam) = self.families.get_mut(&family) else {
+            return;
+        };
+        let Role::Takeover(t) = &mut fam.role else {
+            return;
+        };
+        if !matches!(t.phase, TakeoverPhase::RecruitAbort) {
+            return;
+        }
+        if joined {
+            t.abort_joined.insert(from);
+            if t.abort_joined.len() >= t.info.abort_quorum as usize {
+                self.takeover_finish(out, family, Outcome::Aborted, now);
+            }
+        } else {
+            // A refusal means a commit-quorum member exists after all;
+            // restart gathering to find it.
+            let timer = t.timer.take();
+            self.cancel_timer(out, timer);
+            self.begin_gathering(out, family, now);
+        }
+    }
+
+    /// The takeover decided (or adopted) an outcome.
+    pub(crate) fn takeover_finish(
+        &mut self,
+        out: &mut Vec<Action>,
+        family: FamilyId,
+        outcome: Outcome,
+        now: Time,
+    ) {
+        let Some(fam) = self.families.get_mut(&family) else {
+            return;
+        };
+        let tid = fam.top_tid();
+        let Role::Takeover(t) = &mut fam.role else {
+            return;
+        };
+        if matches!(
+            t.phase,
+            TakeoverPhase::Announcing { .. }
+                | TakeoverPhase::ForcingCommit
+                | TakeoverPhase::ForcingAbortJoin
+        ) {
+            return; // Already finishing.
+        }
+        let timer = t.timer.take();
+        match outcome {
+            Outcome::Committed => {
+                t.phase = TakeoverPhase::ForcingCommit;
+                self.cancel_timer(out, timer);
+                let token = self.alloc_force(ForcePurpose::TkCommit(family));
+                self.stats.forces += 1;
+                out.push(Action::Force {
+                    rec: LogRecord::Commit { tid, subs: vec![] },
+                    token,
+                });
+            }
+            Outcome::Aborted => {
+                self.cancel_timer(out, timer);
+                let servers: Vec<ServerId> = self
+                    .families
+                    .get(&family)
+                    .map(|f| f.servers.iter().copied().collect())
+                    .unwrap_or_default();
+                out.push(Action::Append {
+                    rec: LogRecord::Abort { tid: tid.clone() },
+                });
+                if !servers.is_empty() {
+                    out.push(Action::ServerAbort {
+                        tid: tid.clone(),
+                        servers,
+                    });
+                }
+                self.record_resolution(family, Outcome::Aborted);
+                self.takeover_announce(out, family, Outcome::Aborted, now);
+            }
+        }
+    }
+
+    /// The takeover coordinator's commit record is durable.
+    pub(crate) fn takeover_commit_forced(
+        &mut self,
+        out: &mut Vec<Action>,
+        family: FamilyId,
+        now: Time,
+    ) {
+        let Some(fam) = self.families.get_mut(&family) else {
+            return;
+        };
+        let tid = fam.top_tid();
+        let servers: Vec<ServerId> = fam.servers.iter().copied().collect();
+        let Role::Takeover(t) = &mut fam.role else {
+            return;
+        };
+        if !matches!(t.phase, TakeoverPhase::ForcingCommit) {
+            return;
+        }
+        let local_update = t.local_update;
+        if local_update && !servers.is_empty() {
+            out.push(Action::ServerCommit { tid, servers });
+        }
+        self.record_resolution(family, Outcome::Committed);
+        self.takeover_announce(out, family, Outcome::Committed, now);
+    }
+
+    /// Broadcast the decided outcome and collect acknowledgements.
+    fn takeover_announce(
+        &mut self,
+        out: &mut Vec<Action>,
+        family: FamilyId,
+        outcome: Outcome,
+        _now: Time,
+    ) {
+        let Some(fam) = self.families.get_mut(&family) else {
+            return;
+        };
+        let tid = fam.top_tid();
+        let Role::Takeover(t) = &mut fam.role else {
+            return;
+        };
+        let peers: BTreeSet<SiteId> = t
+            .info
+            .sites
+            .iter()
+            .copied()
+            .filter(|s| *s != self.site)
+            .collect();
+        t.phase = TakeoverPhase::Announcing {
+            awaiting_acks: peers.clone(),
+            outcome,
+        };
+        let timer = self.alloc_timer(TimerPurpose::NotifyResend(family));
+        let interval = self.config.notify_resend_interval;
+        if let Some(fam) = self.families.get_mut(&family) {
+            if let Role::Takeover(t) = &mut fam.role {
+                t.timer = Some(timer);
+            }
+        }
+        self.broadcast(
+            out,
+            peers.into_iter().collect(),
+            TmMessage::NbOutcome { tid, outcome },
+        );
+        out.push(Action::SetTimer {
+            token: timer,
+            after: interval,
+        });
+    }
+}

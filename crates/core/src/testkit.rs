@@ -1,0 +1,488 @@
+//! Protocol test harness: wires several engines to in-memory logs and
+//! an instantaneous network, with manual control over virtual time,
+//! crashes and partitions.
+//!
+//! This is the tool for *protocol-logic* testing (including the
+//! property-based failure-injection suites in `tests/`): messages
+//! deliver instantly, forces complete synchronously, and timers fire
+//! only when the test asks. The latency-faithful simulation lives in
+//! `camelot-node`.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+use camelot_net::{Outcome, TmMessage, Vote};
+use camelot_types::{AbortReason, FamilyId, ServerId, SiteId, Tid, Time};
+use camelot_wal::{LogRecord, MemStore, Wal};
+
+use crate::config::{CommitMode, EngineConfig};
+use crate::engine::Engine;
+use crate::io::{Action, ForceToken, Input, TimerToken};
+
+/// One simulated site: engine + log + pending lazy appends.
+pub struct SiteBox {
+    pub engine: Engine,
+    pub wal: Wal<MemStore>,
+    /// Tokens of lazily appended records not yet durable.
+    pub lazy: Vec<ForceToken>,
+    /// Servers the harness auto-votes for: map server -> vote.
+    pub auto_votes: HashMap<ServerId, Vote>,
+}
+
+/// Scheduled timer entry.
+struct TimerEntry {
+    at: Time,
+    site: SiteId,
+    token: TimerToken,
+    cancelled: bool,
+}
+
+/// The harness.
+pub struct Net {
+    pub sites: HashMap<SiteId, SiteBox>,
+    queue: VecDeque<(SiteId, Input)>,
+    timers: Vec<TimerEntry>,
+    pub now: Time,
+    pub down: BTreeSet<SiteId>,
+    /// Partition groups: messages cross only within a group. Empty
+    /// means fully connected.
+    pub partition: Vec<BTreeSet<SiteId>>,
+    /// Deterministic message loss: drop every `drop_every`-th
+    /// datagram (0 = lossless). The protocols' timeout/retry
+    /// machinery must recover.
+    pub drop_every: usize,
+    datagram_count: usize,
+    pub dropped: usize,
+    /// Application-visible actions, in order.
+    pub events: Vec<(SiteId, Action)>,
+    next_req: u64,
+}
+
+impl Net {
+    /// Builds `n` sites with ids 1..=n, all using `config`.
+    pub fn new(n: u32, config: EngineConfig) -> Net {
+        let mut sites = HashMap::new();
+        for i in 1..=n {
+            let id = SiteId(i);
+            sites.insert(
+                id,
+                SiteBox {
+                    engine: Engine::new(id, config.clone()),
+                    wal: Wal::new(MemStore::new()),
+                    lazy: Vec::new(),
+                    auto_votes: HashMap::new(),
+                },
+            );
+        }
+        Net {
+            sites,
+            queue: VecDeque::new(),
+            timers: Vec::new(),
+            now: Time::ZERO,
+            down: BTreeSet::new(),
+            partition: Vec::new(),
+            drop_every: 0,
+            datagram_count: 0,
+            dropped: 0,
+            events: Vec::new(),
+            next_req: 100,
+        }
+    }
+
+    pub fn next_req(&mut self) -> u64 {
+        self.next_req += 1;
+        self.next_req
+    }
+
+    fn connected(&self, a: SiteId, b: SiteId) -> bool {
+        if self.partition.is_empty() {
+            return true;
+        }
+        self.partition
+            .iter()
+            .any(|g| g.contains(&a) && g.contains(&b))
+    }
+
+    /// Feeds one input and runs to quiescence (all queued inputs
+    /// processed; timers stay pending).
+    pub fn inject(&mut self, site: SiteId, input: Input) {
+        self.queue.push_back((site, input));
+        self.drain();
+    }
+
+    /// Processes queued inputs until none remain.
+    pub fn drain(&mut self) {
+        while let Some((site, input)) = self.queue.pop_front() {
+            if self.down.contains(&site) {
+                continue;
+            }
+            let now = self.now;
+            let actions = {
+                let sb = self.sites.get_mut(&site).expect("site exists");
+                sb.engine.handle(input, now)
+            };
+            for a in actions {
+                self.apply(site, a);
+            }
+        }
+    }
+
+    fn apply(&mut self, site: SiteId, action: Action) {
+        match action {
+            Action::Send { to, msg, piggyback } => {
+                self.deliver(site, to, msg);
+                for m in piggyback {
+                    self.deliver(site, to, m);
+                }
+            }
+            Action::Broadcast { to, msg } => {
+                for dst in to {
+                    self.deliver(site, dst, msg.clone());
+                }
+            }
+            Action::Force { rec, token } => {
+                let sb = self.sites.get_mut(&site).expect("site exists");
+                sb.wal.append(&rec).expect("append");
+                sb.wal.force().expect("force");
+                // A platter write covers lazily appended records too.
+                let lazy = std::mem::take(&mut sb.lazy);
+                self.queue.push_back((site, Input::LogForced { token }));
+                for t in lazy {
+                    self.queue.push_back((site, Input::LogDurable { token: t }));
+                }
+            }
+            Action::AppendNotify { rec, token } => {
+                let sb = self.sites.get_mut(&site).expect("site exists");
+                sb.wal.append(&rec).expect("append");
+                sb.lazy.push(token);
+            }
+            Action::Append { rec } => {
+                let sb = self.sites.get_mut(&site).expect("site exists");
+                sb.wal.append(&rec).expect("append");
+            }
+            Action::RelayAbort { .. } => {
+                // The testkit has no communication managers; relaying
+                // is exercised by the node and rt runtimes. Recorded
+                // for assertions.
+            }
+            Action::SetTimer { token, after } => {
+                self.timers.push(TimerEntry {
+                    at: self.now + after,
+                    site,
+                    token,
+                    cancelled: false,
+                });
+            }
+            Action::CancelTimer { token } => {
+                for t in &mut self.timers {
+                    if t.site == site && t.token == token {
+                        t.cancelled = true;
+                    }
+                }
+            }
+            Action::AskVote { tid, servers } => {
+                // Auto-vote according to the configured per-server
+                // votes (default: read-only).
+                let sb = self.sites.get_mut(&site).expect("site exists");
+                let votes: Vec<(ServerId, Vote)> = servers
+                    .iter()
+                    .map(|s| (*s, sb.auto_votes.get(s).copied().unwrap_or(Vote::ReadOnly)))
+                    .collect();
+                for (server, vote) in votes {
+                    self.queue.push_back((
+                        site,
+                        Input::ServerVote {
+                            tid: tid.clone(),
+                            server,
+                            vote,
+                        },
+                    ));
+                }
+            }
+            other @ (Action::Began { .. }
+            | Action::Resolved { .. }
+            | Action::Rejected { .. }
+            | Action::ServerCommit { .. }
+            | Action::ServerAbort { .. }
+            | Action::ServerSubCommit { .. }
+            | Action::ServerSubAbort { .. }) => {
+                self.events.push((site, other));
+            }
+        }
+    }
+
+    fn deliver(&mut self, from: SiteId, to: SiteId, msg: TmMessage) {
+        if self.down.contains(&to) || self.down.contains(&from) {
+            return;
+        }
+        if !self.connected(from, to) {
+            return;
+        }
+        self.datagram_count += 1;
+        if self.drop_every > 0 && self.datagram_count % self.drop_every == 0 {
+            self.dropped += 1;
+            return;
+        }
+        self.queue.push_back((to, Input::Datagram { from, msg }));
+    }
+
+    /// Flushes all pending lazy appends at `site` (a background
+    /// platter write).
+    pub fn flush_lazy(&mut self, site: SiteId) {
+        let sb = self.sites.get_mut(&site).expect("site exists");
+        sb.wal.force().expect("force");
+        let lazy = std::mem::take(&mut sb.lazy);
+        for t in lazy {
+            self.queue.push_back((site, Input::LogDurable { token: t }));
+        }
+        self.drain();
+    }
+
+    /// Fires the earliest pending timer (advancing virtual time) and
+    /// drains. Returns false if no timers remain.
+    pub fn fire_next_timer(&mut self) -> bool {
+        self.timers.retain(|t| !t.cancelled);
+        let Some(idx) = self
+            .timers
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !self.down.contains(&t.site))
+            .min_by_key(|(_, t)| (t.at, t.site, t.token.0))
+            .map(|(i, _)| i)
+        else {
+            return false;
+        };
+        let t = self.timers.remove(idx);
+        self.now = self.now.max(t.at);
+        self.queue
+            .push_back((t.site, Input::TimerFired { token: t.token }));
+        self.drain();
+        true
+    }
+
+    /// Fires timers until none remain or `limit` firings happened.
+    pub fn run_timers(&mut self, limit: usize) {
+        for _ in 0..limit {
+            if !self.fire_next_timer() {
+                return;
+            }
+        }
+    }
+
+    /// Crashes a site: volatile state is lost; the log keeps only the
+    /// forced prefix.
+    pub fn crash(&mut self, site: SiteId) {
+        self.down.insert(site);
+        let sb = self.sites.get_mut(&site).expect("site exists");
+        sb.wal.store_mut().crash();
+        sb.lazy.clear();
+        self.timers.retain(|t| t.site != site);
+    }
+
+    /// Restarts a crashed site: rebuild the engine from the durable
+    /// log via recovery.
+    pub fn restart(&mut self, site: SiteId, config: EngineConfig) {
+        self.down.remove(&site);
+        let records = {
+            let sb = self.sites.get_mut(&site).expect("site exists");
+            sb.wal.recover().expect("recover")
+        };
+        let (engine, actions) = Engine::recover(site, config, &records);
+        let sb = self.sites.get_mut(&site).expect("site exists");
+        sb.engine = engine;
+        for a in actions {
+            self.apply(site, a);
+        }
+        self.drain();
+    }
+
+    // ---------------- High-level workload helpers ----------------
+
+    /// Begins a transaction at `site`, returning its tid.
+    pub fn begin(&mut self, site: SiteId) -> Tid {
+        let req = self.next_req();
+        self.inject(site, Input::Begin { req });
+        match self.find_event(site, req) {
+            Some(Action::Began { tid, .. }) => tid.clone(),
+            other => panic!("begin failed: {other:?}"),
+        }
+    }
+
+    /// Registers an update operation at (site, server): the server
+    /// joins and will vote yes.
+    pub fn update_op(&mut self, site: SiteId, server: ServerId, tid: &Tid) {
+        self.sites
+            .get_mut(&site)
+            .expect("site exists")
+            .auto_votes
+            .insert(server, Vote::Yes);
+        self.inject(
+            site,
+            Input::Join {
+                tid: tid.clone(),
+                server,
+            },
+        );
+    }
+
+    /// Registers a read-only operation at (site, server).
+    pub fn read_op(&mut self, site: SiteId, server: ServerId, tid: &Tid) {
+        self.sites
+            .get_mut(&site)
+            .expect("site exists")
+            .auto_votes
+            .entry(server)
+            .or_insert(Vote::ReadOnly);
+        self.inject(
+            site,
+            Input::Join {
+                tid: tid.clone(),
+                server,
+            },
+        );
+    }
+
+    /// Makes a server veto the next prepare.
+    pub fn veto_op(&mut self, site: SiteId, server: ServerId, tid: &Tid) {
+        self.sites
+            .get_mut(&site)
+            .expect("site exists")
+            .auto_votes
+            .insert(server, Vote::No);
+        self.inject(
+            site,
+            Input::Join {
+                tid: tid.clone(),
+                server,
+            },
+        );
+    }
+
+    /// Issues commit-transaction and returns the request id.
+    pub fn commit(
+        &mut self,
+        site: SiteId,
+        tid: &Tid,
+        mode: CommitMode,
+        participants: Vec<SiteId>,
+    ) -> u64 {
+        let req = self.next_req();
+        self.inject(
+            site,
+            Input::CommitTop {
+                req,
+                tid: tid.clone(),
+                mode,
+                participants,
+            },
+        );
+        req
+    }
+
+    /// Issues abort-transaction and returns the request id.
+    pub fn abort(&mut self, site: SiteId, tid: &Tid, participants: Vec<SiteId>) -> u64 {
+        let req = self.next_req();
+        self.inject(
+            site,
+            Input::AbortTx {
+                req,
+                tid: tid.clone(),
+                reason: AbortReason::Application,
+                participants,
+            },
+        );
+        req
+    }
+
+    /// Finds the app-visible completion for a request id at a site.
+    pub fn find_event(&self, site: SiteId, req: u64) -> Option<&Action> {
+        self.events.iter().rev().find_map(|(s, a)| {
+            if *s != site {
+                return None;
+            }
+            match a {
+                Action::Began { req: r, .. }
+                | Action::Resolved { req: r, .. }
+                | Action::Rejected { req: r, .. }
+                    if *r == req =>
+                {
+                    Some(a)
+                }
+                _ => None,
+            }
+        })
+    }
+
+    /// The outcome a request resolved with, if it resolved.
+    pub fn outcome_of(&self, site: SiteId, req: u64) -> Option<Outcome> {
+        match self.find_event(site, req) {
+            Some(Action::Resolved { outcome, .. }) => Some(*outcome),
+            _ => None,
+        }
+    }
+
+    /// True if `ServerCommit` was delivered for `tid` at `site`.
+    pub fn server_committed(&self, site: SiteId, tid: &Tid) -> bool {
+        self.events.iter().any(|(s, a)| {
+            *s == site && matches!(a, Action::ServerCommit { tid: t, .. } if t.family == tid.family)
+        })
+    }
+
+    /// True if `ServerAbort` was delivered for `tid` at `site`.
+    pub fn server_aborted(&self, site: SiteId, tid: &Tid) -> bool {
+        self.events.iter().any(|(s, a)| {
+            *s == site && matches!(a, Action::ServerAbort { tid: t, .. } if t.family == tid.family)
+        })
+    }
+
+    /// The engine at a site (immutable).
+    pub fn engine(&self, site: SiteId) -> &Engine {
+        &self.sites.get(&site).expect("site exists").engine
+    }
+
+    /// Effective forces at a site's log.
+    pub fn forces(&self, site: SiteId) -> u64 {
+        self.sites
+            .get(&site)
+            .expect("site exists")
+            .wal
+            .stats()
+            .forces_effective
+    }
+
+    /// Asserts every site that resolved `family` agrees on `outcome`,
+    /// and at least `min_sites` resolved it.
+    pub fn assert_agreement(&self, family: &FamilyId, outcome: Outcome, min_sites: usize) {
+        let mut resolved = 0;
+        for (id, sb) in &self.sites {
+            if let Some(o) = sb.engine.resolution(family) {
+                assert_eq!(o, outcome, "site {id} disagrees on {family}");
+                resolved += 1;
+            }
+        }
+        assert!(
+            resolved >= min_sites,
+            "only {resolved} sites resolved {family}, wanted >= {min_sites}"
+        );
+    }
+
+    /// Asserts no site resolved the family with `outcome`'s opposite —
+    /// used for split-brain checks without requiring resolution.
+    pub fn assert_no_conflict(&self, family: &FamilyId) {
+        let mut seen: Option<Outcome> = None;
+        for (id, sb) in &self.sites {
+            if let Some(o) = sb.engine.resolution(family) {
+                match seen {
+                    None => seen = Some(o),
+                    Some(prev) => {
+                        assert_eq!(prev, o, "sites disagree on {family} (at {id})")
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Convenience constructor for records in tests.
+pub fn abort_rec(tid: &Tid) -> LogRecord {
+    LogRecord::Abort { tid: tid.clone() }
+}

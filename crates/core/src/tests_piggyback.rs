@@ -1,0 +1,182 @@
+//! Tests of message batching (piggybacking): "Camelot batches only
+//! those messages that are not in the critical path" (§4.2). Commit
+//! acknowledgements queue per destination, ride on the next datagram
+//! to that destination, and are flushed by a timer when no carrier
+//! appears.
+
+use camelot_net::TmMessage;
+use camelot_types::{ServerId, SiteId, Time};
+
+use crate::config::{CommitMode, EngineConfig, TwoPhaseVariant};
+use crate::io::{Action, Input};
+use crate::testkit::Net;
+
+const S1: SiteId = SiteId(1);
+const S2: SiteId = SiteId(2);
+const SRV: ServerId = ServerId(1);
+
+/// Runs one distributed commit at the subordinate and captures the
+/// raw actions its engine emits for the commit notice, so the
+/// piggyback envelope is visible.
+#[test]
+fn commit_ack_rides_on_next_outgoing_datagram() {
+    // Subordinate engine, driven directly.
+    let mut eng = crate::engine::Engine::new(S2, EngineConfig::default());
+    let fam_tid = camelot_types::Tid::top_level(camelot_types::FamilyId { origin: S1, seq: 1 });
+    // Join + prepare + vote yes.
+    eng.handle(
+        Input::Join {
+            tid: fam_tid.clone(),
+            server: SRV,
+        },
+        Time::ZERO,
+    );
+    let acts = eng.handle(
+        Input::Datagram {
+            from: S1,
+            msg: TmMessage::Prepare {
+                tid: fam_tid.clone(),
+                coordinator: S1,
+            },
+        },
+        Time::ZERO,
+    );
+    assert!(matches!(acts[0], Action::AskVote { .. }));
+    let acts = eng.handle(
+        Input::ServerVote {
+            tid: fam_tid.clone(),
+            server: SRV,
+            vote: camelot_net::Vote::Yes,
+        },
+        Time::ZERO,
+    );
+    let force = acts
+        .iter()
+        .find_map(|a| match a {
+            Action::Force { token, .. } => Some(*token),
+            _ => None,
+        })
+        .expect("prepared force");
+    eng.handle(Input::LogForced { token: force }, Time::ZERO);
+    // Commit notice: locks drop, lazy commit record appended.
+    let acts = eng.handle(
+        Input::Datagram {
+            from: S1,
+            msg: TmMessage::Commit {
+                tid: fam_tid.clone(),
+            },
+        },
+        Time::ZERO,
+    );
+    let lazy = acts
+        .iter()
+        .find_map(|a| match a {
+            Action::AppendNotify { token, .. } => Some(*token),
+            _ => None,
+        })
+        .expect("lazy commit record");
+    // Record becomes durable: the ack is QUEUED (no immediate Send),
+    // only a flush timer appears.
+    let acts = eng.handle(Input::LogDurable { token: lazy }, Time::ZERO);
+    assert!(
+        !acts.iter().any(|a| matches!(a, Action::Send { .. })),
+        "ack must not travel alone: {acts:?}"
+    );
+    let flush_timer = acts
+        .iter()
+        .find_map(|a| match a {
+            Action::SetTimer { token, .. } => Some(*token),
+            _ => None,
+        })
+        .expect("ack flush timer armed");
+    // A second transaction's vote to the same coordinator now carries
+    // the ack as piggyback.
+    let tid2 = camelot_types::Tid::top_level(camelot_types::FamilyId { origin: S1, seq: 2 });
+    eng.handle(
+        Input::Join {
+            tid: tid2.clone(),
+            server: SRV,
+        },
+        Time::ZERO,
+    );
+    eng.handle(
+        Input::Datagram {
+            from: S1,
+            msg: TmMessage::Prepare {
+                tid: tid2.clone(),
+                coordinator: S1,
+            },
+        },
+        Time::ZERO,
+    );
+    let acts = eng.handle(
+        Input::ServerVote {
+            tid: tid2.clone(),
+            server: SRV,
+            vote: camelot_net::Vote::ReadOnly,
+        },
+        Time::ZERO,
+    );
+    let send = acts
+        .iter()
+        .find_map(|a| match a {
+            Action::Send { to, msg, piggyback } => Some((*to, msg.clone(), piggyback.clone())),
+            _ => None,
+        })
+        .expect("vote datagram");
+    assert_eq!(send.0, S1);
+    assert!(matches!(send.1, TmMessage::VoteMsg { .. }));
+    assert_eq!(send.2.len(), 1, "the queued ack rides along");
+    assert!(matches!(send.2[0], TmMessage::CommitAck { .. }));
+    // The flush timer later fires with nothing queued: no-op.
+    let acts = eng.handle(Input::TimerFired { token: flush_timer }, Time::ZERO);
+    assert!(
+        !acts.iter().any(|a| matches!(a, Action::Send { .. })),
+        "drained queue flushes nothing"
+    );
+}
+
+#[test]
+fn ack_flush_timer_bounds_the_delay() {
+    // With no carrier traffic, the timer flushes the ack in its own
+    // datagram after at most `ack_flush_interval`.
+    let mut net = Net::new(2, EngineConfig::default());
+    let tid = net.begin(S1);
+    net.update_op(S1, SRV, &tid);
+    net.update_op(S2, SRV, &tid);
+    net.commit(S1, &tid, CommitMode::TwoPhase, vec![S2]);
+    net.flush_lazy(S2);
+    // Ack queued at S2; coordinator still waiting.
+    assert_eq!(net.engine(S1).live_families(), 1);
+    // One flush timer firing delivers it.
+    net.run_timers(3);
+    assert_eq!(net.engine(S1).live_families(), 0);
+}
+
+#[test]
+fn unoptimized_config_sends_acks_immediately() {
+    let mut net = Net::new(2, EngineConfig::for_variant(TwoPhaseVariant::Unoptimized));
+    let tid = net.begin(S1);
+    net.update_op(S1, SRV, &tid);
+    net.update_op(S2, SRV, &tid);
+    net.commit(S1, &tid, CommitMode::TwoPhase, vec![S2]);
+    // No timers needed: the ack traveled immediately.
+    assert_eq!(net.engine(S1).live_families(), 0);
+}
+
+#[test]
+fn piggyback_statistics_are_counted() {
+    let mut net = Net::new(2, EngineConfig::default());
+    for _ in 0..5 {
+        let tid = net.begin(S1);
+        net.update_op(S1, SRV, &tid);
+        net.update_op(S2, SRV, &tid);
+        net.commit(S1, &tid, CommitMode::TwoPhase, vec![S2]);
+    }
+    net.flush_lazy(S2);
+    net.run_timers(40);
+    let s2 = net.engine(S2).stats();
+    // Back-to-back transactions give the acks carriers: at least some
+    // must have been piggybacked rather than flushed alone.
+    assert!(s2.piggybacked >= 1, "expected piggybacked acks, got {s2:?}");
+}

@@ -1,0 +1,271 @@
+//! Protocol tests: restart recovery of transaction-manager state
+//! (`Engine::recover`) for every log shape the protocols can leave
+//! behind.
+
+use camelot_net::{Outcome, TmMessage};
+use camelot_types::{FamilyId, ServerId, SiteId, Tid};
+use camelot_wal::record::ReplicationInfo;
+use camelot_wal::LogRecord;
+
+use crate::config::{CommitMode, EngineConfig};
+use crate::engine::Engine;
+use crate::io::{Action, Input};
+use crate::testkit::Net;
+
+const S1: SiteId = SiteId(1);
+const S2: SiteId = SiteId(2);
+const SRV: ServerId = ServerId(1);
+
+fn recover(site: SiteId, recs: Vec<LogRecord>) -> (Engine, Vec<Action>) {
+    let records: Vec<(camelot_types::Lsn, LogRecord)> = recs
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| (camelot_types::Lsn(i as u64 * 100), r))
+        .collect();
+    Engine::recover(site, EngineConfig::default(), &records)
+}
+
+fn tid(origin: u32, seq: u64) -> Tid {
+    Tid::top_level(FamilyId {
+        origin: SiteId(origin),
+        seq,
+    })
+}
+
+#[test]
+fn empty_log_recovers_empty_engine() {
+    let (engine, actions) = recover(S1, vec![]);
+    assert_eq!(engine.live_families(), 0);
+    assert!(actions.is_empty());
+}
+
+#[test]
+fn committed_with_end_record_needs_nothing() {
+    let t = tid(1, 1);
+    let (engine, actions) = recover(
+        S1,
+        vec![
+            LogRecord::Commit {
+                tid: t.clone(),
+                subs: vec![S2],
+            },
+            LogRecord::End { tid: t.clone() },
+        ],
+    );
+    assert_eq!(engine.live_families(), 0);
+    assert!(actions.is_empty());
+    assert_eq!(engine.resolution(&t.family), Some(Outcome::Committed));
+}
+
+#[test]
+fn coordinator_mid_notify_resends_commit() {
+    let t = tid(1, 2);
+    let (engine, actions) = recover(
+        S1,
+        vec![LogRecord::Commit {
+            tid: t.clone(),
+            subs: vec![S2],
+        }],
+    );
+    assert_eq!(engine.live_families(), 1);
+    // It must re-announce the commit to the unacked subordinate and
+    // arm the resend timer.
+    assert!(actions.iter().any(|a| matches!(
+        a,
+        Action::Send { to, msg: TmMessage::Commit { .. }, .. } if *to == S2
+    )));
+    assert!(actions.iter().any(|a| matches!(a, Action::SetTimer { .. })));
+}
+
+#[test]
+fn prepared_subordinate_inquires() {
+    let t = tid(2, 3); // Family origin is site 2: that's the coordinator.
+    let (engine, actions) = recover(
+        S1,
+        vec![
+            LogRecord::ServerUpdate {
+                tid: t.clone(),
+                server: SRV,
+                object: camelot_types::ObjectId(1),
+                old: vec![],
+                new: vec![1],
+            },
+            LogRecord::Prepared {
+                tid: t.clone(),
+                coordinator: S2,
+            },
+        ],
+    );
+    assert_eq!(engine.live_families(), 1);
+    assert!(actions.iter().any(|a| matches!(
+        a,
+        Action::Send { to, msg: TmMessage::Inquire { .. }, .. } if *to == S2
+    )));
+}
+
+#[test]
+fn active_unprepared_transaction_presumed_aborted() {
+    let t = tid(2, 4);
+    let (engine, actions) = recover(
+        S1,
+        vec![LogRecord::ServerUpdate {
+            tid: t.clone(),
+            server: SRV,
+            object: camelot_types::ObjectId(1),
+            old: vec![],
+            new: vec![1],
+        }],
+    );
+    assert_eq!(engine.live_families(), 0);
+    assert_eq!(engine.resolution(&t.family), Some(Outcome::Aborted));
+    assert!(actions.iter().any(|a| matches!(
+        a,
+        Action::Append {
+            rec: LogRecord::Abort { .. }
+        }
+    )));
+}
+
+#[test]
+fn nb_replicated_subordinate_arms_takeover_timer() {
+    let t = tid(2, 5);
+    let info = ReplicationInfo {
+        sites: vec![S2, S1],
+        yes_votes: vec![S2, S1],
+        commit_quorum: 2,
+        abort_quorum: 1,
+    };
+    let (engine, actions) = recover(
+        S1,
+        vec![
+            LogRecord::NbPrepared {
+                tid: t.clone(),
+                coordinator: S2,
+                sites: vec![S2, S1],
+            },
+            LogRecord::NbReplicate {
+                tid: t.clone(),
+                info,
+            },
+        ],
+    );
+    assert_eq!(engine.live_families(), 1);
+    let v = engine.family_view(&t.family).unwrap();
+    assert_eq!(v.phase, crate::family::FamilyPhase::Replicated);
+    assert!(actions.iter().any(|a| matches!(a, Action::SetTimer { .. })));
+}
+
+#[test]
+fn nb_coordinator_mid_protocol_starts_takeover() {
+    let t = tid(1, 6);
+    let info = ReplicationInfo {
+        sites: vec![S1, S2],
+        yes_votes: vec![],
+        commit_quorum: 2,
+        abort_quorum: 1,
+    };
+    let (engine, actions) = recover(
+        S1,
+        vec![LogRecord::NbBegin {
+            tid: t.clone(),
+            info,
+        }],
+    );
+    assert_eq!(engine.live_families(), 1);
+    let v = engine.family_view(&t.family).unwrap();
+    assert_eq!(v.role, "nb-takeover");
+    // It asks the other participant for status.
+    assert!(actions.iter().any(|a| matches!(
+        a,
+        Action::Send { to, msg: TmMessage::NbStatusReq { .. }, .. } if *to == S2
+    )));
+}
+
+#[test]
+fn family_sequence_not_reused_after_restart() {
+    let t = tid(1, 41);
+    let (mut engine, _) = recover(
+        S1,
+        vec![
+            LogRecord::Commit {
+                tid: t,
+                subs: vec![],
+            },
+            LogRecord::End { tid: tid(1, 41) },
+        ],
+    );
+    let actions = engine.handle(Input::Begin { req: 1 }, camelot_types::Time::ZERO);
+    match &actions[0] {
+        Action::Began { tid, .. } => {
+            assert!(
+                tid.family.seq > 41,
+                "sequence must move past the log: {tid}"
+            );
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn full_cycle_crash_all_sites_and_recover() {
+    // End-to-end through the testkit: commit distributed, crash BOTH
+    // sites, restart both, and check recovered engines are consistent
+    // and quiescent.
+    let mut net = Net::new(2, EngineConfig::default());
+    let tid = net.begin(S1);
+    net.update_op(S1, SRV, &tid);
+    net.update_op(S2, SRV, &tid);
+    let req = net.commit(S1, &tid, CommitMode::TwoPhase, vec![S2]);
+    assert_eq!(net.outcome_of(S1, req), Some(Outcome::Committed));
+    net.crash(S1);
+    net.crash(S2);
+    net.restart(S1, EngineConfig::default());
+    net.restart(S2, EngineConfig::default());
+    net.run_timers(30);
+    // The coordinator's commit record was forced, so it re-announces;
+    // the subordinate either still knows (prepared record) or treats
+    // the commit notice idempotently. Nobody may think "aborted".
+    net.assert_no_conflict(&tid.family);
+    assert_eq!(
+        net.engine(S1).resolution(&tid.family),
+        Some(Outcome::Committed)
+    );
+}
+
+#[test]
+fn subordinate_crash_after_prepare_recovers_to_commit() {
+    // The subordinate prepares (forced), crashes before the commit
+    // notice, restarts, inquires, and learns the commit.
+    let mut net = Net::new(2, EngineConfig::default());
+    let tid = net.begin(S1);
+    net.update_op(S2, SRV, &tid);
+    // Prepare S2 directly so the commit decision stays at S1.
+    net.inject(
+        S2,
+        Input::Datagram {
+            from: S1,
+            msg: TmMessage::Prepare {
+                tid: tid.clone(),
+                coordinator: S1,
+            },
+        },
+    );
+    // S1 processes the vote but its family has no commit call pending,
+    // so nothing resolves. Record a resolution at S1 by hand: instead,
+    // drive the real path — commit with S2 as participant.
+    // (S2 is already prepared; the duplicate prepare will be answered
+    // with the same yes vote.)
+    net.update_op(S1, SRV, &tid);
+    let req = net.commit(S1, &tid, CommitMode::TwoPhase, vec![S2]);
+    assert_eq!(net.outcome_of(S1, req), Some(Outcome::Committed));
+    // Crash S2 (its lazy commit record is lost; prepared record is
+    // durable), then restart: inquiry resolves to commit.
+    net.crash(S2);
+    net.restart(S2, EngineConfig::default());
+    net.run_timers(20);
+    assert_eq!(
+        net.engine(S2).resolution(&tid.family),
+        Some(Outcome::Committed)
+    );
+    net.assert_no_conflict(&tid.family);
+}

@@ -1,0 +1,324 @@
+//! Protocol tests: presumed-abort two-phase commit (paper §3.2).
+
+use camelot_net::Outcome;
+use camelot_types::{ServerId, SiteId};
+
+use crate::config::{CommitMode, EngineConfig, TwoPhaseVariant};
+use crate::family::FamilyPhase;
+use crate::io::Input;
+use crate::testkit::Net;
+
+const S1: SiteId = SiteId(1);
+const S2: SiteId = SiteId(2);
+const S3: SiteId = SiteId(3);
+const SRV: ServerId = ServerId(1);
+
+fn net(n: u32) -> Net {
+    Net::new(n, EngineConfig::default())
+}
+
+#[test]
+fn local_update_commit() {
+    let mut net = net(1);
+    let tid = net.begin(S1);
+    net.update_op(S1, SRV, &tid);
+    let req = net.commit(S1, &tid, CommitMode::TwoPhase, vec![]);
+    assert_eq!(net.outcome_of(S1, req), Some(Outcome::Committed));
+    assert!(net.server_committed(S1, &tid));
+    // One force: the commit record.
+    assert_eq!(net.forces(S1), 1);
+    assert_eq!(net.engine(S1).live_families(), 0, "family forgotten");
+}
+
+#[test]
+fn local_read_commit_writes_nothing() {
+    let mut net = net(1);
+    let tid = net.begin(S1);
+    net.read_op(S1, SRV, &tid);
+    let req = net.commit(S1, &tid, CommitMode::TwoPhase, vec![]);
+    assert_eq!(net.outcome_of(S1, req), Some(Outcome::Committed));
+    assert_eq!(net.forces(S1), 0, "read-only commit needs no log write");
+    assert_eq!(net.engine(S1).stats().read_only_commits, 1);
+}
+
+#[test]
+fn distributed_update_commit_optimized() {
+    let mut net = net(2);
+    let tid = net.begin(S1);
+    net.update_op(S1, SRV, &tid);
+    net.update_op(S2, SRV, &tid);
+    let req = net.commit(S1, &tid, CommitMode::TwoPhase, vec![S2]);
+    assert_eq!(net.outcome_of(S1, req), Some(Outcome::Committed));
+    assert!(net.server_committed(S1, &tid));
+    assert!(net.server_committed(S2, &tid), "subordinate dropped locks");
+    // Optimized: coordinator forces commit; subordinate forces only
+    // its prepared record (commit record is lazy).
+    assert_eq!(net.forces(S1), 1);
+    assert_eq!(net.forces(S2), 1);
+    // Subordinate holds the family until its lazy commit record is
+    // durable; the coordinator until the ack arrives.
+    assert_eq!(net.engine(S2).live_families(), 1, "awaiting durability");
+    assert_eq!(net.engine(S1).live_families(), 1, "awaiting commit-ack");
+    // Background platter write at S2 makes the record durable; the
+    // ack (piggybacked, flushed by timer) releases the coordinator.
+    net.flush_lazy(S2);
+    net.run_timers(4);
+    assert_eq!(
+        net.engine(S1).live_families(),
+        0,
+        "ack received, end written"
+    );
+}
+
+#[test]
+fn distributed_commit_unoptimized_forces_twice_at_sub() {
+    let mut net = Net::new(2, EngineConfig::for_variant(TwoPhaseVariant::Unoptimized));
+    let tid = net.begin(S1);
+    net.update_op(S1, SRV, &tid);
+    net.update_op(S2, SRV, &tid);
+    let req = net.commit(S1, &tid, CommitMode::TwoPhase, vec![S2]);
+    assert_eq!(net.outcome_of(S1, req), Some(Outcome::Committed));
+    // Unoptimized: subordinate forces prepared AND commit records —
+    // the extra force the §3.2 optimization removes.
+    assert_eq!(net.forces(S2), 2);
+    // Ack was immediate: coordinator already finished.
+    assert_eq!(net.engine(S1).live_families(), 0);
+}
+
+#[test]
+fn semioptimized_forces_but_delays_ack() {
+    let mut net = Net::new(2, EngineConfig::for_variant(TwoPhaseVariant::SemiOptimized));
+    let tid = net.begin(S1);
+    net.update_op(S1, SRV, &tid);
+    net.update_op(S2, SRV, &tid);
+    net.commit(S1, &tid, CommitMode::TwoPhase, vec![S2]);
+    assert_eq!(net.forces(S2), 2, "commit record forced");
+    // Ack delayed for piggybacking: coordinator still waiting.
+    assert_eq!(net.engine(S1).live_families(), 1);
+    net.run_timers(2); // Ack flush timer fires.
+    assert_eq!(net.engine(S1).live_families(), 0);
+}
+
+#[test]
+fn read_only_subordinate_is_excluded_from_phase_two() {
+    let mut net = net(3);
+    let tid = net.begin(S1);
+    net.update_op(S1, SRV, &tid);
+    net.update_op(S2, SRV, &tid);
+    net.read_op(S3, SRV, &tid);
+    let req = net.commit(S1, &tid, CommitMode::TwoPhase, vec![S2, S3]);
+    assert_eq!(net.outcome_of(S1, req), Some(Outcome::Committed));
+    // The read-only site dropped locks at vote time and wrote nothing.
+    assert_eq!(net.forces(S3), 0);
+    assert!(net.server_committed(S3, &tid));
+    assert_eq!(net.engine(S3).live_families(), 0);
+}
+
+#[test]
+fn fully_read_only_distributed_commit() {
+    let mut net = net(3);
+    let tid = net.begin(S1);
+    net.read_op(S1, SRV, &tid);
+    net.read_op(S2, SRV, &tid);
+    net.read_op(S3, SRV, &tid);
+    let req = net.commit(S1, &tid, CommitMode::TwoPhase, vec![S2, S3]);
+    assert_eq!(net.outcome_of(S1, req), Some(Outcome::Committed));
+    for s in [S1, S2, S3] {
+        assert_eq!(net.forces(s), 0, "{s}: read-only commit is log-free");
+    }
+}
+
+#[test]
+fn subordinate_veto_aborts_everywhere() {
+    let mut net = net(3);
+    let tid = net.begin(S1);
+    net.update_op(S1, SRV, &tid);
+    net.update_op(S2, SRV, &tid);
+    net.veto_op(S3, SRV, &tid);
+    let req = net.commit(S1, &tid, CommitMode::TwoPhase, vec![S2, S3]);
+    assert_eq!(net.outcome_of(S1, req), Some(Outcome::Aborted));
+    assert!(net.server_aborted(S1, &tid));
+    assert!(net.server_aborted(S3, &tid));
+    // S2 may have prepared before the abort arrived; either way it
+    // must end aborted.
+    net.assert_no_conflict(&tid.family);
+    // Presumed abort: no commit-protocol forces at the coordinator.
+    assert_eq!(net.forces(S1), 0);
+}
+
+#[test]
+fn local_server_veto_aborts_before_prepare_goes_out() {
+    let mut net = net(2);
+    let tid = net.begin(S1);
+    net.veto_op(S1, SRV, &tid);
+    net.update_op(S2, SRV, &tid);
+    let req = net.commit(S1, &tid, CommitMode::TwoPhase, vec![S2]);
+    assert_eq!(net.outcome_of(S1, req), Some(Outcome::Aborted));
+    // S2 was never prepared (abort datagram raced ahead of any
+    // prepare, or no prepare was sent at all since local collection
+    // runs first).
+    assert_eq!(net.forces(S2), 0);
+}
+
+#[test]
+fn commit_of_unknown_family_rejected() {
+    let mut net = net(1);
+    let tid = net.begin(S1);
+    net.abort(S1, &tid, vec![]);
+    let req = net.commit(S1, &tid, CommitMode::TwoPhase, vec![]);
+    assert!(matches!(
+        net.find_event(S1, req),
+        Some(crate::io::Action::Rejected { .. })
+    ));
+}
+
+#[test]
+fn double_commit_rejected() {
+    let mut net = net(1);
+    let tid = net.begin(S1);
+    net.update_op(S1, SRV, &tid);
+    let r1 = net.commit(S1, &tid, CommitMode::TwoPhase, vec![]);
+    assert_eq!(net.outcome_of(S1, r1), Some(Outcome::Committed));
+    let r2 = net.commit(S1, &tid, CommitMode::TwoPhase, vec![]);
+    assert!(matches!(
+        net.find_event(S1, r2),
+        Some(crate::io::Action::Rejected { .. })
+    ));
+}
+
+#[test]
+fn coordinator_crash_blocks_prepared_subordinate() {
+    // The §3.3 motivation: a prepared 2PC subordinate that loses its
+    // coordinator stays blocked, holding locks. Build the window of
+    // vulnerability deterministically: S2 prepares (a direct prepare
+    // request) but the coordinator never announces an outcome.
+    let mut net = net(2);
+    let tid = net.begin(S1);
+    net.update_op(S2, SRV, &tid);
+    net.inject(
+        S2,
+        Input::Datagram {
+            from: S1,
+            msg: camelot_net::TmMessage::Prepare {
+                tid: tid.clone(),
+                coordinator: S1,
+            },
+        },
+    );
+    let view = net
+        .engine(S2)
+        .family_view(&tid.family)
+        .expect("family live");
+    assert_eq!(view.phase, FamilyPhase::Prepared);
+    // Coordinator crashes; inquiries go unanswered: still blocked.
+    net.crash(S1);
+    net.run_timers(5);
+    let view = net
+        .engine(S2)
+        .family_view(&tid.family)
+        .expect("family live");
+    assert_eq!(view.phase, FamilyPhase::Prepared, "subordinate is blocked");
+    assert!(net.engine(S2).resolution(&tid.family).is_none());
+    // Coordinator recovers with no commit record for the family:
+    // presumed abort answers the next inquiry.
+    net.restart(S1, EngineConfig::default());
+    net.run_timers(5);
+    assert_eq!(
+        net.engine(S2).resolution(&tid.family),
+        Some(Outcome::Aborted),
+        "presumed abort after coordinator recovery"
+    );
+    assert!(net.server_aborted(S2, &tid));
+}
+
+#[test]
+fn duplicate_commit_notice_reacknowledged() {
+    let mut net = net(2);
+    let tid = net.begin(S1);
+    net.update_op(S1, SRV, &tid);
+    net.update_op(S2, SRV, &tid);
+    net.commit(S1, &tid, CommitMode::TwoPhase, vec![S2]);
+    net.flush_lazy(S2);
+    net.run_timers(4);
+    assert_eq!(net.engine(S1).live_families(), 0);
+    // A duplicate Commit arrives after S2 forgot: it must re-ack
+    // rather than panic or create state.
+    net.inject(
+        S2,
+        Input::Datagram {
+            from: S1,
+            msg: camelot_net::TmMessage::Commit { tid: tid.clone() },
+        },
+    );
+    net.run_timers(2);
+    assert_eq!(net.engine(S2).live_families(), 0);
+}
+
+#[test]
+fn inquiry_after_coordinator_forgot_is_presumed_abort() {
+    let mut net = net(2);
+    let tid = net.begin(S1);
+    // S1 never hears of this family (no begin recorded at S2's view).
+    // S2 becomes prepared via a direct prepare from a "ghost"
+    // transaction the coordinator has since aborted and forgotten.
+    net.update_op(S2, SRV, &tid);
+    net.abort(S1, &tid, vec![]);
+    net.inject(
+        S2,
+        Input::Datagram {
+            from: S1,
+            msg: camelot_net::TmMessage::Prepare {
+                tid: tid.clone(),
+                coordinator: S1,
+            },
+        },
+    );
+    // S2 prepared and votes; coordinator knows nothing -> on inquiry
+    // it answers aborted.
+    net.run_timers(3);
+    assert_eq!(
+        net.engine(S2).resolution(&tid.family),
+        Some(Outcome::Aborted)
+    );
+}
+
+#[test]
+fn delayed_commit_saves_one_force_per_distributed_txn() {
+    // The paper's headline §3.2 claim, measured over a batch.
+    let runs = 10;
+    let mut opt_forces = 0;
+    let mut unopt_forces = 0;
+    for variant in [TwoPhaseVariant::Optimized, TwoPhaseVariant::Unoptimized] {
+        let mut net = Net::new(2, EngineConfig::for_variant(variant));
+        for _ in 0..runs {
+            let tid = net.begin(S1);
+            net.update_op(S1, SRV, &tid);
+            net.update_op(S2, SRV, &tid);
+            let req = net.commit(S1, &tid, CommitMode::TwoPhase, vec![S2]);
+            assert_eq!(net.outcome_of(S1, req), Some(Outcome::Committed));
+            // No artificial flushing: under the optimization the next
+            // transaction's prepare force carries the previous lazy
+            // commit record to disk — exactly how the saving shows up
+            // in a running system.
+        }
+        net.flush_lazy(S2);
+        net.run_timers(40);
+        match variant {
+            TwoPhaseVariant::Optimized => opt_forces = net.forces(S2),
+            _ => unopt_forces = net.forces(S2),
+        }
+    }
+    // Unoptimized: 2 forces per txn (prepare + commit). Optimized:
+    // 1 force per txn plus background flushes that batch many lazy
+    // commit records; the per-txn *protocol* forces drop by one.
+    assert_eq!(unopt_forces, 2 * runs);
+    assert_eq!(
+        opt_forces,
+        runs + 1,
+        "one prepare force per txn plus one final flush"
+    );
+    assert!(
+        opt_forces < unopt_forces,
+        "optimized ({opt_forces}) must beat unoptimized ({unopt_forces})"
+    );
+}

@@ -1,0 +1,167 @@
+//! Figure 2 — "Latency of Transactions, Two-phase Commit"
+//! (subordinates vs ms, standard deviation in parentheses).
+//!
+//! Four series over 0–3 subordinates: the optimized write (the §3.2
+//! delayed-commit protocol), the semi-optimized write (commit record
+//! forced, ack still delayed), the unoptimized write (forced +
+//! immediate ack), and the read transaction; plus the derived
+//! transaction-management-only curves for the optimized write and the
+//! read. Paper anchors: local update 31 ms, 1-subordinate optimized
+//! update 110 ms (sd 17), local read 13 ms, with variance growing
+//! quickly in the number of subordinates.
+
+use camelot_core::{CommitMode, TwoPhaseVariant};
+use camelot_sim::Series;
+
+use crate::fmt::{mean_sd, Report, Table};
+use crate::runner::run_latency;
+
+/// One measured point.
+#[derive(Debug)]
+pub struct Point {
+    pub subs: u32,
+    pub total: Series,
+    pub tm_only: Series,
+}
+
+/// One curve of the figure.
+#[derive(Debug)]
+pub struct Curve {
+    pub name: &'static str,
+    pub points: Vec<Point>,
+}
+
+/// Runs the full Figure 2 sweep.
+pub fn curves(quick: bool) -> Vec<Curve> {
+    let reps = if quick { 12 } else { 120 };
+    let max_subs = 3;
+    let mut out = Vec::new();
+    let series: [(&'static str, bool, TwoPhaseVariant); 4] = [
+        ("optimized write", true, TwoPhaseVariant::Optimized),
+        ("semi-optimized write", true, TwoPhaseVariant::SemiOptimized),
+        ("unoptimized write", true, TwoPhaseVariant::Unoptimized),
+        ("read", false, TwoPhaseVariant::Optimized),
+    ];
+    for (name, write, variant) in series {
+        let mut points = Vec::new();
+        for subs in 0..=max_subs {
+            let r = run_latency(
+                subs,
+                write,
+                CommitMode::TwoPhase,
+                variant,
+                false,
+                reps,
+                1000 + subs as u64,
+            );
+            points.push(Point {
+                subs,
+                total: r.total,
+                tm_only: r.tm_only,
+            });
+        }
+        out.push(Curve { name, points });
+    }
+    out
+}
+
+/// Builds the Figure 2 report.
+pub fn run(quick: bool) -> Report {
+    let data = curves(quick);
+    let mut t = Table::new(vec![
+        "SUBS",
+        "OPTIMIZED WRITE",
+        "SEMI-OPT WRITE",
+        "UNOPT WRITE",
+        "READ",
+        "TM-ONLY (WRITE)",
+        "TM-ONLY (READ)",
+    ]);
+    for i in 0..=3usize {
+        let opt = &data[0].points[i];
+        let semi = &data[1].points[i];
+        let unopt = &data[2].points[i];
+        let read = &data[3].points[i];
+        t.row(vec![
+            format!("{i}"),
+            mean_sd(opt.total.mean(), opt.total.stddev()),
+            mean_sd(semi.total.mean(), semi.total.stddev()),
+            mean_sd(unopt.total.mean(), unopt.total.stddev()),
+            mean_sd(read.total.mean(), read.total.stddev()),
+            mean_sd(opt.tm_only.mean(), opt.tm_only.stddev()),
+            mean_sd(read.tm_only.mean(), read.tm_only.stddev()),
+        ]);
+    }
+    let mut text = t.render();
+    text.push_str(
+        "\npaper anchors: local update 31, 1-sub optimized update 110 (17), \
+         local read 13; variance rises with subordinates.\n",
+    );
+    Report::new("Figure 2: Latency of Transactions, Two-phase Commit", text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper() {
+        let data = curves(true);
+        let opt = &data[0];
+        let read = &data[3];
+        // Latency grows with subordinates.
+        for w in opt.points.windows(2) {
+            assert!(
+                w[1].total.mean() > w[0].total.mean() + 15.0,
+                "optimized write must grow per subordinate"
+            );
+        }
+        // Reads are always cheaper than writes.
+        for (r, w) in read.points.iter().zip(opt.points.iter()) {
+            assert!(r.total.mean() < w.total.mean());
+        }
+        // Paper anchors, loosely (±35%).
+        let local = opt.points[0].total.mean();
+        assert!(
+            (21.0..42.0).contains(&local),
+            "local update {local} vs paper 31"
+        );
+        let one_sub = opt.points[1].total.mean();
+        assert!(
+            (85.0..145.0).contains(&one_sub),
+            "1-sub update {one_sub} vs paper 110"
+        );
+        let local_read = read.points[0].total.mean();
+        assert!(
+            (9.0..18.0).contains(&local_read),
+            "local read {local_read} vs paper 13"
+        );
+    }
+
+    #[test]
+    fn unoptimized_is_no_faster_than_optimized() {
+        let data = curves(true);
+        for i in 1..=3usize {
+            let opt = data[0].points[i].total.mean();
+            let unopt = data[2].points[i].total.mean();
+            // Wide margin: quick runs use few repetitions and the
+            // heavy-tailed jitter makes per-config means noisy.
+            assert!(
+                unopt >= opt - 16.0,
+                "{i} subs: unoptimized {unopt} vs optimized {opt}"
+            );
+        }
+    }
+
+    #[test]
+    fn variance_rises_with_subordinates() {
+        let data = curves(true);
+        let opt = &data[0];
+        let sd0 = opt.points[0].total.stddev();
+        let sd3 = opt.points[3].total.stddev();
+        assert!(
+            sd3 > sd0,
+            "sd must grow with load: sd(0 subs)={sd0:.1} sd(3 subs)={sd3:.1}"
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! Experiment harness: regenerates every table and figure of the
+//! paper's evaluation (§4) on the simulated Camelot.
+//!
+//! Each experiment module exposes a `run(quick) -> Report` function;
+//! `quick = true` uses fewer repetitions (for tests), `false` the full
+//! counts (for `cargo bench`). Reports carry both formatted text
+//! (printed by the bench targets) and structured rows (asserted by
+//! tests). `EXPERIMENTS.md` records the paper-vs-measured comparison
+//! produced by these modules.
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`table1`] | Table 1 — RT PC / Mach benchmarks |
+//! | [`table2`] | Table 2 — latency of Camelot primitives |
+//! | [`table3`] | Table 3 — static vs empirical latency breakdown |
+//! | [`fig2`] | Figure 2 — two-phase commit latency vs subordinates |
+//! | [`fig3`] | Figure 3 — non-blocking commit latency |
+//! | [`fig45`] | Figures 4 & 5 — update/read throughput vs pairs |
+//! | [`sec41`] | §4.1 — RPC latency decomposition |
+//! | [`multicast`] | §4.2 — multicast variance reduction |
+//! | [`contention`] | §4.2 — back-to-back lock contention analysis |
+//! | [`ablation`] | extra — delayed-commit & group-commit ablations |
+//! | [`counts`] | extra — measured primitive counts per protocol |
+
+pub mod ablation;
+pub mod contention;
+pub mod counts;
+pub mod fig2;
+pub mod fig3;
+pub mod fig45;
+pub mod fmt;
+pub mod multicast;
+pub mod runner;
+pub mod sec41;
+pub mod staticpath;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+
+pub use fmt::Report;
+pub use runner::{run_latency, run_throughput, LatencyResult};

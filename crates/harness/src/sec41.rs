@@ -1,0 +1,94 @@
+//! §4.1 — the RPC latency decomposition.
+//!
+//! The paper times 1000 RPCs (28.5 ms each) and accounts for them as
+//! NetMsgServer-to-NetMsgServer RPC (19.1 ms) + two CornMan↔NetMsg
+//! IPC hops (2 × 1.5 ms) + CornMan CPU at each site (2 × 3.2 ms):
+//! "Miraculously, there is no extra or missing time:
+//! 19.1 + 3 + 3.2 + 3.2 = 28.5". This module reproduces both sides:
+//! the accounting from the cost model and the measured per-operation
+//! RPC time from the simulation.
+
+use camelot_core::{CommitMode, TwoPhaseVariant};
+use camelot_types::CostModel;
+
+use crate::fmt::{Report, Table};
+use crate::runner::run_latency;
+
+/// The decomposition rows: (component, ms).
+pub fn decomposition(c: &CostModel) -> Vec<(&'static str, f64)> {
+    vec![
+        (
+            "NetMsgServer-to-NetMsgServer RPC",
+            c.netmsg_rpc.as_millis_f64(),
+        ),
+        (
+            "CornMan<->NetMsgServer IPC (2 x 1.5)",
+            (c.local_ipc * 2).as_millis_f64(),
+        ),
+        ("CornMan CPU, sending site", c.comman_cpu.as_millis_f64()),
+        ("CornMan CPU, receiving site", c.comman_cpu.as_millis_f64()),
+    ]
+}
+
+/// Measures the per-RPC cost in the simulation: the latency difference
+/// between a 1-subordinate and a local read transaction divided by the
+/// extra message work, reported directly as the operation round time.
+pub fn measured_rpc_ms(quick: bool) -> f64 {
+    let reps = if quick { 10 } else { 100 };
+    // A 1-subordinate read's measured operation time is the local
+    // operation (3.5 ms) plus the remote operation round; the minimum
+    // over repetitions strips scheduling jitter, and removing the
+    // remote lock charge (0.5 ms) leaves the bare RPC.
+    let remote = run_latency(
+        1,
+        false,
+        CommitMode::TwoPhase,
+        TwoPhaseVariant::Optimized,
+        false,
+        reps,
+        31,
+    );
+    remote.op_time.min() - 3.5 - 0.5
+}
+
+/// Builds the §4.1 report.
+pub fn run(quick: bool) -> Report {
+    let c = CostModel::rt_pc_mach();
+    let mut t = Table::new(vec!["COMPONENT", "ms"]);
+    let mut sum = 0.0;
+    for (name, ms) in decomposition(&c) {
+        sum += ms;
+        t.row(vec![name.to_string(), format!("{ms:.1}")]);
+    }
+    t.row(vec!["TOTAL".to_string(), format!("{sum:.1}")]);
+    let mut text = t.render();
+    let measured = measured_rpc_ms(quick);
+    text.push_str(&format!(
+        "\nmeasured RPC in simulation: {measured:.1} ms per call \
+         (paper: 28.5 ms measured, 28.5 ms accounted — no extra or missing time)\n",
+    ));
+    Report::new("Section 4.1: Camelot RPC latency decomposition", text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounting_sums_to_28_5() {
+        let sum: f64 = decomposition(&CostModel::rt_pc_mach())
+            .iter()
+            .map(|(_, v)| v)
+            .sum();
+        assert!((sum - 28.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn measured_rpc_close_to_29() {
+        let m = measured_rpc_ms(true);
+        assert!(
+            (27.0..32.0).contains(&m),
+            "measured rpc {m} vs model 29 (28.5 accounted + lock charge)"
+        );
+    }
+}

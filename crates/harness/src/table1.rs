@@ -1,0 +1,95 @@
+//! Table 1 — "Benchmarks of PC-RT and Mach".
+//!
+//! These numbers are the simulator's *inputs*: the paper measured them
+//! on the IBM RT PC model 125 under Mach 2.0, and our cost model
+//! carries them verbatim. The report prints each benchmark with the
+//! paper's value and the value the simulator charges, so any drift is
+//! visible.
+
+use camelot_types::CostModel;
+
+use crate::fmt::{Report, Table};
+
+/// Row: (benchmark, paper value, model value in the same unit).
+pub fn rows(c: &CostModel) -> Vec<(&'static str, String, String)> {
+    vec![
+        (
+            "Procedure call, 32-byte arg",
+            "12.0 us".into(),
+            format!("{:.1} us", c.proc_call.as_micros() as f64),
+        ),
+        (
+            "Data copy, bcopy()",
+            "8.4 us + 180 us/KB".into(),
+            format!(
+                "{:.1} us + {} us/KB",
+                c.bcopy_base.as_micros() as f64,
+                c.bcopy_per_kb.as_micros()
+            ),
+        ),
+        (
+            "Kernel call, getpid()",
+            "149 us".into(),
+            format!("{} us", c.kernel_call.as_micros()),
+        ),
+        (
+            "Copy data in/out of kernel",
+            "35 us + copy time".into(),
+            format!("{} us + copy time", c.kernel_copy_base.as_micros()),
+        ),
+        (
+            "Local IPC, 8-byte in-line",
+            "1.5 ms".into(),
+            format!("{:.1} ms", c.local_ipc.as_millis_f64()),
+        ),
+        (
+            "Remote IPC, 8-byte in-line",
+            "19.1 ms".into(),
+            format!("{:.1} ms", c.netmsg_rpc.as_millis_f64()),
+        ),
+        (
+            "Context switch, swtch()",
+            "137 us".into(),
+            format!("{} us", c.context_switch.as_micros()),
+        ),
+        (
+            "Raw disk write, 1 track",
+            "26.8 ms".into(),
+            format!("{:.1} ms", c.raw_disk_write_track.as_millis_f64()),
+        ),
+    ]
+}
+
+/// Builds the Table 1 report.
+pub fn run(_quick: bool) -> Report {
+    let c = CostModel::rt_pc_mach();
+    let mut t = Table::new(vec!["BENCHMARK", "PAPER", "MODEL"]);
+    for (name, paper, model) in rows(&c) {
+        t.row(vec![name.to_string(), paper, model]);
+    }
+    Report::new("Table 1: Benchmarks of PC-RT and Mach", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_matches_paper_for_every_row() {
+        // Each MODEL cell must textually contain the PAPER number.
+        for (name, paper, model) in rows(&CostModel::rt_pc_mach()) {
+            let p = paper.split_whitespace().next().unwrap().replace("us", "");
+            let m = model.split_whitespace().next().unwrap();
+            let pv: f64 = p.parse().unwrap();
+            let mv: f64 = m.parse().unwrap();
+            assert!((pv - mv).abs() < 0.6, "{name}: paper {pv} vs model {mv}");
+        }
+    }
+
+    #[test]
+    fn report_renders() {
+        let r = run(true);
+        assert!(r.text.contains("Raw disk write"));
+        assert!(r.text.contains("26.8 ms"));
+    }
+}

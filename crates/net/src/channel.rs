@@ -1,0 +1,314 @@
+//! A reliable datagram channel: sequence numbers, duplicate
+//! suppression, and retransmission, composed from the primitives in
+//! [`crate::transport`].
+//!
+//! Camelot's transaction managers exchange raw datagrams and
+//! implement "timeout/retry and duplicate detection" themselves
+//! (§4.2 fn. 1). The commitment engines do their retrying at the
+//! protocol level (resend timers, inquiries), which tolerates loss by
+//! itself; [`ReliableChannel`] is the transport-level alternative for
+//! runtimes that want per-message reliability below the protocol —
+//! e.g. a UDP-backed deployment of `camelot-rt`.
+
+use std::collections::HashMap;
+
+use camelot_types::wire::Wire;
+use camelot_types::{CamelotError, Duration, Result, SiteId, Time};
+
+use crate::msg::{Envelope, TmMessage};
+use crate::transport::{DupFilter, Resend, Retransmitter, SeqAlloc};
+
+/// Outbound events produced by the channel.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ChannelEvent {
+    /// Put these bytes on the wire to `to`.
+    Transmit { to: SiteId, bytes: Vec<u8> },
+    /// The peer did not acknowledge after all retries; the protocol
+    /// layer should treat it as unreachable.
+    PeerUnreachable { peer: SiteId },
+}
+
+/// A per-site reliable datagram endpoint.
+///
+/// `send` assigns a sequence number, encodes, transmits and tracks
+/// the message until [`ReliableChannel::on_ack`]; `poll` re-transmits
+/// what is overdue. `receive` decodes, suppresses duplicates, and
+/// produces the acknowledgement bytes for the caller to transmit.
+pub struct ReliableChannel {
+    site: SiteId,
+    seqs: SeqAlloc,
+    dups: DupFilter,
+    retx: Retransmitter<Vec<u8>>,
+    next_key: u64,
+    /// Maps (peer, seq) to the retransmitter key.
+    outstanding: HashMap<(SiteId, u64), u64>,
+}
+
+/// A decoded, deduplicated inbound message.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Inbound {
+    pub from: SiteId,
+    pub messages: Vec<TmMessage>,
+    /// Ack bytes to transmit back to the sender (also produced for
+    /// duplicates, whose original ack may have been lost).
+    pub ack: Vec<u8>,
+    /// False if this was a duplicate delivery (messages still carried
+    /// for logging; callers should skip processing).
+    pub fresh: bool,
+}
+
+/// Wire form of an acknowledgement.
+const ACK_MAGIC: u32 = 0x41434b31; // "ACK1"
+
+fn encode_ack(from: SiteId, seq: u64) -> Vec<u8> {
+    let mut w = camelot_types::wire::Writer::new();
+    w.put_u32(ACK_MAGIC);
+    w.put(&from);
+    w.put_u64(seq);
+    w.into_vec()
+}
+
+fn decode_ack(bytes: &[u8]) -> Option<(SiteId, u64)> {
+    let mut r = camelot_types::wire::Reader::new(bytes);
+    if r.get_u32().ok()? != ACK_MAGIC {
+        return None;
+    }
+    let from = r.get().ok()?;
+    let seq = r.get_u64().ok()?;
+    r.is_done().then_some((from, seq))
+}
+
+impl ReliableChannel {
+    pub fn new(site: SiteId, retry: Duration, max_retry: Duration, attempts: u32) -> Self {
+        ReliableChannel {
+            site,
+            seqs: SeqAlloc::new(),
+            dups: DupFilter::new(64),
+            retx: Retransmitter::new(retry, max_retry, attempts),
+            next_key: 1,
+            outstanding: HashMap::new(),
+        }
+    }
+
+    /// Sends a message (+piggyback) reliably; returns the transmit
+    /// event.
+    pub fn send(
+        &mut self,
+        to: SiteId,
+        primary: TmMessage,
+        piggyback: Vec<TmMessage>,
+        now: Time,
+    ) -> ChannelEvent {
+        let seq = self.seqs.next(to);
+        let env = Envelope {
+            src: self.site,
+            dst: to,
+            seq,
+            primary,
+            piggyback,
+        };
+        let bytes = env.to_bytes();
+        let key = self.next_key;
+        self.next_key += 1;
+        self.outstanding.insert((to, seq), key);
+        self.retx.track((key, to), bytes.clone(), now);
+        ChannelEvent::Transmit { to, bytes }
+    }
+
+    /// Handles raw inbound bytes: either an ack (returns `None`) or
+    /// an envelope (returns the deduplicated messages plus the ack to
+    /// send back).
+    pub fn receive(&mut self, bytes: &[u8]) -> Result<Option<Inbound>> {
+        if let Some((peer, seq)) = decode_ack(bytes) {
+            self.on_ack(peer, seq);
+            return Ok(None);
+        }
+        let env = Envelope::from_bytes(bytes)?;
+        if env.dst != self.site {
+            return Err(CamelotError::Codec(format!(
+                "misrouted datagram for {} at {}",
+                env.dst, self.site
+            )));
+        }
+        let fresh = self.dups.accept(env.src, env.seq);
+        let ack = encode_ack(self.site, env.seq);
+        let mut messages = vec![env.primary];
+        messages.extend(env.piggyback);
+        Ok(Some(Inbound {
+            from: env.src,
+            messages,
+            ack,
+            fresh,
+        }))
+    }
+
+    /// Processes an acknowledgement from `peer` for `seq`.
+    pub fn on_ack(&mut self, peer: SiteId, seq: u64) {
+        if let Some(key) = self.outstanding.remove(&(peer, seq)) {
+            self.retx.answered(&(key, peer));
+        }
+    }
+
+    /// Retransmits overdue messages; reports peers that exhausted
+    /// their retries.
+    pub fn poll(&mut self, now: Time) -> Vec<ChannelEvent> {
+        let mut out = Vec::new();
+        for r in self.retx.poll(now) {
+            match r {
+                Resend::Send { to, payload } => {
+                    out.push(ChannelEvent::Transmit { to, bytes: payload })
+                }
+                Resend::GiveUp { key } => {
+                    self.outstanding.retain(|_, v| *v != key.0);
+                    out.push(ChannelEvent::PeerUnreachable { peer: key.1 });
+                }
+            }
+        }
+        out
+    }
+
+    /// Earliest pending retransmission deadline (the runtime's next
+    /// timer).
+    pub fn next_deadline(&self) -> Option<Time> {
+        self.retx.next_deadline()
+    }
+
+    /// Messages still awaiting acknowledgement.
+    pub fn in_flight(&self) -> usize {
+        self.outstanding.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camelot_types::{FamilyId, Tid};
+
+    fn t(ms: u64) -> Time {
+        Time(ms * 1000)
+    }
+
+    fn d(ms: u64) -> Duration {
+        Duration::from_millis(ms)
+    }
+
+    fn msg(seq: u64) -> TmMessage {
+        TmMessage::Commit {
+            tid: Tid::top_level(FamilyId {
+                origin: SiteId(1),
+                seq,
+            }),
+        }
+    }
+
+    fn pair() -> (ReliableChannel, ReliableChannel) {
+        (
+            ReliableChannel::new(SiteId(1), d(100), d(400), 4),
+            ReliableChannel::new(SiteId(2), d(100), d(400), 4),
+        )
+    }
+
+    #[test]
+    fn roundtrip_with_ack_stops_retransmission() {
+        let (mut a, mut b) = pair();
+        let ev = a.send(SiteId(2), msg(1), vec![], t(0));
+        let ChannelEvent::Transmit { bytes, .. } = ev else {
+            panic!()
+        };
+        let inbound = b.receive(&bytes).unwrap().unwrap();
+        assert!(inbound.fresh);
+        assert_eq!(inbound.from, SiteId(1));
+        assert_eq!(inbound.messages.len(), 1);
+        // Deliver the ack back.
+        assert!(a.receive(&inbound.ack).unwrap().is_none());
+        assert_eq!(a.in_flight(), 0);
+        assert!(a.poll(t(1000)).is_empty(), "no retransmissions after ack");
+    }
+
+    #[test]
+    fn lost_datagram_is_retransmitted_and_deduplicated() {
+        let (mut a, mut b) = pair();
+        let ChannelEvent::Transmit { bytes, .. } = a.send(SiteId(2), msg(1), vec![], t(0)) else {
+            panic!()
+        };
+        // First copy lost; poll retransmits.
+        let evs = a.poll(t(100));
+        assert_eq!(evs.len(), 1);
+        let ChannelEvent::Transmit { bytes: again, .. } = &evs[0] else {
+            panic!()
+        };
+        assert_eq!(again, &bytes, "identical bytes on retry");
+        // Receiver gets BOTH copies (the first arrived late after all).
+        let first = b.receive(&bytes).unwrap().unwrap();
+        assert!(first.fresh);
+        let dup = b.receive(again).unwrap().unwrap();
+        assert!(!dup.fresh, "duplicate flagged");
+        // Both produce acks; either stops the sender.
+        assert!(a.receive(&dup.ack).unwrap().is_none());
+        assert_eq!(a.in_flight(), 0);
+    }
+
+    #[test]
+    fn unreachable_peer_reported_once() {
+        let (mut a, _) = pair();
+        a.send(SiteId(2), msg(1), vec![], t(0));
+        let mut unreachable = 0;
+        for ms in [100u64, 300, 700, 1500, 3000] {
+            for ev in a.poll(t(ms)) {
+                if matches!(ev, ChannelEvent::PeerUnreachable { peer } if peer == SiteId(2)) {
+                    unreachable += 1;
+                }
+            }
+        }
+        assert_eq!(unreachable, 1);
+        assert_eq!(a.in_flight(), 0);
+    }
+
+    #[test]
+    fn piggyback_travels_and_misrouted_rejected() {
+        let (mut a, mut b) = pair();
+        let ChannelEvent::Transmit { bytes, .. } = a.send(
+            SiteId(2),
+            msg(1),
+            vec![TmMessage::CommitAck {
+                tid: Tid::top_level(FamilyId {
+                    origin: SiteId(1),
+                    seq: 9,
+                }),
+                from: SiteId(1),
+            }],
+            t(0),
+        ) else {
+            panic!()
+        };
+        let inbound = b.receive(&bytes).unwrap().unwrap();
+        assert_eq!(inbound.messages.len(), 2);
+        // The same bytes at the wrong site are rejected.
+        let mut c = ReliableChannel::new(SiteId(3), d(100), d(400), 4);
+        assert!(c.receive(&bytes).is_err());
+    }
+
+    #[test]
+    fn sequences_are_per_peer() {
+        let mut a = ReliableChannel::new(SiteId(1), d(100), d(400), 4);
+        let ChannelEvent::Transmit { bytes: b2, .. } = a.send(SiteId(2), msg(1), vec![], t(0))
+        else {
+            panic!()
+        };
+        let ChannelEvent::Transmit { bytes: b3, .. } = a.send(SiteId(3), msg(1), vec![], t(0))
+        else {
+            panic!()
+        };
+        let e2 = Envelope::from_bytes(&b2).unwrap();
+        let e3 = Envelope::from_bytes(&b3).unwrap();
+        assert_eq!(e2.seq, 0);
+        assert_eq!(e3.seq, 0, "independent per-destination sequences");
+    }
+
+    #[test]
+    fn garbage_bytes_error_cleanly() {
+        let (_, mut b) = pair();
+        assert!(b.receive(&[1, 2, 3]).is_err());
+        assert!(b.receive(&[]).is_err());
+    }
+}

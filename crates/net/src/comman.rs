@@ -1,0 +1,222 @@
+//! The Communication Manager (CornMan).
+//!
+//! The communication manager has two functions (paper §2):
+//!
+//! 1. It forwards inter-site messages from applications to servers and
+//!    back, and **spies on the contents**: messages carrying
+//!    transaction identifiers are specially marked, and when a reply
+//!    leaves a site the sending CornMan stamps it with the list of
+//!    sites used to generate the reply. The destination CornMan strips
+//!    the list and merges it with lists from earlier replies. "If
+//!    every operation responds, the site that begins a transaction
+//!    will eventually learn the identity of all other participating
+//!    sites; these participants will be the subordinates during
+//!    commitment."
+//! 2. It is a name service: clients present a string naming a service
+//!    and get an address back.
+//!
+//! This module is the bookkeeping; the runtimes charge the latency
+//! costs (2 × 1.5 ms IPC hops plus 3.2 ms CPU per site per RPC — the
+//! §4.1 decomposition).
+
+use std::collections::{BTreeSet, HashMap};
+
+use camelot_types::{CamelotError, FamilyId, Result, ServerId, SiteId};
+
+/// Address of a registered service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceAddr {
+    pub site: SiteId,
+    pub server: ServerId,
+}
+
+/// Per-site communication manager state.
+#[derive(Debug)]
+pub struct CommMan {
+    site: SiteId,
+    names: HashMap<String, ServiceAddr>,
+    /// Sites each local transaction family has spread to (excluding
+    /// this site). Ordered for deterministic iteration.
+    spread: HashMap<FamilyId, BTreeSet<SiteId>>,
+    /// RPCs forwarded (for the §4.1 accounting experiments).
+    rpcs_forwarded: u64,
+}
+
+impl CommMan {
+    pub fn new(site: SiteId) -> Self {
+        CommMan {
+            site,
+            names: HashMap::new(),
+            spread: HashMap::new(),
+            rpcs_forwarded: 0,
+        }
+    }
+
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    // ----- Name service -----
+
+    /// Registers a service name. Re-registration overwrites (a
+    /// restarted server re-advertises itself).
+    pub fn register(&mut self, name: impl Into<String>, addr: ServiceAddr) {
+        self.names.insert(name.into(), addr);
+    }
+
+    /// Looks a service up by name.
+    pub fn lookup(&self, name: &str) -> Result<ServiceAddr> {
+        self.names
+            .get(name)
+            .copied()
+            .ok_or_else(|| CamelotError::UnknownService(name.to_string()))
+    }
+
+    // ----- Transaction spread tracking -----
+
+    /// Called when this site forwards an operation RPC of `family` to
+    /// a remote `target` site. The home CornMan learns spread both
+    /// from its own outgoing calls and from reply stamps.
+    pub fn note_outgoing(&mut self, family: FamilyId, target: SiteId) {
+        if target != self.site {
+            self.spread.entry(family).or_default().insert(target);
+        }
+        self.rpcs_forwarded += 1;
+    }
+
+    /// Builds the site-list stamp for a reply leaving this site: this
+    /// site plus everything the transaction touched through us.
+    pub fn reply_stamp(&self, family: &FamilyId) -> Vec<SiteId> {
+        let mut sites = vec![self.site];
+        if let Some(s) = self.spread.get(family) {
+            sites.extend(s.iter().copied());
+        }
+        sites
+    }
+
+    /// Merges a reply's site-list stamp into local knowledge (the
+    /// destination CornMan strips the list and merges it "with lists
+    /// sent in previous responses").
+    pub fn merge_reply_stamp(&mut self, family: FamilyId, sites: &[SiteId]) {
+        let set = self.spread.entry(family).or_default();
+        for &s in sites {
+            if s != self.site {
+                set.insert(s);
+            }
+        }
+    }
+
+    /// All remote participants known for `family` — the subordinate
+    /// list the transaction manager uses at commitment.
+    pub fn participants(&self, family: &FamilyId) -> Vec<SiteId> {
+        self.spread
+            .get(family)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Forgets a finished transaction's spread data.
+    pub fn forget(&mut self, family: &FamilyId) {
+        self.spread.remove(family);
+    }
+
+    /// Number of transaction families currently tracked.
+    pub fn tracked_families(&self) -> usize {
+        self.spread.len()
+    }
+
+    /// RPCs this CornMan has forwarded.
+    pub fn rpcs_forwarded(&self) -> u64 {
+        self.rpcs_forwarded
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fam(n: u64) -> FamilyId {
+        FamilyId {
+            origin: SiteId(1),
+            seq: n,
+        }
+    }
+
+    #[test]
+    fn name_service_register_lookup() {
+        let mut cm = CommMan::new(SiteId(1));
+        let addr = ServiceAddr {
+            site: SiteId(2),
+            server: ServerId(5),
+        };
+        cm.register("bank", addr);
+        assert_eq!(cm.lookup("bank").unwrap(), addr);
+        assert!(matches!(
+            cm.lookup("nope"),
+            Err(CamelotError::UnknownService(_))
+        ));
+        // Re-registration overwrites.
+        let addr2 = ServiceAddr {
+            site: SiteId(3),
+            server: ServerId(1),
+        };
+        cm.register("bank", addr2);
+        assert_eq!(cm.lookup("bank").unwrap(), addr2);
+    }
+
+    #[test]
+    fn outgoing_calls_accumulate_participants() {
+        let mut cm = CommMan::new(SiteId(1));
+        cm.note_outgoing(fam(1), SiteId(2));
+        cm.note_outgoing(fam(1), SiteId(3));
+        cm.note_outgoing(fam(1), SiteId(2)); // Duplicate.
+        cm.note_outgoing(fam(2), SiteId(4)); // Other family.
+        assert_eq!(cm.participants(&fam(1)), vec![SiteId(2), SiteId(3)]);
+        assert_eq!(cm.participants(&fam(2)), vec![SiteId(4)]);
+        assert_eq!(cm.rpcs_forwarded(), 4);
+    }
+
+    #[test]
+    fn local_calls_do_not_count_as_spread() {
+        let mut cm = CommMan::new(SiteId(1));
+        cm.note_outgoing(fam(1), SiteId(1));
+        assert!(cm.participants(&fam(1)).is_empty());
+    }
+
+    #[test]
+    fn reply_stamps_propagate_transitively() {
+        // Site 2 served an operation that itself called site 3; its
+        // reply stamp teaches the home site (1) about both.
+        let mut home = CommMan::new(SiteId(1));
+        let mut remote = CommMan::new(SiteId(2));
+        remote.note_outgoing(fam(1), SiteId(3));
+        let stamp = remote.reply_stamp(&fam(1));
+        assert_eq!(stamp, vec![SiteId(2), SiteId(3)]);
+        home.merge_reply_stamp(fam(1), &stamp);
+        assert_eq!(home.participants(&fam(1)), vec![SiteId(2), SiteId(3)]);
+    }
+
+    #[test]
+    fn merge_ignores_own_site() {
+        let mut cm = CommMan::new(SiteId(1));
+        cm.merge_reply_stamp(fam(1), &[SiteId(1), SiteId(2)]);
+        assert_eq!(cm.participants(&fam(1)), vec![SiteId(2)]);
+    }
+
+    #[test]
+    fn forget_clears_family() {
+        let mut cm = CommMan::new(SiteId(1));
+        cm.note_outgoing(fam(1), SiteId(2));
+        assert_eq!(cm.tracked_families(), 1);
+        cm.forget(&fam(1));
+        assert_eq!(cm.tracked_families(), 0);
+        assert!(cm.participants(&fam(1)).is_empty());
+    }
+
+    #[test]
+    fn unknown_family_has_no_participants() {
+        let cm = CommMan::new(SiteId(1));
+        assert!(cm.participants(&fam(9)).is_empty());
+        assert_eq!(cm.reply_stamp(&fam(9)), vec![SiteId(1)]);
+    }
+}

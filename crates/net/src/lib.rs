@@ -1,0 +1,33 @@
+//! Inter-site communication for the Camelot reproduction.
+//!
+//! Mach messages travel only between threads on one site, so Camelot
+//! interposes forwarding agents. This crate models the pieces the
+//! transaction manager depends on:
+//!
+//! - [`msg`]: the datagrams transaction managers exchange for the
+//!   two-phase and non-blocking commitment protocols and the abort
+//!   protocol, with their wire encoding. Transaction managers talk
+//!   via datagrams (not RPC) "in order to process distributed
+//!   protocols as quickly as possible" (paper §4.2 fn. 1), carrying
+//!   piggybacked acknowledgements where the delayed-commit
+//!   optimization allows.
+//! - [`transport`]: what datagram transport requires of the protocol
+//!   layer — sequence numbers, retransmission bookkeeping and
+//!   duplicate detection ("a transaction manager is responsible for
+//!   implementing mechanisms such as timeout/retry and duplicate
+//!   detection").
+//! - [`comman`]: the Communication Manager. It forwards inter-site
+//!   RPCs and *spies on the contents*: every reply is stamped with
+//!   the list of sites used to produce it, and the lists merge at the
+//!   transaction's home site, so the transaction manager eventually
+//!   knows every participant. It also acts as a name service.
+
+pub mod channel;
+pub mod comman;
+pub mod msg;
+pub mod transport;
+
+pub use channel::{ChannelEvent, ReliableChannel};
+pub use comman::CommMan;
+pub use msg::{Envelope, NbSiteState, Outcome, TmMessage, Vote};
+pub use transport::{DupFilter, Retransmitter};

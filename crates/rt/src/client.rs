@@ -1,0 +1,216 @@
+//! Synchronous client handles: the "application process" view of
+//! Camelot (Figure 1).
+
+use std::sync::Arc;
+
+use crossbeam::channel::bounded;
+
+use camelot_core::{Action, CommitMode, Input};
+use camelot_net::Outcome;
+use camelot_server::Request;
+use camelot_types::{AbortReason, CamelotError, ObjectId, Result, ServerId, SiteId, Tid};
+
+use crate::cluster::ClusterInner;
+
+/// A client application homed at one site.
+pub struct Client {
+    inner: Arc<ClusterInner>,
+    home: SiteId,
+}
+
+impl Client {
+    pub(crate) fn new(inner: Arc<ClusterInner>, home: SiteId) -> Client {
+        Client { inner, home }
+    }
+
+    pub fn home(&self) -> SiteId {
+        self.home
+    }
+
+    /// `begin-transaction`: returns the new top-level transaction
+    /// identifier.
+    pub fn begin(&self) -> Result<Tid> {
+        match self.tm_call(|req| Input::Begin { req })? {
+            Action::Began { tid, .. } => Ok(tid),
+            Action::Rejected { tid, detail, .. } => Err(CamelotError::BadState { tid, detail }),
+            other => Err(CamelotError::Internal(format!(
+                "unexpected reply {other:?}"
+            ))),
+        }
+    }
+
+    /// Begins a nested transaction under `parent`.
+    pub fn begin_nested(&self, parent: &Tid) -> Result<Tid> {
+        let parent = parent.clone();
+        match self.tm_call(move |req| Input::BeginNested { req, parent })? {
+            Action::Began { tid, .. } => Ok(tid),
+            Action::Rejected { tid, detail, .. } => Err(CamelotError::BadState { tid, detail }),
+            other => Err(CamelotError::Internal(format!(
+                "unexpected reply {other:?}"
+            ))),
+        }
+    }
+
+    /// Reads an object at `(site, server)` under `tid`.
+    pub fn read(
+        &self,
+        tid: &Tid,
+        site: SiteId,
+        server: ServerId,
+        obj: ObjectId,
+    ) -> Result<Vec<u8>> {
+        self.operation(tid, site, server, |req, tid| Request::Read {
+            req,
+            tid,
+            object: obj,
+        })
+    }
+
+    /// Writes an object at `(site, server)` under `tid`.
+    pub fn write(
+        &self,
+        tid: &Tid,
+        site: SiteId,
+        server: ServerId,
+        obj: ObjectId,
+        value: Vec<u8>,
+    ) -> Result<Vec<u8>> {
+        self.operation(tid, site, server, move |req, tid| Request::Write {
+            req,
+            tid,
+            object: obj,
+            value: value.clone(),
+        })
+    }
+
+    /// `commit-transaction`. The protocol (two-phase or non-blocking)
+    /// is an argument, as in Camelot.
+    pub fn commit(&self, tid: &Tid, mode: CommitMode) -> Result<Outcome> {
+        let participants = {
+            let site = self.inner.sites.get(&self.home).expect("home exists");
+            site.comman.lock().participants(&tid.family)
+        };
+        let t = tid.clone();
+        let reply = self.tm_call(move |req| Input::CommitTop {
+            req,
+            tid: t,
+            mode,
+            participants,
+        })?;
+        let out = match reply {
+            Action::Resolved { outcome, .. } => Ok(outcome),
+            Action::Rejected { tid, detail, .. } => Err(CamelotError::BadState { tid, detail }),
+            other => Err(CamelotError::Internal(format!(
+                "unexpected reply {other:?}"
+            ))),
+        };
+        if out.is_ok() {
+            let site = self.inner.sites.get(&self.home).expect("home exists");
+            site.comman.lock().forget(&tid.family);
+        }
+        out
+    }
+
+    /// Commits a nested transaction.
+    pub fn commit_nested(&self, tid: &Tid) -> Result<()> {
+        let participants = {
+            let site = self.inner.sites.get(&self.home).expect("home exists");
+            site.comman.lock().participants(&tid.family)
+        };
+        let t = tid.clone();
+        match self.tm_call(move |req| Input::CommitNested {
+            req,
+            tid: t,
+            participants,
+        })? {
+            Action::Resolved { .. } => Ok(()),
+            Action::Rejected { tid, detail, .. } => Err(CamelotError::BadState { tid, detail }),
+            other => Err(CamelotError::Internal(format!(
+                "unexpected reply {other:?}"
+            ))),
+        }
+    }
+
+    /// `abort-transaction` (top-level or nested).
+    pub fn abort(&self, tid: &Tid) -> Result<()> {
+        let participants = {
+            let site = self.inner.sites.get(&self.home).expect("home exists");
+            site.comman.lock().participants(&tid.family)
+        };
+        let t = tid.clone();
+        match self.tm_call(move |req| Input::AbortTx {
+            req,
+            tid: t,
+            reason: AbortReason::Application,
+            participants,
+        })? {
+            Action::Resolved { .. } => Ok(()),
+            Action::Rejected { tid, detail, .. } => Err(CamelotError::BadState { tid, detail }),
+            other => Err(CamelotError::Internal(format!(
+                "unexpected reply {other:?}"
+            ))),
+        }
+    }
+
+    // -----------------------------------------------------------------
+
+    fn tm_call(&self, make: impl FnOnce(u64) -> Input) -> Result<Action> {
+        let req = self.inner.alloc_req();
+        let (tx, rx) = bounded(1);
+        self.inner.pending.lock().insert(req, tx);
+        let site = self.inner.sites.get(&self.home).expect("home exists");
+        site.tm_tx
+            .send(Some(make(req)))
+            .map_err(|_| CamelotError::SiteDown(self.home))?;
+        rx.recv_timeout(self.inner.cfg.call_timeout).map_err(|_| {
+            self.inner.pending.lock().remove(&req);
+            CamelotError::SiteDown(self.home)
+        })
+    }
+
+    fn operation(
+        &self,
+        tid: &Tid,
+        site_id: SiteId,
+        server: ServerId,
+        make: impl FnOnce(u64, Tid) -> Request,
+    ) -> Result<Vec<u8>> {
+        let req = self.inner.alloc_req();
+        let (tx, rx) = bounded(1);
+        self.inner.pending_ops.lock().insert(req, tx);
+        // Remote spread tracking (the CornMan spying of §3.1).
+        if site_id != self.home {
+            let home = self.inner.sites.get(&self.home).expect("home exists");
+            home.comman.lock().note_outgoing(tid.family, site_id);
+        }
+        let site = self
+            .inner
+            .sites
+            .get(&site_id)
+            .ok_or(CamelotError::SiteDown(site_id))?;
+        if !site.alive.load(std::sync::atomic::Ordering::SeqCst) {
+            self.inner.pending_ops.lock().remove(&req);
+            return Err(CamelotError::SiteDown(site_id));
+        }
+        let fx = {
+            let mut server = site
+                .servers
+                .get(&server)
+                .ok_or(CamelotError::UnknownService(format!("{server}")))?
+                .lock();
+            server.handle(make(req, tid.clone()))
+        };
+        self.inner.route_server_effects(site, server, fx);
+        // Merge the reply stamp at home (transitive spread).
+        if site_id != self.home {
+            let stamp = site.comman.lock().reply_stamp(&tid.family);
+            let home = self.inner.sites.get(&self.home).expect("home exists");
+            home.comman.lock().merge_reply_stamp(tid.family, &stamp);
+        }
+        let reply = rx.recv_timeout(self.inner.cfg.call_timeout).map_err(|_| {
+            self.inner.pending_ops.lock().remove(&req);
+            CamelotError::LockTimeout
+        })?;
+        Ok(reply.value)
+    }
+}

@@ -1,0 +1,659 @@
+//! The cluster: sites, worker pools, disk managers, router.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration as StdDuration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use camelot_core::{Action, Engine, EngineConfig, ForceToken, Input, TimerToken};
+use camelot_net::comman::{CommMan, ServiceAddr};
+use camelot_server::{recover as server_recover, DataServer, OpReply};
+use camelot_types::{Lsn, ServerId, SiteId, Time};
+use camelot_wal::{FileStore, LogRecord, MemStore, StableStore, Wal};
+
+use crate::client::Client;
+
+/// Runtime configuration.
+#[derive(Debug, Clone)]
+pub struct RtConfig {
+    /// One-way inter-site datagram delay.
+    pub datagram_delay: StdDuration,
+    /// Duration of one platter write.
+    pub platter_delay: StdDuration,
+    /// Group commit on (coalesce) or off (one write per force).
+    pub group_commit: bool,
+    /// Background flush period for lazily appended records.
+    pub lazy_flush: StdDuration,
+    /// TranMan worker threads per site.
+    pub tm_threads: usize,
+    /// Data servers per site.
+    pub servers_per_site: u32,
+    /// Client call timeout: a blocked operation (e.g. a lock wait
+    /// behind a deadlock) errors out after this long, letting the
+    /// application abort — Camelot's answer to data-level deadlock.
+    pub call_timeout: StdDuration,
+    /// Engine configuration (protocol variant, timeouts).
+    pub engine: EngineConfig,
+    /// Directory for file-backed logs (`site-N.log`). `None` keeps
+    /// the logs in memory. With a directory, committed state survives
+    /// whole-cluster shutdowns: a new cluster started on the same
+    /// directory recovers it.
+    pub log_dir: Option<std::path::PathBuf>,
+}
+
+impl Default for RtConfig {
+    fn default() -> Self {
+        RtConfig {
+            datagram_delay: StdDuration::from_millis(2),
+            platter_delay: StdDuration::from_millis(4),
+            group_commit: true,
+            lazy_flush: StdDuration::from_millis(25),
+            tm_threads: 4,
+            servers_per_site: 1,
+            call_timeout: StdDuration::from_secs(30),
+            engine: EngineConfig::default(),
+            log_dir: None,
+        }
+    }
+}
+
+pub(crate) enum DiskJob {
+    Force(LogRecord, ForceToken),
+    Append(LogRecord),
+    AppendNotify(LogRecord, ForceToken),
+    Stop,
+}
+
+pub(crate) enum RouterJob {
+    Deliver {
+        at: Instant,
+        to: SiteId,
+        input: Input,
+        timer: Option<(SiteId, TimerToken)>,
+    },
+    CancelTimer {
+        site: SiteId,
+        token: TimerToken,
+    },
+    Stop,
+}
+
+/// Shared per-site state.
+pub(crate) struct SiteShared {
+    pub id: SiteId,
+    pub alive: AtomicBool,
+    pub engine: Mutex<Engine>,
+    pub wal: Mutex<Wal<Box<dyn StableStore + Send>>>,
+    pub servers: BTreeMap<ServerId, Mutex<DataServer>>,
+    pub comman: Mutex<CommMan>,
+    pub tm_tx: Sender<Option<Input>>,
+    pub disk_tx: Sender<DiskJob>,
+    pub lazy: Mutex<Vec<(ForceToken, Lsn)>>,
+}
+
+/// Cluster-wide shared state.
+pub(crate) struct ClusterInner {
+    pub sites: BTreeMap<SiteId, Arc<SiteShared>>,
+    pub router_tx: Sender<RouterJob>,
+    /// Completions for application-level engine calls (begin, commit).
+    pub pending: Mutex<HashMap<u64, Sender<Action>>>,
+    /// Completions for data-server operations.
+    pub pending_ops: Mutex<HashMap<u64, Sender<OpReply>>>,
+    pub next_req: AtomicU64,
+    pub epoch: Instant,
+    pub cfg: RtConfig,
+}
+
+impl ClusterInner {
+    pub fn now(&self) -> Time {
+        Time(self.epoch.elapsed().as_micros() as u64)
+    }
+
+    pub fn alloc_req(&self) -> u64 {
+        self.next_req.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Routes a server's effects: join-transaction, log records,
+    /// operation replies.
+    pub fn route_server_effects(
+        &self,
+        site: &SiteShared,
+        server: ServerId,
+        fx: camelot_server::Effects,
+    ) {
+        if let Some(tid) = fx.join {
+            // Figure 1 step 4: the server notifies the local TranMan.
+            let _ = site.tm_tx.send(Some(Input::Join { tid, server }));
+        }
+        for rec in fx.log {
+            let _ = site.disk_tx.send(DiskJob::Append(rec));
+        }
+        for reply in fx.replies {
+            let tx = self.pending_ops.lock().remove(&reply.req);
+            if let Some(tx) = tx {
+                let _ = tx.send(reply);
+            }
+        }
+    }
+
+    /// Applies the engine's actions (called with no locks held).
+    pub fn apply_actions(&self, site: &Arc<SiteShared>, actions: Vec<Action>) {
+        for action in actions {
+            match action {
+                a @ (Action::Began { .. } | Action::Resolved { .. } | Action::Rejected { .. }) => {
+                    let req = match &a {
+                        Action::Began { req, .. }
+                        | Action::Resolved { req, .. }
+                        | Action::Rejected { req, .. } => *req,
+                        _ => unreachable!(),
+                    };
+                    let tx = self.pending.lock().remove(&req);
+                    if let Some(tx) = tx {
+                        let _ = tx.send(a);
+                    }
+                }
+                Action::AskVote { tid, servers } => {
+                    for server in servers {
+                        let vote = site
+                            .servers
+                            .get(&server)
+                            .expect("server exists")
+                            .lock()
+                            .vote(tid.family);
+                        let _ = site.tm_tx.send(Some(Input::ServerVote {
+                            tid: tid.clone(),
+                            server,
+                            vote,
+                        }));
+                    }
+                }
+                Action::ServerCommit { tid, servers } => {
+                    for s in servers {
+                        let fx = site
+                            .servers
+                            .get(&s)
+                            .expect("server exists")
+                            .lock()
+                            .commit_family(tid.family);
+                        self.route_server_effects(site, s, fx);
+                    }
+                }
+                Action::ServerAbort { tid, servers } => {
+                    for s in servers {
+                        let fx = site
+                            .servers
+                            .get(&s)
+                            .expect("server exists")
+                            .lock()
+                            .abort_family(tid.family);
+                        self.route_server_effects(site, s, fx);
+                    }
+                }
+                Action::ServerSubCommit { tid, servers } => {
+                    for s in servers {
+                        let fx = site
+                            .servers
+                            .get(&s)
+                            .expect("server exists")
+                            .lock()
+                            .sub_commit(&tid);
+                        self.route_server_effects(site, s, fx);
+                    }
+                }
+                Action::ServerSubAbort { tid, servers } => {
+                    for s in servers {
+                        let fx = site
+                            .servers
+                            .get(&s)
+                            .expect("server exists")
+                            .lock()
+                            .sub_abort(&tid);
+                        self.route_server_effects(site, s, fx);
+                    }
+                }
+                Action::Send { to, msg, piggyback } => {
+                    let at = Instant::now() + self.cfg.datagram_delay;
+                    let from = site.id;
+                    let _ = self.router_tx.send(RouterJob::Deliver {
+                        at,
+                        to,
+                        input: Input::Datagram { from, msg },
+                        timer: None,
+                    });
+                    for m in piggyback {
+                        let _ = self.router_tx.send(RouterJob::Deliver {
+                            at,
+                            to,
+                            input: Input::Datagram { from, msg: m },
+                            timer: None,
+                        });
+                    }
+                }
+                Action::Broadcast { to, msg } => {
+                    let at = Instant::now() + self.cfg.datagram_delay;
+                    let from = site.id;
+                    for dst in to {
+                        let _ = self.router_tx.send(RouterJob::Deliver {
+                            at,
+                            to: dst,
+                            input: Input::Datagram {
+                                from,
+                                msg: msg.clone(),
+                            },
+                            timer: None,
+                        });
+                    }
+                }
+                Action::RelayAbort { tid } => {
+                    let targets = {
+                        let mut cm = site.comman.lock();
+                        let t = cm.participants(&tid.family);
+                        cm.forget(&tid.family);
+                        t
+                    };
+                    let at = Instant::now() + self.cfg.datagram_delay;
+                    let from = site.id;
+                    for dst in targets {
+                        let _ = self.router_tx.send(RouterJob::Deliver {
+                            at,
+                            to: dst,
+                            input: Input::Datagram {
+                                from,
+                                msg: camelot_net::TmMessage::Abort { tid: tid.clone() },
+                            },
+                            timer: None,
+                        });
+                    }
+                }
+                Action::Append { rec } => {
+                    let _ = site.disk_tx.send(DiskJob::Append(rec));
+                }
+                Action::Force { rec, token } => {
+                    let _ = site.disk_tx.send(DiskJob::Force(rec, token));
+                }
+                Action::AppendNotify { rec, token } => {
+                    let _ = site.disk_tx.send(DiskJob::AppendNotify(rec, token));
+                }
+                Action::SetTimer { token, after } => {
+                    let at = Instant::now() + StdDuration::from_micros(after.as_micros());
+                    let _ = self.router_tx.send(RouterJob::Deliver {
+                        at,
+                        to: site.id,
+                        input: Input::TimerFired { token },
+                        timer: Some((site.id, token)),
+                    });
+                }
+                Action::CancelTimer { token } => {
+                    let _ = self.router_tx.send(RouterJob::CancelTimer {
+                        site: site.id,
+                        token,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// A running Camelot cluster.
+pub struct Cluster {
+    pub(crate) inner: Arc<ClusterInner>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Cluster {
+    /// Builds and starts `n` sites.
+    pub fn new(n: u32, cfg: RtConfig) -> Cluster {
+        let (router_tx, router_rx) = unbounded();
+        let mut sites = BTreeMap::new();
+        let mut site_channels = Vec::new();
+        for i in 1..=n {
+            let id = SiteId(i);
+            let (tm_tx, tm_rx) = unbounded();
+            let (disk_tx, disk_rx) = unbounded();
+            let mut servers = BTreeMap::new();
+            let mut comman = CommMan::new(id);
+            for k in 1..=cfg.servers_per_site {
+                let sid = ServerId(k);
+                servers.insert(sid, Mutex::new(DataServer::new(id, sid)));
+                comman.register(
+                    format!("server{k}@{id}"),
+                    ServiceAddr {
+                        site: id,
+                        server: sid,
+                    },
+                );
+            }
+            let store: Box<dyn StableStore + Send> = match &cfg.log_dir {
+                Some(dir) => {
+                    std::fs::create_dir_all(dir).expect("create log dir");
+                    Box::new(
+                        FileStore::open(dir.join(format!("site-{i}.log"))).expect("open site log"),
+                    )
+                }
+                None => Box::new(MemStore::new()),
+            };
+            let shared = Arc::new(SiteShared {
+                id,
+                alive: AtomicBool::new(true),
+                engine: Mutex::new(Engine::new(id, cfg.engine.clone())),
+                wal: Mutex::new(Wal::new(store)),
+                servers,
+                comman: Mutex::new(comman),
+                tm_tx,
+                disk_tx,
+                lazy: Mutex::new(Vec::new()),
+            });
+            sites.insert(id, shared);
+            site_channels.push((id, tm_rx, disk_rx));
+        }
+        let inner = Arc::new(ClusterInner {
+            sites,
+            router_tx,
+            pending: Mutex::new(HashMap::new()),
+            pending_ops: Mutex::new(HashMap::new()),
+            next_req: AtomicU64::new(1),
+            epoch: Instant::now(),
+            cfg: cfg.clone(),
+        });
+        let mut handles = Vec::new();
+        // Router.
+        {
+            let inner = inner.clone();
+            handles.push(std::thread::spawn(move || router_main(inner, router_rx)));
+        }
+        // Per-site workers.
+        for (id, tm_rx, disk_rx) in site_channels {
+            let site = inner.sites.get(&id).expect("site exists").clone();
+            for _ in 0..cfg.tm_threads.max(1) {
+                let inner = inner.clone();
+                let site = site.clone();
+                let rx = tm_rx.clone();
+                handles.push(std::thread::spawn(move || tm_worker(inner, site, rx)));
+            }
+            let inner2 = inner.clone();
+            let site2 = site.clone();
+            handles.push(std::thread::spawn(move || {
+                disk_main(inner2, site2, disk_rx)
+            }));
+        }
+        let cluster = Cluster { inner, handles };
+        // With persistent logs, a fresh cluster may be a *restart* of
+        // an earlier one: recover every site from whatever its log
+        // already holds.
+        if cfg.log_dir.is_some() {
+            for id in cluster.inner.sites.keys().copied().collect::<Vec<_>>() {
+                cluster.restart(id);
+            }
+        }
+        cluster
+    }
+
+    /// A client homed at `site`.
+    pub fn client(&self, site: SiteId) -> Client {
+        assert!(self.inner.sites.contains_key(&site), "unknown site");
+        Client::new(self.inner.clone(), site)
+    }
+
+    /// Crashes a site: volatile state is lost, unforced log records
+    /// discarded, traffic to it dropped.
+    pub fn crash(&self, site: SiteId) {
+        let s = self.inner.sites.get(&site).expect("unknown site");
+        s.alive.store(false, Ordering::SeqCst);
+        let mut wal = s.wal.lock();
+        wal.store_mut().lose_volatile();
+        s.lazy.lock().clear();
+    }
+
+    /// Restarts a crashed site: the transaction manager and servers
+    /// are rebuilt from the durable log.
+    pub fn restart(&self, site: SiteId) {
+        let s = self.inner.sites.get(&site).expect("unknown site");
+        let records = s.wal.lock().recover().expect("recovery scan");
+        let recs_only: Vec<LogRecord> = records.iter().map(|(_, r)| r.clone()).collect();
+        // Rebuild servers.
+        for (sid, server) in &s.servers {
+            let recovered = server_recover(site, *sid, &recs_only);
+            *server.lock() = recovered.server;
+        }
+        // Rebuild the engine.
+        let (engine, actions) = Engine::recover(site, self.inner.cfg.engine.clone(), &records);
+        *s.engine.lock() = engine;
+        s.alive.store(true, Ordering::SeqCst);
+        self.inner.apply_actions(s, actions);
+    }
+
+    /// Writes a checkpoint at `site`: every server's committed-state
+    /// snapshot plus the checkpoint marker, forced to the log. After
+    /// this, records older than the snapshot that belong to resolved
+    /// transactions are truncatable.
+    pub fn checkpoint(&self, site: SiteId) {
+        let s = self.inner.sites.get(&site).expect("unknown site");
+        let mut wal = s.wal.lock();
+        for server in s.servers.values() {
+            let snap = server.lock().snapshot();
+            let _ = wal.append(&snap);
+        }
+        let _ = wal.append(&LogRecord::Checkpoint);
+        let _ = wal.force();
+    }
+
+    /// True if the site is up.
+    pub fn is_alive(&self, site: SiteId) -> bool {
+        self.inner
+            .sites
+            .get(&site)
+            .map(|s| s.alive.load(Ordering::SeqCst))
+            .unwrap_or(false)
+    }
+
+    /// The committed value of an object at a server.
+    pub fn committed_value(
+        &self,
+        site: SiteId,
+        server: ServerId,
+        obj: camelot_types::ObjectId,
+    ) -> Vec<u8> {
+        self.inner
+            .sites
+            .get(&site)
+            .and_then(|s| s.servers.get(&server))
+            .map(|srv| srv.lock().committed_value(obj).to_vec())
+            .unwrap_or_default()
+    }
+
+    /// Stops every thread and joins them.
+    pub fn shutdown(mut self) {
+        let _ = self.inner.router_tx.send(RouterJob::Stop);
+        for s in self.inner.sites.values() {
+            for _ in 0..self.inner.cfg.tm_threads.max(1) {
+                let _ = s.tm_tx.send(None);
+            }
+            let _ = s.disk_tx.send(DiskJob::Stop);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// One TranMan worker: any thread serves any input (§3.4).
+fn tm_worker(inner: Arc<ClusterInner>, site: Arc<SiteShared>, rx: Receiver<Option<Input>>) {
+    while let Ok(Some(input)) = rx.recv() {
+        if !site.alive.load(Ordering::SeqCst) {
+            continue;
+        }
+        let now = inner.now();
+        let actions = {
+            let mut engine = site.engine.lock();
+            engine.handle(input, now)
+        };
+        inner.apply_actions(&site, actions);
+    }
+}
+
+/// The disk manager: single point of access to the log; group commit
+/// batches force requests that pile up while a write is in flight.
+fn disk_main(inner: Arc<ClusterInner>, site: Arc<SiteShared>, rx: Receiver<DiskJob>) {
+    loop {
+        let job = match rx.recv_timeout(inner.cfg.lazy_flush) {
+            Ok(j) => j,
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                // Background flush of lazily appended records.
+                flush(&inner, &site, Vec::new());
+                continue;
+            }
+            Err(_) => return,
+        };
+        match job {
+            DiskJob::Stop => return,
+            DiskJob::Append(rec) => {
+                let _ = site.wal.lock().append(&rec);
+            }
+            DiskJob::AppendNotify(rec, token) => {
+                let mut wal = site.wal.lock();
+                let _ = wal.append(&rec);
+                let end = wal.end_lsn();
+                drop(wal);
+                site.lazy.lock().push((token, end));
+            }
+            DiskJob::Force(rec, token) => {
+                let _ = site.wal.lock().append(&rec);
+                let mut tokens = vec![token];
+                // Group commit: absorb everything already queued.
+                if inner.cfg.group_commit {
+                    while let Ok(extra) = rx.try_recv() {
+                        match extra {
+                            DiskJob::Stop => {
+                                flush(&inner, &site, tokens);
+                                return;
+                            }
+                            DiskJob::Append(r) => {
+                                let _ = site.wal.lock().append(&r);
+                            }
+                            DiskJob::AppendNotify(r, t) => {
+                                let mut wal = site.wal.lock();
+                                let _ = wal.append(&r);
+                                let end = wal.end_lsn();
+                                drop(wal);
+                                site.lazy.lock().push((t, end));
+                            }
+                            DiskJob::Force(r, t) => {
+                                let _ = site.wal.lock().append(&r);
+                                tokens.push(t);
+                            }
+                        }
+                    }
+                }
+                flush(&inner, &site, tokens);
+            }
+        }
+    }
+}
+
+/// Performs one platter write and notifies force/lazy waiters.
+fn flush(inner: &ClusterInner, site: &SiteShared, tokens: Vec<ForceToken>) {
+    if !site.alive.load(Ordering::SeqCst) {
+        return;
+    }
+    let need_write = {
+        let wal = site.wal.lock();
+        !tokens.is_empty() || wal.end_lsn() > wal.durable_lsn()
+    };
+    if need_write {
+        std::thread::sleep(inner.cfg.platter_delay);
+        let _ = site.wal.lock().force();
+    }
+    for t in tokens {
+        let _ = site.tm_tx.send(Some(Input::LogForced { token: t }));
+    }
+    let durable = site.wal.lock().durable_lsn();
+    let mut lazy = site.lazy.lock();
+    let mut done = Vec::new();
+    lazy.retain(|(t, lsn)| {
+        if *lsn <= durable {
+            done.push(*t);
+            false
+        } else {
+            true
+        }
+    });
+    drop(lazy);
+    for t in done {
+        let _ = site.tm_tx.send(Some(Input::LogDurable { token: t }));
+    }
+}
+
+/// The router: delayed delivery of datagrams and timer firings, with
+/// cancellation; drops traffic to dead sites.
+fn router_main(inner: Arc<ClusterInner>, rx: Receiver<RouterJob>) {
+    struct Entry {
+        at: Instant,
+        seq: u64,
+        to: SiteId,
+        input: Input,
+        timer: Option<(SiteId, TimerToken)>,
+    }
+    let mut heap: Vec<Entry> = Vec::new();
+    let mut cancelled: HashSet<(SiteId, TimerToken)> = HashSet::new();
+    let mut seq = 0u64;
+    loop {
+        let timeout = heap
+            .iter()
+            .map(|e| e.at)
+            .min()
+            .map(|at| at.saturating_duration_since(Instant::now()))
+            .unwrap_or(StdDuration::from_millis(50));
+        match rx.recv_timeout(timeout) {
+            Ok(RouterJob::Stop) => return,
+            Ok(RouterJob::CancelTimer { site, token }) => {
+                cancelled.insert((site, token));
+            }
+            Ok(RouterJob::Deliver {
+                at,
+                to,
+                input,
+                timer,
+            }) => {
+                seq += 1;
+                heap.push(Entry {
+                    at,
+                    seq,
+                    to,
+                    input,
+                    timer,
+                });
+            }
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+            Err(_) => return,
+        }
+        // Deliver everything due.
+        let now = Instant::now();
+        let mut due: Vec<Entry> = Vec::new();
+        heap.retain_mut(|_| true); // no-op to appease borrow of retain + drain pattern below
+        let mut i = 0;
+        while i < heap.len() {
+            if heap[i].at <= now {
+                due.push(heap.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        due.sort_by_key(|e| (e.at, e.seq));
+        for e in due {
+            if let Some(key) = e.timer {
+                if cancelled.remove(&key) {
+                    continue;
+                }
+            }
+            if let Some(site) = inner.sites.get(&e.to) {
+                if site.alive.load(Ordering::SeqCst) {
+                    let _ = site.tm_tx.send(Some(e.input));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Real-thread Camelot runtime.
+//!
+//! The deterministic simulator (`camelot-node`) answers the paper's
+//! quantitative questions; this crate runs the *same protocol code*
+//! (the sans-io `camelot-core` engine, the `camelot-server` data
+//! servers, the `camelot-wal` group-commit batcher) under genuine
+//! concurrency, mirroring the paper's process structure:
+//!
+//! - a **transaction-manager worker pool** per site — "create a pool
+//!   of threads when the process starts […] have every thread wait
+//!   for any type of input, process the input, and resume waiting"
+//!   (§3.4); the engine's family table is the shared structure the
+//!   workers serialize on;
+//! - a **disk-manager thread** per site — the single point of access
+//!   to the log, where group commit batches force requests that
+//!   arrive while a platter write is in flight (§3.5);
+//! - a **router thread** — the NetMsgServer stand-in: delivers
+//!   inter-site datagrams after a configurable delay, drops traffic
+//!   to crashed sites;
+//! - **client handles** — synchronous begin / read / write / commit /
+//!   abort calls, like an application making Mach RPCs.
+//!
+//! Sites can be crashed (volatile state dropped, log truncated to the
+//! durable prefix) and restarted (engine and servers rebuilt by the
+//! recovery paths), so the examples can demonstrate non-blocking
+//! commitment surviving a coordinator failure *for real*.
+
+pub mod client;
+pub mod cluster;
+
+pub use client::Client;
+pub use cluster::{Cluster, RtConfig};

@@ -1,0 +1,453 @@
+//! Integration tests of the real-thread runtime: the same protocols
+//! as the simulator, under genuine concurrency.
+
+use std::time::Duration as StdDuration;
+
+use camelot_core::CommitMode;
+use camelot_net::Outcome;
+use camelot_rt::{Cluster, RtConfig};
+use camelot_types::{CamelotError, ObjectId, ServerId, SiteId};
+
+const S1: SiteId = SiteId(1);
+const S2: SiteId = SiteId(2);
+const S3: SiteId = SiteId(3);
+const SRV: ServerId = ServerId(1);
+
+fn quick_cfg() -> RtConfig {
+    let mut cfg = RtConfig::default();
+    cfg.datagram_delay = StdDuration::from_millis(1);
+    cfg.platter_delay = StdDuration::from_millis(1);
+    cfg.lazy_flush = StdDuration::from_millis(5);
+    // Short protocol timeouts so failure tests run quickly.
+    cfg.engine.nb_outcome_timeout = camelot_types::Duration::from_millis(150);
+    cfg.engine.takeover_window = camelot_types::Duration::from_millis(80);
+    cfg.engine.recruit_window = camelot_types::Duration::from_millis(80);
+    cfg.engine.takeover_retry = camelot_types::Duration::from_millis(150);
+    cfg.engine.inquiry_interval = camelot_types::Duration::from_millis(200);
+    cfg.engine.notify_resend_interval = camelot_types::Duration::from_millis(200);
+    cfg
+}
+
+#[test]
+fn local_transaction_commits_and_reads_back() {
+    let cluster = Cluster::new(1, quick_cfg());
+    let client = cluster.client(S1);
+    let tid = client.begin().unwrap();
+    client
+        .write(&tid, S1, SRV, ObjectId(1), b"hello".to_vec())
+        .unwrap();
+    let v = client.read(&tid, S1, SRV, ObjectId(1)).unwrap();
+    assert_eq!(v, b"hello");
+    let out = client.commit(&tid, CommitMode::TwoPhase).unwrap();
+    assert_eq!(out, Outcome::Committed);
+    // A later transaction sees the committed value.
+    let tid2 = client.begin().unwrap();
+    let v = client.read(&tid2, S1, SRV, ObjectId(1)).unwrap();
+    assert_eq!(v, b"hello");
+    client.commit(&tid2, CommitMode::TwoPhase).unwrap();
+    cluster.shutdown();
+}
+
+#[test]
+fn distributed_two_phase_commit() {
+    let cluster = Cluster::new(3, quick_cfg());
+    let client = cluster.client(S1);
+    let tid = client.begin().unwrap();
+    client
+        .write(&tid, S1, SRV, ObjectId(1), b"a".to_vec())
+        .unwrap();
+    client
+        .write(&tid, S2, SRV, ObjectId(2), b"b".to_vec())
+        .unwrap();
+    client
+        .write(&tid, S3, SRV, ObjectId(3), b"c".to_vec())
+        .unwrap();
+    let out = client.commit(&tid, CommitMode::TwoPhase).unwrap();
+    assert_eq!(out, Outcome::Committed);
+    // Every site applied its write.
+    std::thread::sleep(StdDuration::from_millis(100));
+    assert_eq!(cluster.committed_value(S1, SRV, ObjectId(1)), b"a");
+    assert_eq!(cluster.committed_value(S2, SRV, ObjectId(2)), b"b");
+    assert_eq!(cluster.committed_value(S3, SRV, ObjectId(3)), b"c");
+    cluster.shutdown();
+}
+
+#[test]
+fn distributed_nonblocking_commit() {
+    let cluster = Cluster::new(3, quick_cfg());
+    let client = cluster.client(S1);
+    let tid = client.begin().unwrap();
+    client
+        .write(&tid, S2, SRV, ObjectId(2), b"nb".to_vec())
+        .unwrap();
+    client
+        .write(&tid, S3, SRV, ObjectId(3), b"nb".to_vec())
+        .unwrap();
+    let out = client.commit(&tid, CommitMode::NonBlocking).unwrap();
+    assert_eq!(out, Outcome::Committed);
+    std::thread::sleep(StdDuration::from_millis(100));
+    assert_eq!(cluster.committed_value(S2, SRV, ObjectId(2)), b"nb");
+    assert_eq!(cluster.committed_value(S3, SRV, ObjectId(3)), b"nb");
+    cluster.shutdown();
+}
+
+#[test]
+fn abort_undoes_everywhere() {
+    let cluster = Cluster::new(2, quick_cfg());
+    let client = cluster.client(S1);
+    let tid = client.begin().unwrap();
+    client
+        .write(&tid, S1, SRV, ObjectId(1), b"x".to_vec())
+        .unwrap();
+    client
+        .write(&tid, S2, SRV, ObjectId(2), b"y".to_vec())
+        .unwrap();
+    client.abort(&tid).unwrap();
+    std::thread::sleep(StdDuration::from_millis(100));
+    assert_eq!(cluster.committed_value(S1, SRV, ObjectId(1)), b"");
+    assert_eq!(cluster.committed_value(S2, SRV, ObjectId(2)), b"");
+    cluster.shutdown();
+}
+
+#[test]
+fn nested_transactions_commit_and_abort() {
+    let cluster = Cluster::new(1, quick_cfg());
+    let client = cluster.client(S1);
+    let top = client.begin().unwrap();
+    client
+        .write(&top, S1, SRV, ObjectId(1), b"base".to_vec())
+        .unwrap();
+    // Child 1 commits into the parent.
+    let c1 = client.begin_nested(&top).unwrap();
+    client
+        .write(&c1, S1, SRV, ObjectId(2), b"kept".to_vec())
+        .unwrap();
+    client.commit_nested(&c1).unwrap();
+    // Child 2 aborts: its writes vanish.
+    let c2 = client.begin_nested(&top).unwrap();
+    client
+        .write(&c2, S1, SRV, ObjectId(3), b"gone".to_vec())
+        .unwrap();
+    client.abort(&c2).unwrap();
+    let out = client.commit(&top, CommitMode::TwoPhase).unwrap();
+    assert_eq!(out, Outcome::Committed);
+    std::thread::sleep(StdDuration::from_millis(50));
+    assert_eq!(cluster.committed_value(S1, SRV, ObjectId(1)), b"base");
+    assert_eq!(cluster.committed_value(S1, SRV, ObjectId(2)), b"kept");
+    assert_eq!(cluster.committed_value(S1, SRV, ObjectId(3)), b"");
+    cluster.shutdown();
+}
+
+#[test]
+fn lock_conflict_resolves_at_commit() {
+    let cluster = Cluster::new(1, quick_cfg());
+    let c1 = cluster.client(S1);
+    let c2 = cluster.client(S1);
+    let t1 = c1.begin().unwrap();
+    c1.write(&t1, S1, SRV, ObjectId(9), b"first".to_vec())
+        .unwrap();
+    // The second writer blocks until t1 commits; run it on a thread.
+    let h = std::thread::spawn(move || {
+        let t2 = c2.begin().unwrap();
+        c2.write(&t2, S1, SRV, ObjectId(9), b"second".to_vec())
+            .unwrap();
+        c2.commit(&t2, CommitMode::TwoPhase).unwrap()
+    });
+    std::thread::sleep(StdDuration::from_millis(50));
+    c1.commit(&t1, CommitMode::TwoPhase).unwrap();
+    assert_eq!(h.join().unwrap(), Outcome::Committed);
+    std::thread::sleep(StdDuration::from_millis(50));
+    assert_eq!(cluster.committed_value(S1, SRV, ObjectId(9)), b"second");
+    cluster.shutdown();
+}
+
+#[test]
+fn crash_and_restart_recovers_committed_data() {
+    let cluster = Cluster::new(1, quick_cfg());
+    let client = cluster.client(S1);
+    let tid = client.begin().unwrap();
+    client
+        .write(&tid, S1, SRV, ObjectId(7), b"durable".to_vec())
+        .unwrap();
+    client.commit(&tid, CommitMode::TwoPhase).unwrap();
+    // Give the lazy machinery a moment, then crash.
+    std::thread::sleep(StdDuration::from_millis(30));
+    cluster.crash(S1);
+    assert!(!cluster.is_alive(S1));
+    cluster.restart(S1);
+    assert!(cluster.is_alive(S1));
+    // The committed value survived (redo from the log).
+    assert_eq!(cluster.committed_value(S1, SRV, ObjectId(7)), b"durable");
+    // And new transactions run.
+    let client = cluster.client(S1);
+    let tid = client.begin().unwrap();
+    let v = client.read(&tid, S1, SRV, ObjectId(7)).unwrap();
+    assert_eq!(v, b"durable");
+    client.commit(&tid, CommitMode::TwoPhase).unwrap();
+    cluster.shutdown();
+}
+
+#[test]
+fn uncommitted_data_lost_in_crash() {
+    let cluster = Cluster::new(1, quick_cfg());
+    let client = cluster.client(S1);
+    let tid = client.begin().unwrap();
+    client
+        .write(&tid, S1, SRV, ObjectId(8), b"volatile".to_vec())
+        .unwrap();
+    // No commit: crash loses it.
+    cluster.crash(S1);
+    cluster.restart(S1);
+    assert_eq!(cluster.committed_value(S1, SRV, ObjectId(8)), b"");
+    cluster.shutdown();
+}
+
+#[test]
+fn operation_on_crashed_site_fails_cleanly() {
+    let cluster = Cluster::new(2, quick_cfg());
+    let client = cluster.client(S1);
+    let tid = client.begin().unwrap();
+    cluster.crash(S2);
+    let err = client.read(&tid, S2, SRV, ObjectId(1)).unwrap_err();
+    assert!(matches!(err, CamelotError::SiteDown(s) if s == S2));
+    client.abort(&tid).unwrap();
+    cluster.shutdown();
+}
+
+#[test]
+fn nonblocking_survives_coordinator_crash_mid_protocol() {
+    // The headline §3.3 property, on real threads: the coordinator
+    // dies right after issuing the commit; the subordinates finish
+    // the transaction among themselves.
+    let cluster = Cluster::new(3, quick_cfg());
+    let client = cluster.client(S1);
+    let tid = client.begin().unwrap();
+    client
+        .write(&tid, S2, SRV, ObjectId(2), b"v2".to_vec())
+        .unwrap();
+    client
+        .write(&tid, S3, SRV, ObjectId(3), b"v3".to_vec())
+        .unwrap();
+    // Fire the commit from a thread; crash the coordinator while the
+    // protocol is in flight.
+    let h = std::thread::spawn(move || {
+        // The call may fail (coordinator dies under it) — that's fine.
+        let _ = client.commit(&tid, CommitMode::NonBlocking);
+    });
+    std::thread::sleep(StdDuration::from_millis(4));
+    cluster.crash(S1);
+    let _ = h.join();
+    // Subordinate takeover must resolve both survivors identically:
+    // either both commit, or (if the prepares never arrived) both
+    // abort and stay empty. Poll until the takeover settles.
+    let deadline = std::time::Instant::now() + StdDuration::from_secs(10);
+    let (v2, v3) = loop {
+        let v2 = cluster.committed_value(S2, SRV, ObjectId(2));
+        let v3 = cluster.committed_value(S3, SRV, ObjectId(3));
+        let committed = v2 == b"v2" && v3 == b"v3";
+        if committed || std::time::Instant::now() > deadline {
+            break (v2, v3);
+        }
+        std::thread::sleep(StdDuration::from_millis(25));
+    };
+    assert_eq!(
+        v2 == b"v2",
+        v3 == b"v3",
+        "sites must agree: {v2:?} vs {v3:?}"
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn many_concurrent_clients_stay_consistent() {
+    // 8 clients hammer 4 counters with read-modify-write transactions;
+    // the final sum must equal the number of successful increments.
+    let cluster = std::sync::Arc::new(Cluster::new(1, quick_cfg()));
+    let mut handles = Vec::new();
+    for k in 0..8u64 {
+        let cluster = cluster.clone();
+        handles.push(std::thread::spawn(move || {
+            let client = cluster.client(S1);
+            let mut commits = 0u64;
+            for i in 0..10u64 {
+                let obj = ObjectId(k % 4);
+                let tid = match client.begin() {
+                    Ok(t) => t,
+                    Err(_) => continue,
+                };
+                let cur = match client.read(&tid, S1, SRV, obj) {
+                    Ok(v) => v,
+                    Err(_) => {
+                        let _ = client.abort(&tid);
+                        continue;
+                    }
+                };
+                let n = if cur.is_empty() {
+                    0u64
+                } else {
+                    u64::from_le_bytes(cur.try_into().unwrap())
+                };
+                let next = (n + 1).to_le_bytes().to_vec();
+                if client.write(&tid, S1, SRV, obj, next).is_err() {
+                    let _ = client.abort(&tid);
+                    continue;
+                }
+                match client.commit(&tid, CommitMode::TwoPhase) {
+                    Ok(Outcome::Committed) => commits += 1,
+                    _ => {}
+                }
+                let _ = i;
+            }
+            commits
+        }));
+    }
+    let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    std::thread::sleep(StdDuration::from_millis(100));
+    let mut sum = 0u64;
+    for obj in 0..4u64 {
+        let v = cluster.committed_value(S1, SRV, ObjectId(obj));
+        if !v.is_empty() {
+            sum += u64::from_le_bytes(v.try_into().unwrap());
+        }
+    }
+    assert_eq!(sum, total, "lost or phantom increments");
+    match std::sync::Arc::try_unwrap(cluster) {
+        Ok(c) => c.shutdown(),
+        Err(_) => panic!("cluster still referenced"),
+    }
+}
+
+#[test]
+fn persistent_logs_survive_whole_cluster_restart() {
+    // File-backed logs: commit, shut the whole cluster down, start a
+    // new cluster on the same directory — the data is still there.
+    let dir = std::env::temp_dir().join(format!("camelot-rt-persist-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut cfg = quick_cfg();
+    cfg.log_dir = Some(dir.clone());
+    {
+        let cluster = Cluster::new(2, cfg.clone());
+        let client = cluster.client(S1);
+        let tid = client.begin().unwrap();
+        client
+            .write(&tid, S1, SRV, ObjectId(5), b"persistent".to_vec())
+            .unwrap();
+        client
+            .write(&tid, S2, SRV, ObjectId(6), b"also".to_vec())
+            .unwrap();
+        client.commit(&tid, CommitMode::TwoPhase).unwrap();
+        // Let the subordinate's lazy commit record flush.
+        std::thread::sleep(StdDuration::from_millis(80));
+        cluster.shutdown();
+    }
+    {
+        let cluster = Cluster::new(2, cfg);
+        // Startup recovery replays the logs.
+        assert_eq!(cluster.committed_value(S1, SRV, ObjectId(5)), b"persistent");
+        assert_eq!(cluster.committed_value(S2, SRV, ObjectId(6)), b"also");
+        // And the cluster is fully operational.
+        let client = cluster.client(S1);
+        let tid = client.begin().unwrap();
+        let v = client.read(&tid, S1, SRV, ObjectId(5)).unwrap();
+        assert_eq!(v, b"persistent");
+        client.commit(&tid, CommitMode::TwoPhase).unwrap();
+        cluster.shutdown();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn checkpoint_then_crash_recovers_from_snapshot() {
+    let cluster = Cluster::new(1, quick_cfg());
+    let client = cluster.client(S1);
+    // Several generations of committed state.
+    for (obj, val) in [(1u64, b"one".to_vec()), (2, b"two".to_vec())] {
+        let tid = client.begin().unwrap();
+        client.write(&tid, S1, SRV, ObjectId(obj), val).unwrap();
+        client.commit(&tid, CommitMode::TwoPhase).unwrap();
+    }
+    cluster.checkpoint(S1);
+    // Post-checkpoint activity: an overwrite and an uncommitted write.
+    let tid = client.begin().unwrap();
+    client
+        .write(&tid, S1, SRV, ObjectId(1), b"one-v2".to_vec())
+        .unwrap();
+    client.commit(&tid, CommitMode::TwoPhase).unwrap();
+    let doomed = client.begin().unwrap();
+    client
+        .write(&doomed, S1, SRV, ObjectId(3), b"volatile".to_vec())
+        .unwrap();
+    // Crash with the last transaction unresolved.
+    std::thread::sleep(StdDuration::from_millis(40));
+    cluster.crash(S1);
+    cluster.restart(S1);
+    assert_eq!(cluster.committed_value(S1, SRV, ObjectId(1)), b"one-v2");
+    assert_eq!(cluster.committed_value(S1, SRV, ObjectId(2)), b"two");
+    assert_eq!(cluster.committed_value(S1, SRV, ObjectId(3)), b"");
+    cluster.shutdown();
+}
+
+#[test]
+fn deadlock_resolves_via_call_timeout_and_abort() {
+    // Two clients acquire X locks in opposite orders: a classic
+    // deadlock. Camelot's answer at the data level is the call
+    // timeout: the blocked operation errors, the application aborts,
+    // and the other transaction proceeds.
+    let mut cfg = quick_cfg();
+    cfg.call_timeout = StdDuration::from_millis(400);
+    let cluster = std::sync::Arc::new(Cluster::new(1, cfg));
+    let a = cluster.client(S1);
+    let b = cluster.client(S1);
+    let ta = a.begin().unwrap();
+    let tb = b.begin().unwrap();
+    a.write(&ta, S1, SRV, ObjectId(1), b"a1".to_vec()).unwrap();
+    b.write(&tb, S1, SRV, ObjectId(2), b"b2".to_vec()).unwrap();
+    // Cross: each now wants the other's object.
+    let h = {
+        let cluster = cluster.clone();
+        std::thread::spawn(move || {
+            let r = b.write(&tb, S1, SRV, ObjectId(1), b"b1".to_vec());
+            match r {
+                Ok(_) => b.commit(&tb, CommitMode::TwoPhase).map(|_| true),
+                Err(_) => {
+                    // Timed out: abort and report.
+                    let _ = b.abort(&tb);
+                    Ok(false)
+                }
+            }
+            .map(|committed| {
+                let _ = &cluster;
+                committed
+            })
+        })
+    };
+    let ra = a.write(&ta, S1, SRV, ObjectId(2), b"a2".to_vec());
+    let a_committed = match ra {
+        Ok(_) => {
+            a.commit(&ta, CommitMode::TwoPhase).unwrap();
+            true
+        }
+        Err(_) => {
+            let _ = a.abort(&ta);
+            false
+        }
+    };
+    let b_committed = h.join().unwrap().unwrap();
+    // At least one side must have made progress (no permanent hang),
+    // and the committed values must be internally consistent.
+    assert!(
+        a_committed || b_committed,
+        "deadlock must resolve via timeout"
+    );
+    std::thread::sleep(StdDuration::from_millis(100));
+    if a_committed {
+        assert_eq!(cluster.committed_value(S1, SRV, ObjectId(2)), b"a2");
+    }
+    if b_committed {
+        assert_eq!(cluster.committed_value(S1, SRV, ObjectId(1)), b"b1");
+    }
+    match std::sync::Arc::try_unwrap(cluster) {
+        Ok(c) => c.shutdown(),
+        Err(_) => panic!("cluster still referenced"),
+    }
+}

@@ -1,0 +1,132 @@
+//! Error types shared across the Camelot crates.
+
+use std::fmt;
+
+use crate::ids::{SiteId, Tid};
+
+/// The unified error type of the Camelot facility.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CamelotError {
+    /// The named transaction is unknown at this transaction manager.
+    /// Under presumed abort this is also the authoritative "it
+    /// aborted" answer for inquiries about forgotten transactions.
+    UnknownTransaction(Tid),
+    /// The transaction was aborted; carries a human-readable reason.
+    Aborted(Tid, AbortReason),
+    /// A call arrived in a state where it is not legal (e.g. an
+    /// operation after commit has begun).
+    BadState { tid: Tid, detail: &'static str },
+    /// The named site is unreachable or crashed.
+    SiteDown(SiteId),
+    /// A lock could not be granted without violating the deadlock-
+    /// avoidance policy, or the waiter timed out.
+    LockTimeout,
+    /// The log or its backing store failed.
+    Log(String),
+    /// Wire or log bytes failed to decode.
+    Codec(String),
+    /// Commitment blocked: the protocol cannot currently decide
+    /// (e.g. 2PC subordinate that lost its coordinator, or a
+    /// non-blocking participant facing a multi-failure partition).
+    Blocked(Tid),
+    /// Name-service lookup failed.
+    UnknownService(String),
+    /// An invariant was violated; carries a description. Returned
+    /// instead of panicking in release paths.
+    Internal(String),
+}
+
+/// Why a transaction aborted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AbortReason {
+    /// The application requested abort.
+    Application,
+    /// A data server voted no / rejected an operation.
+    ServerVetoed,
+    /// A participant site crashed or timed out during execution.
+    SiteFailure,
+    /// Timeout waiting for votes during commitment (presumed abort).
+    VoteTimeout,
+    /// The coordinator decided abort during the non-blocking protocol's
+    /// termination (an abort quorum formed).
+    AbortQuorum,
+    /// Deadlock-avoidance or lock-wait timeout.
+    LockTimeout,
+    /// Aborted as part of recovery after a crash.
+    Recovery,
+    /// Parent transaction aborted, dragging this subtransaction down.
+    ParentAborted,
+}
+
+impl fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AbortReason::Application => "application requested abort",
+            AbortReason::ServerVetoed => "data server vetoed",
+            AbortReason::SiteFailure => "participant site failure",
+            AbortReason::VoteTimeout => "timeout collecting votes",
+            AbortReason::AbortQuorum => "abort quorum formed",
+            AbortReason::LockTimeout => "lock wait timed out",
+            AbortReason::Recovery => "aborted during recovery",
+            AbortReason::ParentAborted => "parent transaction aborted",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for CamelotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CamelotError::UnknownTransaction(t) => write!(f, "unknown transaction {t}"),
+            CamelotError::Aborted(t, r) => write!(f, "transaction {t} aborted: {r}"),
+            CamelotError::BadState { tid, detail } => {
+                write!(f, "bad state for {tid}: {detail}")
+            }
+            CamelotError::SiteDown(s) => write!(f, "{s} is down"),
+            CamelotError::LockTimeout => write!(f, "lock wait timed out"),
+            CamelotError::Log(m) => write!(f, "log error: {m}"),
+            CamelotError::Codec(m) => write!(f, "codec error: {m}"),
+            CamelotError::Blocked(t) => write!(f, "commitment of {t} is blocked"),
+            CamelotError::UnknownService(n) => write!(f, "unknown service {n:?}"),
+            CamelotError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CamelotError {}
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, CamelotError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{FamilyId, SiteId};
+
+    #[test]
+    fn display_is_informative() {
+        let tid = Tid::top_level(FamilyId {
+            origin: SiteId(1),
+            seq: 2,
+        });
+        let e = CamelotError::Aborted(tid.clone(), AbortReason::VoteTimeout);
+        assert_eq!(
+            e.to_string(),
+            "transaction F1.2 aborted: timeout collecting votes"
+        );
+        assert_eq!(
+            CamelotError::UnknownService("bank".into()).to_string(),
+            "unknown service \"bank\""
+        );
+        assert_eq!(
+            CamelotError::Blocked(tid).to_string(),
+            "commitment of F1.2 is blocked"
+        );
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(CamelotError::LockTimeout);
+        assert_eq!(e.to_string(), "lock wait timed out");
+    }
+}

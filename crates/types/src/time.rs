@@ -1,0 +1,245 @@
+//! Virtual time for the deterministic simulator.
+//!
+//! Times and durations are carried as integer **microseconds**. The
+//! paper reports latencies in milliseconds and primitive costs down to
+//! tens of microseconds (Table 1), so microsecond resolution loses
+//! nothing while keeping arithmetic exact — important because the
+//! simulator must be bit-for-bit deterministic for a given seed.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A span of virtual time, in integer microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(pub u64);
+
+impl Duration {
+    pub const ZERO: Duration = Duration(0);
+
+    /// Constructs a duration from whole microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        Duration(us)
+    }
+
+    /// Constructs a duration from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Duration(ms * 1_000)
+    }
+
+    /// Constructs a duration from fractional milliseconds, rounding to
+    /// the nearest microsecond. Useful because the paper quotes costs
+    /// like 1.5 ms and 1.7 ms.
+    pub fn from_millis_f64(ms: f64) -> Self {
+        assert!(
+            ms >= 0.0 && ms.is_finite(),
+            "duration must be non-negative and finite"
+        );
+        Duration((ms * 1_000.0).round() as u64)
+    }
+
+    /// Constructs a duration from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        Duration(s * 1_000_000)
+    }
+
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+
+    pub fn max(self, rhs: Duration) -> Duration {
+        Duration(self.0.max(rhs.0))
+    }
+
+    pub fn min(self, rhs: Duration) -> Duration {
+        Duration(self.0.min(rhs.0))
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Duration {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0.checked_sub(rhs.0).expect("duration underflow"))
+    }
+}
+
+impl SubAssign for Duration {
+    fn sub_assign(&mut self, rhs: Duration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for Duration {
+    type Output = Duration;
+    fn mul(self, rhs: u64) -> Duration {
+        Duration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Duration {
+    type Output = Duration;
+    fn div(self, rhs: u64) -> Duration {
+        Duration(self.0 / rhs)
+    }
+}
+
+impl Sum for Duration {
+    fn sum<I: Iterator<Item = Duration>>(iter: I) -> Duration {
+        iter.fold(Duration::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 % 1_000 == 0 {
+            write!(f, "{}ms", self.0 / 1_000)
+        } else {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        }
+    }
+}
+
+/// An instant of virtual time: microseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(pub u64);
+
+impl Time {
+    pub const ZERO: Time = Time(0);
+
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Duration elapsed since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self`; that is always a bug
+    /// in event ordering.
+    pub fn since(self, earlier: Time) -> Duration {
+        Duration(self.0.checked_sub(earlier.0).expect("time went backwards"))
+    }
+}
+
+impl Add<Duration> for Time {
+    type Output = Time;
+    fn add(self, rhs: Duration) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for Time {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Duration;
+    fn sub(self, rhs: Time) -> Duration {
+        self.since(rhs)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.3}ms", self.as_millis_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_conversion() {
+        assert_eq!(Duration::from_millis(15).as_micros(), 15_000);
+        assert_eq!(Duration::from_millis_f64(1.5).as_micros(), 1_500);
+        assert_eq!(Duration::from_millis_f64(1.7).as_micros(), 1_700);
+        assert_eq!(Duration::from_secs(2).as_millis_f64(), 2_000.0);
+        assert_eq!(Duration::from_micros(137).as_micros(), 137);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Duration::from_millis(10);
+        let b = Duration::from_millis(4);
+        assert_eq!(a + b, Duration::from_millis(14));
+        assert_eq!(a - b, Duration::from_millis(6));
+        assert_eq!(a * 3, Duration::from_millis(30));
+        assert_eq!(a / 2, Duration::from_millis(5));
+        assert_eq!(b.saturating_sub(a), Duration::ZERO);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    fn time_advances() {
+        let t0 = Time::ZERO;
+        let t1 = t0 + Duration::from_millis(29);
+        assert_eq!(t1.since(t0), Duration::from_millis(29));
+        assert_eq!(t1 - t0, Duration::from_millis(29));
+        let mut t = t1;
+        t += Duration::from_millis(1);
+        assert_eq!(t.as_micros(), 30_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn since_panics_on_reversal() {
+        let _ = Time::ZERO.since(Time(1));
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: Duration = [
+            Duration::from_millis(1),
+            Duration::from_millis(2),
+            Duration::from_millis(3),
+        ]
+        .into_iter()
+        .sum();
+        assert_eq!(total, Duration::from_millis(6));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Duration::from_millis(15).to_string(), "15ms");
+        assert_eq!(Duration::from_millis_f64(1.5).to_string(), "1.500ms");
+        assert_eq!(Time(29_000).to_string(), "t=29.000ms");
+    }
+}

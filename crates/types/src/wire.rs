@@ -1,0 +1,444 @@
+//! Minimal binary wire/log encoding.
+//!
+//! Log records and inter-site datagrams share one hand-rolled binary
+//! format: little-endian fixed-width integers, length-prefixed byte
+//! strings, and length-prefixed sequences. The format is deliberately
+//! simple — a stable-storage log format wants explicit layout and
+//! explicit versioning, not a general serialization framework.
+//!
+//! [`Writer`] appends to a growable buffer; [`Reader`] consumes a byte
+//! slice and fails with [`CamelotError::Codec`] on truncation, so a
+//! torn log tail is detected rather than misparsed.
+
+use crate::error::{CamelotError, Result};
+use crate::ids::{FamilyId, Lsn, ObjectId, ServerId, SiteId, Tid};
+
+/// Append-only encoder.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    pub fn new() -> Self {
+        Writer { buf: Vec::new() }
+    }
+
+    pub fn with_capacity(n: usize) -> Self {
+        Writer {
+            buf: Vec::with_capacity(n),
+        }
+    }
+
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(v as u8);
+    }
+
+    /// Length-prefixed (u32) byte string.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u32(u32::try_from(v.len()).expect("byte string too long"));
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+
+    pub fn put<T: Wire>(&mut self, v: &T) {
+        v.encode(self);
+    }
+
+    /// Length-prefixed sequence.
+    pub fn put_seq<T: Wire>(&mut self, items: &[T]) {
+        self.put_u32(u32::try_from(items.len()).expect("sequence too long"));
+        for it in items {
+            it.encode(self);
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Consuming decoder over a byte slice.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+fn short() -> CamelotError {
+    CamelotError::Codec("unexpected end of input".into())
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub fn is_done(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(short());
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn get_u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn get_u16(&mut self) -> Result<u16> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    pub fn get_u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub fn get_u64(&mut self) -> Result<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    pub fn get_bool(&mut self) -> Result<bool> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            v => Err(CamelotError::Codec(format!("invalid bool byte {v}"))),
+        }
+    }
+
+    pub fn get_bytes(&mut self) -> Result<Vec<u8>> {
+        let n = self.get_u32()? as usize;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    pub fn get_str(&mut self) -> Result<String> {
+        let b = self.get_bytes()?;
+        String::from_utf8(b).map_err(|e| CamelotError::Codec(format!("invalid utf8: {e}")))
+    }
+
+    pub fn get<T: Wire>(&mut self) -> Result<T> {
+        T::decode(self)
+    }
+
+    pub fn get_seq<T: Wire>(&mut self) -> Result<Vec<T>> {
+        let n = self.get_u32()? as usize;
+        // Cap pre-allocation: a corrupted length must not OOM us.
+        let mut v = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            v.push(T::decode(self)?);
+        }
+        Ok(v)
+    }
+}
+
+/// Types with a canonical wire encoding.
+pub trait Wire: Sized {
+    fn encode(&self, w: &mut Writer);
+    fn decode(r: &mut Reader<'_>) -> Result<Self>;
+
+    /// Encodes into a fresh byte vector.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        self.encode(&mut w);
+        w.into_vec()
+    }
+
+    /// Decodes from a byte slice, requiring that all input is consumed.
+    fn from_bytes(buf: &[u8]) -> Result<Self> {
+        let mut r = Reader::new(buf);
+        let v = Self::decode(&mut r)?;
+        if !r.is_done() {
+            return Err(CamelotError::Codec(format!(
+                "{} trailing bytes",
+                r.remaining()
+            )));
+        }
+        Ok(v)
+    }
+}
+
+impl Wire for u32 {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32(*self);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        r.get_u32()
+    }
+}
+
+impl Wire for u64 {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(*self);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        r.get_u64()
+    }
+}
+
+impl Wire for bool {
+    fn encode(&self, w: &mut Writer) {
+        w.put_bool(*self);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        r.get_bool()
+    }
+}
+
+impl Wire for String {
+    fn encode(&self, w: &mut Writer) {
+        w.put_str(self);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        r.get_str()
+    }
+}
+
+impl Wire for Vec<u8> {
+    fn encode(&self, w: &mut Writer) {
+        w.put_bytes(self);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        r.get_bytes()
+    }
+}
+
+impl Wire for SiteId {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32(self.0);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(SiteId(r.get_u32()?))
+    }
+}
+
+impl Wire for ServerId {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32(self.0);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(ServerId(r.get_u32()?))
+    }
+}
+
+impl Wire for ObjectId {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.0);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(ObjectId(r.get_u64()?))
+    }
+}
+
+impl Wire for Lsn {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.0);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(Lsn(r.get_u64()?))
+    }
+}
+
+impl Wire for FamilyId {
+    fn encode(&self, w: &mut Writer) {
+        w.put(&self.origin);
+        w.put_u64(self.seq);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(FamilyId {
+            origin: r.get()?,
+            seq: r.get_u64()?,
+        })
+    }
+}
+
+impl Wire for Tid {
+    fn encode(&self, w: &mut Writer) {
+        w.put(&self.family);
+        w.put_u32(u32::try_from(self.path.len()).expect("nesting too deep"));
+        for seg in &self.path {
+            w.put_u32(*seg);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        let family = r.get()?;
+        let n = r.get_u32()? as usize;
+        let mut path = Vec::with_capacity(n.min(64));
+        for _ in 0..n {
+            path.push(r.get_u32()?);
+        }
+        Ok(Tid { family, path })
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            None => w.put_u8(0),
+            Some(v) => {
+                w.put_u8(1);
+                v.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        match r.get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            v => Err(CamelotError::Codec(format!("invalid option tag {v}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        let b = v.to_bytes();
+        assert_eq!(T::from_bytes(&b).unwrap(), v);
+    }
+
+    #[test]
+    fn primitive_roundtrips() {
+        roundtrip(0u32);
+        roundtrip(u32::MAX);
+        roundtrip(u64::MAX);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(String::from("camelot"));
+        roundtrip(String::new());
+        roundtrip(vec![0u8, 1, 255]);
+    }
+
+    #[test]
+    fn id_roundtrips() {
+        roundtrip(SiteId(3));
+        roundtrip(ServerId(9));
+        roundtrip(ObjectId(u64::MAX));
+        roundtrip(Lsn(123456789));
+        roundtrip(FamilyId {
+            origin: SiteId(2),
+            seq: 77,
+        });
+        let t = Tid::top_level(FamilyId {
+            origin: SiteId(1),
+            seq: 5,
+        })
+        .child(1)
+        .child(9);
+        roundtrip(t);
+        roundtrip(Tid::top_level(FamilyId {
+            origin: SiteId(0),
+            seq: 0,
+        }));
+    }
+
+    #[test]
+    fn option_roundtrips() {
+        roundtrip(Option::<u32>::None);
+        roundtrip(Some(42u32));
+    }
+
+    #[test]
+    fn sequences() {
+        let sites = vec![SiteId(1), SiteId(2), SiteId(3)];
+        let mut w = Writer::new();
+        w.put_seq(&sites);
+        let mut r = Reader::new(w.as_slice());
+        assert_eq!(r.get_seq::<SiteId>().unwrap(), sites);
+        assert!(r.is_done());
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let t = Tid::top_level(FamilyId {
+            origin: SiteId(1),
+            seq: 5,
+        })
+        .child(2);
+        let b = t.to_bytes();
+        for cut in 0..b.len() {
+            let r = Tid::from_bytes(&b[..cut]);
+            assert!(r.is_err(), "decode of {cut}-byte prefix should fail");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut b = 7u32.to_bytes();
+        b.push(0);
+        assert!(u32::from_bytes(&b).is_err());
+    }
+
+    #[test]
+    fn invalid_bool_and_option_tags() {
+        assert!(bool::from_bytes(&[2]).is_err());
+        assert!(Option::<u32>::from_bytes(&[9]).is_err());
+    }
+
+    #[test]
+    fn corrupt_length_does_not_overallocate() {
+        // A huge length prefix with no payload must fail cleanly.
+        let mut w = Writer::new();
+        w.put_u32(u32::MAX);
+        let mut r = Reader::new(w.as_slice());
+        assert!(r.get_seq::<u64>().is_err());
+    }
+
+    #[test]
+    fn writer_utilities() {
+        let mut w = Writer::with_capacity(16);
+        assert!(w.is_empty());
+        w.put_u16(0xBEEF);
+        assert_eq!(w.len(), 2);
+        let mut r = Reader::new(w.as_slice());
+        assert_eq!(r.get_u16().unwrap(), 0xBEEF);
+    }
+}

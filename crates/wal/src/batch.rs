@@ -1,0 +1,390 @@
+//! Group commit (log batching), sans-io.
+//!
+//! "If the log is implemented as a disk, then a transaction facility
+//! cannot do more than about 30 log writes per second. To provide
+//! throughput rates greater than 30 TPS requires writing log records
+//! that indicate the commitment of many transactions, a technique
+//! which is called log batching or group commit. It sacrifices latency
+//! in order to increase throughput. Camelot batches log records within
+//! the disk manager, which is the single point of access to the log."
+//! (paper §3.5)
+//!
+//! [`GroupCommitBatcher`] is a pure state machine: callers feed it
+//! force *requests*, platter-write *completions* and *timer* firings;
+//! it answers with [`BatcherAction`]s (start a platter write, arm a
+//! timer, requests now satisfied). The discrete-event simulator and
+//! the real-thread disk manager drive the same machine, so the
+//! batching behaviour measured in Figure 4 is the behaviour the real
+//! runtime executes.
+
+use camelot_types::{Duration, Lsn, Time};
+
+/// Identifies one force request (assigned by the caller).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ReqId(pub u64);
+
+/// Batching policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchPolicy {
+    /// No batching: each request gets its own platter write (requests
+    /// queue FIFO behind the busy disk). This is the "group commit
+    /// off" configuration of Figure 4.
+    Immediate,
+    /// Classic group commit: all requests pending when the disk frees
+    /// are satisfied by one write.
+    Coalesce,
+    /// Group commit with an accumulation timer: after the first
+    /// request arrives, wait up to the window before writing, so more
+    /// requests can share the platter write. (The "group commit
+    /// timers" of Helland et al., cited by the paper.)
+    Window(Duration),
+}
+
+/// What the driver must do next.
+#[derive(Debug, PartialEq, Eq)]
+pub enum BatcherAction {
+    /// Start a platter write making everything up to `upto` durable.
+    /// Exactly one write may be in flight; report completion with
+    /// [`GroupCommitBatcher::write_complete`].
+    StartWrite { upto: Lsn },
+    /// Arm a timer for the given time carrying this epoch; when it
+    /// fires, call [`GroupCommitBatcher::timer_fired`] with the epoch.
+    /// A newer `SetTimer` supersedes older ones (stale epochs are
+    /// ignored), so drivers never need to cancel.
+    SetTimer { at: Time, epoch: u64 },
+    /// These requests' records are durable; unblock their waiters.
+    Satisfied { reqs: Vec<ReqId>, durable: Lsn },
+}
+
+/// The group-commit state machine.
+#[derive(Debug)]
+pub struct GroupCommitBatcher {
+    policy: BatchPolicy,
+    /// LSN watermark the in-flight write will establish, if any.
+    in_flight: Option<Lsn>,
+    /// Waiting requests in arrival order.
+    pending: Vec<(ReqId, Lsn)>,
+    /// Durable watermark (exclusive: all bytes below are durable).
+    durable: Lsn,
+    timer_epoch: u64,
+    timer_armed: bool,
+    /// Platter writes started (the figure-4 "log writes" count).
+    writes: u64,
+    /// Requests satisfied in total.
+    satisfied: u64,
+    /// Largest number of requests one write satisfied.
+    max_batch: u64,
+}
+
+impl GroupCommitBatcher {
+    pub fn new(policy: BatchPolicy) -> Self {
+        GroupCommitBatcher {
+            policy,
+            in_flight: None,
+            pending: Vec::new(),
+            durable: Lsn(0),
+            timer_epoch: 0,
+            timer_armed: false,
+            writes: 0,
+            satisfied: 0,
+            max_batch: 0,
+        }
+    }
+
+    pub fn policy(&self) -> BatchPolicy {
+        self.policy
+    }
+
+    /// Platter writes started so far.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Requests satisfied so far.
+    pub fn satisfied_count(&self) -> u64 {
+        self.satisfied
+    }
+
+    /// Largest batch (requests per write) seen.
+    pub fn max_batch(&self) -> u64 {
+        self.max_batch
+    }
+
+    /// Requests currently waiting.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Durable watermark.
+    pub fn durable(&self) -> Lsn {
+        self.durable
+    }
+
+    /// How many pending requests a write up to `upto` would satisfy —
+    /// the batch size of that write (used by cost models charging
+    /// per-record work).
+    pub fn pending_covered(&self, upto: Lsn) -> usize {
+        self.pending.iter().filter(|&&(_, l)| l <= upto).count()
+    }
+
+    /// A caller wants everything up to and including the record at
+    /// `lsn_end` (use the store's `end_lsn` after appending) durable.
+    pub fn request(&mut self, req: ReqId, lsn_end: Lsn, now: Time) -> Vec<BatcherAction> {
+        if lsn_end <= self.durable {
+            self.satisfied += 1;
+            return vec![BatcherAction::Satisfied {
+                reqs: vec![req],
+                durable: self.durable,
+            }];
+        }
+        self.pending.push((req, lsn_end));
+        self.maybe_start(now, false)
+    }
+
+    /// The driver finished the platter write previously requested.
+    pub fn write_complete(&mut self, now: Time) -> Vec<BatcherAction> {
+        let upto = self
+            .in_flight
+            .take()
+            .expect("write_complete without StartWrite");
+        self.durable = self.durable.max(upto);
+        let mut done = Vec::new();
+        self.pending.retain(|&(req, lsn)| {
+            if lsn <= self.durable {
+                done.push(req);
+                false
+            } else {
+                true
+            }
+        });
+        let mut actions = Vec::new();
+        if !done.is_empty() {
+            self.satisfied += done.len() as u64;
+            self.max_batch = self.max_batch.max(done.len() as u64);
+            actions.push(BatcherAction::Satisfied {
+                reqs: done,
+                durable: self.durable,
+            });
+        }
+        actions.extend(self.maybe_start(now, true));
+        actions
+    }
+
+    /// A previously armed timer fired. Stale epochs are ignored.
+    pub fn timer_fired(&mut self, epoch: u64, now: Time) -> Vec<BatcherAction> {
+        if !self.timer_armed || epoch != self.timer_epoch {
+            return Vec::new();
+        }
+        self.timer_armed = false;
+        self.maybe_start(now, true)
+    }
+
+    fn start_write(&mut self, upto: Lsn) -> Vec<BatcherAction> {
+        debug_assert!(self.in_flight.is_none());
+        self.in_flight = Some(upto);
+        self.writes += 1;
+        vec![BatcherAction::StartWrite { upto }]
+    }
+
+    fn max_pending_lsn(&self) -> Lsn {
+        self.pending
+            .iter()
+            .map(|&(_, l)| l)
+            .max()
+            .expect("pending not empty")
+    }
+
+    /// Decides whether to start a write now. `window_expired` is true
+    /// when called from a timer firing or a write completion (the
+    /// accumulation window no longer applies to what is queued).
+    fn maybe_start(&mut self, now: Time, window_expired: bool) -> Vec<BatcherAction> {
+        if self.in_flight.is_some() || self.pending.is_empty() {
+            return Vec::new();
+        }
+        match self.policy {
+            BatchPolicy::Immediate => {
+                // One write per request, FIFO: write only as far as the
+                // oldest request needs. (Later requests whose records
+                // happen to fall below that watermark ride along — a
+                // real disk cannot avoid making a prefix durable.)
+                let upto = self.pending[0].1;
+                self.start_write(upto)
+            }
+            BatchPolicy::Coalesce => {
+                let upto = self.max_pending_lsn();
+                self.start_write(upto)
+            }
+            BatchPolicy::Window(d) => {
+                if window_expired {
+                    let upto = self.max_pending_lsn();
+                    self.start_write(upto)
+                } else if !self.timer_armed {
+                    self.timer_epoch += 1;
+                    self.timer_armed = true;
+                    vec![BatcherAction::SetTimer {
+                        at: now + d,
+                        epoch: self.timer_epoch,
+                    }]
+                } else {
+                    Vec::new()
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> Time {
+        Time(ms * 1000)
+    }
+
+    fn satisfied(actions: &[BatcherAction]) -> Vec<ReqId> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                BatcherAction::Satisfied { reqs, .. } => Some(reqs.clone()),
+                _ => None,
+            })
+            .flatten()
+            .collect()
+    }
+
+    fn starts(actions: &[BatcherAction]) -> Vec<Lsn> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                BatcherAction::StartWrite { upto } => Some(*upto),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn immediate_gives_each_request_its_own_write() {
+        let mut b = GroupCommitBatcher::new(BatchPolicy::Immediate);
+        let a1 = b.request(ReqId(1), Lsn(100), t(0));
+        assert_eq!(starts(&a1), vec![Lsn(100)]);
+        // Second request while the disk is busy: queued, no new write.
+        let a2 = b.request(ReqId(2), Lsn(200), t(1));
+        assert!(starts(&a2).is_empty());
+        // First write completes: request 1 satisfied, request 2's
+        // write starts.
+        let a3 = b.write_complete(t(33));
+        assert_eq!(satisfied(&a3), vec![ReqId(1)]);
+        assert_eq!(starts(&a3), vec![Lsn(200)]);
+        let a4 = b.write_complete(t(66));
+        assert_eq!(satisfied(&a4), vec![ReqId(2)]);
+        assert_eq!(b.writes(), 2);
+    }
+
+    #[test]
+    fn coalesce_satisfies_all_pending_with_one_write() {
+        let mut b = GroupCommitBatcher::new(BatchPolicy::Coalesce);
+        let a1 = b.request(ReqId(1), Lsn(100), t(0));
+        assert_eq!(starts(&a1), vec![Lsn(100)]);
+        // Three more requests arrive while the disk is busy.
+        b.request(ReqId(2), Lsn(150), t(1));
+        b.request(ReqId(3), Lsn(250), t(2));
+        b.request(ReqId(4), Lsn(200), t(3));
+        // First write completes: only request 1 is durable.
+        let a2 = b.write_complete(t(33));
+        assert_eq!(satisfied(&a2), vec![ReqId(1)]);
+        // One combined write up to the max pending LSN.
+        assert_eq!(starts(&a2), vec![Lsn(250)]);
+        let a3 = b.write_complete(t(66));
+        let mut got = satisfied(&a3);
+        got.sort_by_key(|r| r.0);
+        assert_eq!(got, vec![ReqId(2), ReqId(3), ReqId(4)]);
+        assert_eq!(b.writes(), 2, "four transactions, two platter writes");
+        assert_eq!(b.max_batch(), 3);
+    }
+
+    #[test]
+    fn already_durable_request_satisfied_instantly() {
+        let mut b = GroupCommitBatcher::new(BatchPolicy::Coalesce);
+        b.request(ReqId(1), Lsn(100), t(0));
+        b.write_complete(t(33));
+        let a = b.request(ReqId(2), Lsn(50), t(40));
+        assert_eq!(satisfied(&a), vec![ReqId(2)]);
+        assert_eq!(b.writes(), 1);
+    }
+
+    #[test]
+    fn window_policy_accumulates_until_timer() {
+        let mut b = GroupCommitBatcher::new(BatchPolicy::Window(Duration::from_millis(10)));
+        let a1 = b.request(ReqId(1), Lsn(100), t(0));
+        // No write yet: a timer is armed instead.
+        assert!(starts(&a1).is_empty());
+        let epoch = match a1.as_slice() {
+            [BatcherAction::SetTimer { at, epoch }] => {
+                assert_eq!(*at, t(10));
+                *epoch
+            }
+            other => panic!("expected SetTimer, got {other:?}"),
+        };
+        // Another request within the window: no second timer.
+        let a2 = b.request(ReqId(2), Lsn(200), t(5));
+        assert!(a2.is_empty());
+        // Timer fires: one write for both.
+        let a3 = b.timer_fired(epoch, t(10));
+        assert_eq!(starts(&a3), vec![Lsn(200)]);
+        let a4 = b.write_complete(t(43));
+        assert_eq!(satisfied(&a4).len(), 2);
+        assert_eq!(b.writes(), 1);
+    }
+
+    #[test]
+    fn stale_timer_is_ignored() {
+        let mut b = GroupCommitBatcher::new(BatchPolicy::Window(Duration::from_millis(10)));
+        let a1 = b.request(ReqId(1), Lsn(100), t(0));
+        let epoch = match a1.as_slice() {
+            [BatcherAction::SetTimer { epoch, .. }] => *epoch,
+            other => panic!("{other:?}"),
+        };
+        b.timer_fired(epoch, t(10));
+        b.write_complete(t(43));
+        // The old epoch firing again must do nothing.
+        assert!(b.timer_fired(epoch, t(50)).is_empty());
+        // And an unknown epoch likewise.
+        assert!(b.timer_fired(999, t(51)).is_empty());
+    }
+
+    #[test]
+    fn completion_starts_followup_immediately_under_window() {
+        // Requests queued behind a busy disk don't wait for a fresh
+        // window once the disk frees — the accumulation already
+        // happened while the disk was busy.
+        let mut b = GroupCommitBatcher::new(BatchPolicy::Window(Duration::from_millis(10)));
+        let a1 = b.request(ReqId(1), Lsn(100), t(0));
+        let epoch = match a1.as_slice() {
+            [BatcherAction::SetTimer { epoch, .. }] => *epoch,
+            other => panic!("{other:?}"),
+        };
+        b.timer_fired(epoch, t(10));
+        b.request(ReqId(2), Lsn(300), t(12));
+        let a = b.write_complete(t(43));
+        assert_eq!(starts(&a), vec![Lsn(300)]);
+    }
+
+    #[test]
+    fn counters() {
+        let mut b = GroupCommitBatcher::new(BatchPolicy::Coalesce);
+        b.request(ReqId(1), Lsn(10), t(0));
+        b.request(ReqId(2), Lsn(20), t(0));
+        b.write_complete(t(33)); // Satisfies 1, starts write for 2.
+        b.write_complete(t(66));
+        assert_eq!(b.satisfied_count(), 2);
+        assert_eq!(b.pending_len(), 0);
+        assert_eq!(b.durable(), Lsn(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "write_complete without StartWrite")]
+    fn completion_without_start_panics() {
+        let mut b = GroupCommitBatcher::new(BatchPolicy::Coalesce);
+        b.write_complete(t(0));
+    }
+}

@@ -1,0 +1,137 @@
+//! Distributed banking: money transfers across three sites with
+//! two-phase commitment, a veto-driven abort, and a nested-transaction
+//! retry — the kind of "general-purpose application" Camelot was built
+//! to support.
+//!
+//! ```text
+//! cargo run --example banking
+//! ```
+
+use camelot::core::CommitMode;
+use camelot::net::Outcome;
+use camelot::rt::{Client, Cluster, RtConfig};
+use camelot::types::{ObjectId, Result, ServerId, SiteId};
+
+const BRANCH_A: SiteId = SiteId(1);
+const BRANCH_B: SiteId = SiteId(2);
+const BRANCH_C: SiteId = SiteId(3);
+const SRV: ServerId = ServerId(1);
+
+fn balance(raw: &[u8]) -> i64 {
+    if raw.is_empty() {
+        0
+    } else {
+        i64::from_le_bytes(raw.try_into().expect("8-byte balance"))
+    }
+}
+
+fn read_balance(
+    client: &Client,
+    tid: &camelot::types::Tid,
+    site: SiteId,
+    acct: ObjectId,
+) -> Result<i64> {
+    Ok(balance(&client.read(tid, site, SRV, acct)?))
+}
+
+fn write_balance(
+    client: &Client,
+    tid: &camelot::types::Tid,
+    site: SiteId,
+    acct: ObjectId,
+    amount: i64,
+) -> Result<()> {
+    client.write(tid, site, SRV, acct, amount.to_le_bytes().to_vec())?;
+    Ok(())
+}
+
+/// Transfers `amount` between accounts at two sites in one atomic
+/// transaction; aborts if funds are insufficient.
+fn transfer(
+    client: &Client,
+    from: (SiteId, ObjectId),
+    to: (SiteId, ObjectId),
+    amount: i64,
+) -> Result<Outcome> {
+    let tid = client.begin()?;
+    let src = read_balance(client, &tid, from.0, from.1)?;
+    if src < amount {
+        println!("  insufficient funds ({src} < {amount}): aborting");
+        client.abort(&tid)?;
+        return Ok(Outcome::Aborted);
+    }
+    write_balance(client, &tid, from.0, from.1, src - amount)?;
+    let dst = read_balance(client, &tid, to.0, to.1)?;
+    write_balance(client, &tid, to.0, to.1, dst + amount)?;
+    client.commit(&tid, CommitMode::TwoPhase)
+}
+
+fn main() {
+    println!("starting a three-branch bank...");
+    let cluster = Cluster::new(3, RtConfig::default());
+    let teller = cluster.client(BRANCH_A);
+
+    let alice = ObjectId(100);
+    let bob = ObjectId(200);
+    let carol = ObjectId(300);
+
+    // Seed the accounts (one local transaction per branch).
+    for (site, acct, amount) in [
+        (BRANCH_A, alice, 1_000i64),
+        (BRANCH_B, bob, 50),
+        (BRANCH_C, carol, 0),
+    ] {
+        let tid = teller.begin().expect("begin");
+        write_balance(&teller, &tid, site, acct, amount).expect("seed");
+        teller.commit(&tid, CommitMode::TwoPhase).expect("commit");
+    }
+    println!("opening balances: alice=1000 (A), bob=50 (B), carol=0 (C)");
+
+    // A cross-site transfer commits atomically via 2PC.
+    println!("transfer alice -> bob, 300:");
+    let out = transfer(&teller, (BRANCH_A, alice), (BRANCH_B, bob), 300).expect("transfer");
+    println!("  {out:?}");
+
+    // An overdraft aborts, leaving both branches untouched.
+    println!("transfer bob -> carol, 9999:");
+    let out = transfer(&teller, (BRANCH_B, bob), (BRANCH_C, carol), 9_999).expect("transfer");
+    assert_eq!(out, Outcome::Aborted);
+
+    // Nested transactions: try a risky fee posting inside a child;
+    // if the child aborts, the parent continues unharmed.
+    println!("posting interest with a nested sub-transaction:");
+    let top = teller.begin().expect("begin");
+    let interest = teller.begin_nested(&top).expect("nested");
+    let b = read_balance(&teller, &interest, BRANCH_A, alice).expect("read");
+    write_balance(&teller, &interest, BRANCH_A, alice, b + 7).expect("write");
+    teller.commit_nested(&interest).expect("nested commit");
+    let fee_attempt = teller.begin_nested(&top).expect("nested");
+    write_balance(&teller, &fee_attempt, BRANCH_C, carol, -1).expect("write");
+    // Policy check fails: undo just the fee subtree.
+    teller.abort(&fee_attempt).expect("nested abort");
+    teller.commit(&top, CommitMode::TwoPhase).expect("commit");
+    println!("  interest kept, fee subtree undone");
+
+    // Audit: total money is conserved.
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    let audit = teller.begin().expect("begin");
+    let a = read_balance(&teller, &audit, BRANCH_A, alice).expect("read");
+    let b = read_balance(&teller, &audit, BRANCH_B, bob).expect("read");
+    let c = read_balance(&teller, &audit, BRANCH_C, carol).expect("read");
+    teller.commit(&audit, CommitMode::TwoPhase).expect("commit");
+    println!(
+        "closing balances: alice={a}, bob={b}, carol={c} (sum {})",
+        a + b + c
+    );
+    assert_eq!(
+        a + b + c,
+        1_057,
+        "money must be conserved (1050 + 7 interest)"
+    );
+    assert_eq!(a, 707);
+    assert_eq!(b, 350);
+    assert_eq!(c, 0);
+
+    cluster.shutdown();
+    println!("done.");
+}

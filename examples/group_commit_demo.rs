@@ -1,0 +1,58 @@
+//! Group commit (log batching) in action — the §3.5 throughput lever,
+//! shown on the deterministic simulator.
+//!
+//! Eight application/server pairs run update transactions against one
+//! site whose log disk manages ~30 platter writes per second. Without
+//! batching every commit pays its own platter write; with batching,
+//! force requests that arrive while a write is in flight share the
+//! next one.
+//!
+//! ```text
+//! cargo run --example group_commit_demo
+//! ```
+
+use camelot::core::CommitMode;
+use camelot::node::{AppSpec, World, WorldConfig};
+use camelot::sim::Scheduler;
+use camelot::types::{ObjectId, ServerId, SiteId, Time};
+
+fn run(group_commit: bool) -> (f64, f64, f64) {
+    let pairs = 8u32;
+    let txns = 60u32;
+    let cfg = WorldConfig::throughput(20, group_commit, pairs, 7);
+    let mut world = World::new(cfg);
+    for k in 0..pairs {
+        let mut spec = AppSpec::minimal(SiteId(1), &[], true, CommitMode::TwoPhase, txns);
+        spec.ops[0].server = ServerId(k + 1);
+        spec.ops[0].object = ObjectId(500 + k as u64);
+        world.add_app(spec);
+    }
+    let mut sched = Scheduler::new(7);
+    world.start(&mut sched);
+    assert!(
+        world.run(&mut sched, Time(3_600_000_000)),
+        "workload finished"
+    );
+    let elapsed = sched.now().as_secs_f64();
+    let committed: usize = (0..pairs as usize).map(|a| world.records(a).len()).sum();
+    let writes = world.platter_writes(SiteId(1));
+    (
+        committed as f64 / elapsed,
+        writes as f64 / elapsed,
+        committed as f64 / writes as f64,
+    )
+}
+
+fn main() {
+    println!("8 update clients against one log disk (~30 writes/sec ceiling)\n");
+    let (tps_off, wps_off, per_off) = run(false);
+    let (tps_on, wps_on, per_on) = run(true);
+    println!("group commit OFF: {tps_off:5.1} TPS  {wps_off:5.1} platter writes/s  {per_off:4.2} txns/write");
+    println!("group commit ON : {tps_on:5.1} TPS  {wps_on:5.1} platter writes/s  {per_on:4.2} txns/write");
+    let gain = 100.0 * (tps_on / tps_off - 1.0);
+    println!("\nbatching shares platter writes across transactions: +{gain:.0}% TPS");
+    assert!(tps_on > tps_off, "group commit must help under this load");
+    println!("\n\"It sacrifices latency in order to increase throughput, and is");
+    println!(" essential for any system that hopes for high throughput and uses");
+    println!(" disks for the log.\" — §3.5");
+}

@@ -1,0 +1,91 @@
+//! Non-blocking commitment surviving a coordinator crash — the
+//! paper's §3.3 headline property, demonstrated on real threads.
+//!
+//! Two subordinate sites prepare and replicate a transaction; the
+//! coordinator dies before announcing the outcome. Under two-phase
+//! commit the subordinates would be *blocked* (prepared, locks held,
+//! nobody to ask). Under the non-blocking protocol they time out,
+//! become coordinators, assemble a quorum among themselves, and
+//! finish the transaction.
+//!
+//! ```text
+//! cargo run --example nonblocking_failover
+//! ```
+
+use std::time::Duration as StdDuration;
+
+use camelot::core::CommitMode;
+use camelot::rt::{Cluster, RtConfig};
+use camelot::types::{Duration, ObjectId, ServerId, SiteId};
+
+const COORD: SiteId = SiteId(1);
+const SUB_A: SiteId = SiteId(2);
+const SUB_B: SiteId = SiteId(3);
+const SRV: ServerId = ServerId(1);
+
+fn main() {
+    let mut cfg = RtConfig::default();
+    // Short protocol timeouts so the takeover happens quickly.
+    cfg.engine.nb_outcome_timeout = Duration::from_millis(300);
+    cfg.engine.takeover_window = Duration::from_millis(150);
+    cfg.engine.recruit_window = Duration::from_millis(150);
+    cfg.engine.takeover_retry = Duration::from_millis(300);
+    cfg.engine.notify_resend_interval = Duration::from_millis(300);
+
+    println!("starting a three-site cluster...");
+    let cluster = Cluster::new(3, cfg);
+    let client = cluster.client(COORD);
+
+    let tid = client.begin().expect("begin");
+    client
+        .write(&tid, SUB_A, SRV, ObjectId(1), b"replica-a".to_vec())
+        .expect("write at subordinate A");
+    client
+        .write(&tid, SUB_B, SRV, ObjectId(2), b"replica-b".to_vec())
+        .expect("write at subordinate B");
+    println!("transaction {tid} updated both subordinates");
+
+    // Fire the non-blocking commit, then kill the coordinator while
+    // the protocol is in flight.
+    println!("issuing non-blocking commit and crashing the coordinator...");
+    let committer = std::thread::spawn(move || {
+        // The reply may never arrive — the coordinator is about to die.
+        let _ = client.commit(&tid, CommitMode::NonBlocking);
+    });
+    std::thread::sleep(StdDuration::from_millis(18));
+    cluster.crash(COORD);
+    println!("coordinator {COORD} is down");
+    let _ = committer.join();
+
+    // The subordinates must resolve the transaction among themselves.
+    println!("waiting for subordinate takeover...");
+    let deadline = std::time::Instant::now() + StdDuration::from_secs(15);
+    loop {
+        let a = cluster.committed_value(SUB_A, SRV, ObjectId(1));
+        let b = cluster.committed_value(SUB_B, SRV, ObjectId(2));
+        let a_done = a == b"replica-a";
+        let b_done = b == b"replica-b";
+        if a_done && b_done {
+            println!("both subordinates COMMITTED via takeover — no blocking");
+            break;
+        }
+        if std::time::Instant::now() > deadline {
+            // The crash may have raced ahead of the prepares; in that
+            // case the takeover aborts — also a valid (non-blocking!)
+            // resolution, and it must be symmetric.
+            assert_eq!(a_done, b_done, "sites must agree");
+            println!("both subordinates ABORTED via takeover — no blocking");
+            break;
+        }
+        std::thread::sleep(StdDuration::from_millis(30));
+    }
+
+    // The recovered coordinator learns the outcome from the quorum.
+    println!("restarting the coordinator...");
+    cluster.restart(COORD);
+    std::thread::sleep(StdDuration::from_millis(500));
+    println!("coordinator is back and consistent with the quorum");
+
+    cluster.shutdown();
+    println!("done.");
+}

@@ -1,0 +1,98 @@
+//! Quickstart: a single-site Camelot, the transaction basics, and a
+//! crash/recovery round trip.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use camelot::core::CommitMode;
+use camelot::net::Outcome;
+use camelot::rt::{Cluster, RtConfig};
+use camelot::types::{ObjectId, ServerId, SiteId};
+
+fn main() {
+    let site = SiteId(1);
+    let srv = ServerId(1);
+    println!("starting a one-site Camelot cluster...");
+    let cluster = Cluster::new(1, RtConfig::default());
+    let client = cluster.client(site);
+
+    // --- A simple committed transaction (Figure 1 of the paper) ---
+    let tid = client.begin().expect("begin");
+    println!("begin-transaction      -> {tid}");
+    client
+        .write(
+            &tid,
+            site,
+            srv,
+            ObjectId(1),
+            b"all you need is log".to_vec(),
+        )
+        .expect("write");
+    let v = client.read(&tid, site, srv, ObjectId(1)).expect("read");
+    println!(
+        "read own write         -> {:?}",
+        String::from_utf8_lossy(&v)
+    );
+    let outcome = client.commit(&tid, CommitMode::TwoPhase).expect("commit");
+    println!("commit-transaction     -> {outcome:?}");
+    assert_eq!(outcome, Outcome::Committed);
+
+    // --- An aborted transaction leaves no trace ---
+    let tid = client.begin().expect("begin");
+    client
+        .write(&tid, site, srv, ObjectId(2), b"never happened".to_vec())
+        .expect("write");
+    client.abort(&tid).expect("abort");
+    println!("abort-transaction      -> rolled back");
+
+    // --- Nested transactions (the Moss model) ---
+    let top = client.begin().expect("begin");
+    let child = client.begin_nested(&top).expect("begin nested");
+    client
+        .write(&child, site, srv, ObjectId(3), b"from the child".to_vec())
+        .expect("write");
+    client.commit_nested(&child).expect("nested commit");
+    let child2 = client.begin_nested(&top).expect("begin nested");
+    client
+        .write(&child2, site, srv, ObjectId(4), b"doomed subtree".to_vec())
+        .expect("write");
+    client.abort(&child2).expect("nested abort");
+    client.commit(&top, CommitMode::TwoPhase).expect("commit");
+    println!("nested txns            -> child kept, aborted subtree undone");
+
+    // --- Crash and recover ---
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    println!("crashing the site...");
+    cluster.crash(site);
+    println!("restarting (log scan, redo committed, undo the rest)...");
+    cluster.restart(site);
+    let survivor = cluster.committed_value(site, srv, ObjectId(1));
+    let ghost = cluster.committed_value(site, srv, ObjectId(2));
+    let kept = cluster.committed_value(site, srv, ObjectId(3));
+    let undone = cluster.committed_value(site, srv, ObjectId(4));
+    println!("after recovery:");
+    println!(
+        "  obj1 (committed)     -> {:?}",
+        String::from_utf8_lossy(&survivor)
+    );
+    println!(
+        "  obj2 (aborted)       -> {:?}",
+        String::from_utf8_lossy(&ghost)
+    );
+    println!(
+        "  obj3 (nested commit) -> {:?}",
+        String::from_utf8_lossy(&kept)
+    );
+    println!(
+        "  obj4 (nested abort)  -> {:?}",
+        String::from_utf8_lossy(&undone)
+    );
+    assert_eq!(survivor, b"all you need is log");
+    assert!(ghost.is_empty());
+    assert_eq!(kept, b"from the child");
+    assert!(undone.is_empty());
+
+    cluster.shutdown();
+    println!("done.");
+}

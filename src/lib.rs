@@ -1,0 +1,50 @@
+//! Camelot: a from-scratch reproduction of the system studied in
+//! *Analysis of Transaction Management Performance* (Dan Duchamp,
+//! SOSP 1989).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! - [`core`] — the transaction manager: nested transactions,
+//!   presumed-abort two-phase commit with the delayed-commit
+//!   optimization, the non-blocking quorum commitment protocol,
+//!   recovery;
+//! - [`server`] — the data-server library (recoverable objects,
+//!   Moss-model locking, undo/redo);
+//! - [`wal`] — the write-ahead log with group commit;
+//! - [`locks`] — the nested-transaction lock manager;
+//! - [`net`] — inter-site messages and the communication manager;
+//! - [`rt`] — a real-thread runtime (begin/read/write/commit clients
+//!   against a multi-site cluster, with crash and restart);
+//! - [`node`] + [`sim`] — the deterministic simulator the paper's
+//!   evaluation is reproduced on;
+//! - [`harness`] — one experiment module per table and figure.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the architecture, and
+//! `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use camelot::rt::{Cluster, RtConfig};
+//! use camelot::core::CommitMode;
+//! use camelot::types::{ObjectId, ServerId, SiteId};
+//!
+//! let cluster = Cluster::new(1, RtConfig::default());
+//! let client = cluster.client(SiteId(1));
+//! let tid = client.begin().unwrap();
+//! client.write(&tid, SiteId(1), ServerId(1), ObjectId(1), b"hello".to_vec()).unwrap();
+//! let outcome = client.commit(&tid, CommitMode::TwoPhase).unwrap();
+//! assert_eq!(outcome, camelot::net::Outcome::Committed);
+//! cluster.shutdown();
+//! ```
+
+pub use camelot_core as core;
+pub use camelot_harness as harness;
+pub use camelot_locks as locks;
+pub use camelot_net as net;
+pub use camelot_node as node;
+pub use camelot_rt as rt;
+pub use camelot_server as server;
+pub use camelot_sim as sim;
+pub use camelot_types as types;
+pub use camelot_wal as wal;

@@ -1,0 +1,211 @@
+//! Property-based test of Moss-model nested-transaction semantics
+//! against an independent reference model.
+//!
+//! A random script opens/commits/aborts nested subtransactions
+//! (depth-first, as a real single-threaded application would) and
+//! writes objects at arbitrary nesting levels. The reference model
+//! computes the expected final state directly from the script: a
+//! write survives iff every enclosing subtransaction ended in commit
+//! (and the family committed). The data server must agree — both in
+//! the values read back *during* execution (read-your-writes through
+//! the nesting) and in the committed state afterwards.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use camelot::server::{DataServer, Request};
+use camelot::types::{FamilyId, ObjectId, ServerId, SiteId, Tid};
+
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    /// Open a nested child under the current transaction.
+    BeginChild,
+    /// Write `val` to `obj` under the current transaction.
+    Write { obj: u64, val: u8 },
+    /// Read `obj` under the current transaction (checked against the
+    /// model).
+    Read { obj: u64 },
+    /// End the current (nested) transaction with a commit.
+    EndCommit,
+    /// End the current (nested) transaction with an abort.
+    EndAbort,
+}
+
+fn step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        2 => Just(Step::BeginChild),
+        4 => (0u64..4, any::<u8>()).prop_map(|(obj, val)| Step::Write { obj, val }),
+        2 => (0u64..4).prop_map(|obj| Step::Read { obj }),
+        2 => Just(Step::EndCommit),
+        1 => Just(Step::EndAbort),
+    ]
+}
+
+/// The reference model: an undo-log of scopes.
+struct Model {
+    /// Visible values per object (reflecting all writes by live
+    /// scopes).
+    current: HashMap<u64, u8>,
+    /// One undo frame per open scope: the values to restore if the
+    /// scope aborts.
+    frames: Vec<HashMap<u64, Option<u8>>>,
+}
+
+impl Model {
+    fn new() -> Model {
+        Model {
+            current: HashMap::new(),
+            frames: vec![HashMap::new()], // Top-level frame.
+        }
+    }
+
+    fn begin(&mut self) {
+        self.frames.push(HashMap::new());
+    }
+
+    fn write(&mut self, obj: u64, val: u8) {
+        let frame = self.frames.last_mut().expect("a scope is open");
+        frame
+            .entry(obj)
+            .or_insert_with(|| self.current.get(&obj).copied());
+        self.current.insert(obj, val);
+    }
+
+    fn read(&self, obj: u64) -> Vec<u8> {
+        match self.current.get(&obj) {
+            Some(v) => vec![*v],
+            None => Vec::new(),
+        }
+    }
+
+    fn end_commit(&mut self) {
+        // The child's pre-images merge into the parent frame (so a
+        // later parent abort still undoes them).
+        let child = self.frames.pop().expect("nested scope open");
+        let parent = self.frames.last_mut().expect("parent exists");
+        for (obj, pre) in child {
+            parent.entry(obj).or_insert(pre);
+        }
+    }
+
+    fn end_abort(&mut self) {
+        let child = self.frames.pop().expect("nested scope open");
+        for (obj, pre) in child {
+            match pre {
+                Some(v) => {
+                    self.current.insert(obj, v);
+                }
+                None => {
+                    self.current.remove(&obj);
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn nested_semantics_match_reference_model(
+        script in prop::collection::vec(step(), 1..60),
+        commit_family in any::<bool>(),
+    ) {
+        let site = SiteId(1);
+        let mut server = DataServer::new(site, ServerId(1));
+        let fam = FamilyId { origin: site, seq: 1 };
+        let top = Tid::top_level(fam);
+
+        let mut model = Model::new();
+        let mut stack: Vec<Tid> = vec![top.clone()];
+        let mut child_counters: Vec<u32> = vec![0];
+        let mut req = 0u64;
+
+        for s in script {
+            match s {
+                Step::BeginChild => {
+                    if stack.len() >= 5 {
+                        continue;
+                    }
+                    let n = {
+                        let c = child_counters.last_mut().unwrap();
+                        *c += 1;
+                        *c
+                    };
+                    let child = stack.last().unwrap().child(n);
+                    stack.push(child);
+                    child_counters.push(0);
+                    model.begin();
+                }
+                Step::Write { obj, val } => {
+                    req += 1;
+                    let fx = server.handle(Request::Write {
+                        req,
+                        tid: stack.last().unwrap().clone(),
+                        object: ObjectId(obj),
+                        value: vec![val],
+                    });
+                    prop_assert!(!fx.blocked, "depth-first nesting never blocks");
+                    model.write(obj, val);
+                }
+                Step::Read { obj } => {
+                    req += 1;
+                    let fx = server.handle(Request::Read {
+                        req,
+                        tid: stack.last().unwrap().clone(),
+                        object: ObjectId(obj),
+                    });
+                    prop_assert!(!fx.blocked);
+                    prop_assert_eq!(
+                        fx.replies[0].value.clone(),
+                        model.read(obj),
+                        "read-your-writes through nesting (obj {})", obj
+                    );
+                }
+                Step::EndCommit => {
+                    if stack.len() > 1 {
+                        let tid = stack.pop().unwrap();
+                        child_counters.pop();
+                        server.sub_commit(&tid);
+                        model.end_commit();
+                    }
+                }
+                Step::EndAbort => {
+                    if stack.len() > 1 {
+                        let tid = stack.pop().unwrap();
+                        child_counters.pop();
+                        server.sub_abort(&tid);
+                        model.end_abort();
+                    }
+                }
+            }
+        }
+        // Close any scopes the script left open, committing them.
+        while stack.len() > 1 {
+            let tid = stack.pop().unwrap();
+            server.sub_commit(&tid);
+            model.end_commit();
+        }
+        // Resolve the family.
+        if commit_family {
+            server.commit_family(fam);
+            for obj in 0..4u64 {
+                prop_assert_eq!(
+                    server.committed_value(ObjectId(obj)).to_vec(),
+                    model.read(obj),
+                    "committed state (obj {})", obj
+                );
+            }
+        } else {
+            server.abort_family(fam);
+            for obj in 0..4u64 {
+                prop_assert!(
+                    server.committed_value(ObjectId(obj)).is_empty(),
+                    "family abort must leave nothing (obj {})", obj
+                );
+            }
+        }
+        prop_assert_eq!(server.active_families(), 0);
+    }
+}

@@ -1,0 +1,176 @@
+//! Property-based tests of the commitment protocols: atomicity and
+//! agreement under randomized workloads, vote outcomes, message
+//! interleavings (timer orders) and crash points.
+//!
+//! These drive the sans-io engines through `camelot_core::testkit`,
+//! which delivers messages instantly and fires timers on demand — so
+//! thousands of protocol schedules run in milliseconds.
+
+use proptest::prelude::*;
+
+use camelot::core::testkit::Net;
+use camelot::core::{CommitMode, EngineConfig, TwoPhaseVariant};
+use camelot::net::Outcome;
+use camelot::types::{ServerId, SiteId};
+
+const SRV: ServerId = ServerId(1);
+
+/// What each subordinate site does in a scenario.
+#[derive(Debug, Clone, Copy)]
+enum SiteBehavior {
+    Update,
+    ReadOnly,
+    Veto,
+}
+
+fn behavior() -> impl Strategy<Value = SiteBehavior> {
+    prop_oneof![
+        4 => Just(SiteBehavior::Update),
+        2 => Just(SiteBehavior::ReadOnly),
+        1 => Just(SiteBehavior::Veto),
+    ]
+}
+
+fn variant() -> impl Strategy<Value = TwoPhaseVariant> {
+    prop_oneof![
+        Just(TwoPhaseVariant::Optimized),
+        Just(TwoPhaseVariant::SemiOptimized),
+        Just(TwoPhaseVariant::Unoptimized),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Failure-free runs: the outcome is committed iff nobody vetoed,
+    /// every participant agrees, and all state is cleaned up.
+    #[test]
+    fn two_phase_agreement_without_failures(
+        behaviors in prop::collection::vec(behavior(), 0..4),
+        local in behavior(),
+        v in variant(),
+        nb in any::<bool>(),
+    ) {
+        let n = behaviors.len() as u32 + 1;
+        let mut net = Net::new(n, EngineConfig::for_variant(v));
+        let tid = net.begin(SiteId(1));
+        match local {
+            SiteBehavior::Update => net.update_op(SiteId(1), SRV, &tid),
+            SiteBehavior::ReadOnly => net.read_op(SiteId(1), SRV, &tid),
+            SiteBehavior::Veto => net.veto_op(SiteId(1), SRV, &tid),
+        }
+        let mut subs = Vec::new();
+        for (i, b) in behaviors.iter().enumerate() {
+            let s = SiteId(i as u32 + 2);
+            subs.push(s);
+            match b {
+                SiteBehavior::Update => net.update_op(s, SRV, &tid),
+                SiteBehavior::ReadOnly => net.read_op(s, SRV, &tid),
+                SiteBehavior::Veto => net.veto_op(s, SRV, &tid),
+            }
+        }
+        let mode = if nb { CommitMode::NonBlocking } else { CommitMode::TwoPhase };
+        let req = net.commit(SiteId(1), &tid, mode, subs.clone());
+        let any_veto = std::iter::once(&local)
+            .chain(behaviors.iter())
+            .any(|b| matches!(b, SiteBehavior::Veto));
+        let expected = if any_veto { Outcome::Aborted } else { Outcome::Committed };
+        prop_assert_eq!(net.outcome_of(SiteId(1), req), Some(expected));
+        // No site may disagree.
+        net.assert_no_conflict(&tid.family);
+        // Drain cleanup traffic: all descriptors eventually released.
+        for s in std::iter::once(SiteId(1)).chain(subs.iter().copied()) {
+            net.flush_lazy(s);
+        }
+        net.run_timers(200);
+        for s in std::iter::once(SiteId(1)).chain(subs.iter().copied()) {
+            prop_assert_eq!(net.engine(s).live_families(), 0, "{} keeps state", s);
+        }
+    }
+
+    /// Non-blocking commitment with a coordinator crash at a random
+    /// protocol stage: survivors must agree with each other, never
+    /// exhibit split brain, and release their locks (no blocking),
+    /// because a single failure cannot block the protocol.
+    #[test]
+    fn nonblocking_survives_random_coordinator_crash(
+        crash_after_timers in 0usize..8,
+        subs_n in 2u32..4,
+    ) {
+        let n = subs_n + 1;
+        let mut net = Net::new(n, EngineConfig::default());
+        let tid = net.begin(SiteId(1));
+        net.update_op(SiteId(1), SRV, &tid);
+        let subs: Vec<SiteId> = (2..=n).map(SiteId).collect();
+        for s in &subs {
+            net.update_op(*s, SRV, &tid);
+        }
+        net.commit(SiteId(1), &tid, CommitMode::NonBlocking, subs.clone());
+        // The testkit runs the happy path synchronously; crashing at
+        // different timer counts exercises cleanup/ack stages. The
+        // in-flight crash cases are covered by the manual injection
+        // tests in camelot-core; here we verify agreement regardless
+        // of when the coordinator disappears.
+        for _ in 0..crash_after_timers {
+            net.fire_next_timer();
+        }
+        net.crash(SiteId(1));
+        net.run_timers(100);
+        net.assert_no_conflict(&tid.family);
+        // Survivors resolved (they are never left blocked).
+        for s in &subs {
+            prop_assert!(
+                net.engine(*s).resolution(&tid.family).is_some(),
+                "{} still unresolved", s
+            );
+        }
+    }
+
+    /// Coordinator recovery after a random crash point reaches the
+    /// same outcome as the survivors.
+    #[test]
+    fn recovered_coordinator_agrees(crash_after_timers in 0usize..6) {
+        let mut net = Net::new(3, EngineConfig::default());
+        let tid = net.begin(SiteId(1));
+        net.update_op(SiteId(1), SRV, &tid);
+        net.update_op(SiteId(2), SRV, &tid);
+        net.update_op(SiteId(3), SRV, &tid);
+        net.commit(SiteId(1), &tid, CommitMode::NonBlocking, vec![SiteId(2), SiteId(3)]);
+        for _ in 0..crash_after_timers {
+            net.fire_next_timer();
+        }
+        net.crash(SiteId(1));
+        net.run_timers(80);
+        net.restart(SiteId(1), EngineConfig::default());
+        net.run_timers(80);
+        net.assert_no_conflict(&tid.family);
+        let o1 = net.engine(SiteId(1)).resolution(&tid.family);
+        let o2 = net.engine(SiteId(2)).resolution(&tid.family);
+        prop_assert!(o1.is_some(), "coordinator unresolved after recovery");
+        prop_assert_eq!(o1, o2);
+    }
+
+    /// Two-phase commit with a random subordinate crash before commit:
+    /// no split brain ever; and with presumed abort, a crashed-then-
+    /// recovered subordinate that never prepared reads as aborted.
+    #[test]
+    fn two_phase_subordinate_crash_is_safe(which in 2u32..4) {
+        let mut net = Net::new(3, EngineConfig::default());
+        let tid = net.begin(SiteId(1));
+        net.update_op(SiteId(1), SRV, &tid);
+        net.update_op(SiteId(2), SRV, &tid);
+        net.update_op(SiteId(3), SRV, &tid);
+        // Crash one subordinate before the commit call: its vote never
+        // arrives, the vote timeout aborts the transaction.
+        net.crash(SiteId(which));
+        let req = net.commit(SiteId(1), &tid, CommitMode::TwoPhase,
+                             vec![SiteId(2), SiteId(3)]);
+        net.run_timers(50);
+        prop_assert_eq!(net.outcome_of(SiteId(1), req), Some(Outcome::Aborted));
+        net.assert_no_conflict(&tid.family);
+        // The crashed subordinate recovers and asks: presumed abort.
+        net.restart(SiteId(which), EngineConfig::default());
+        net.run_timers(50);
+        net.assert_no_conflict(&tid.family);
+    }
+}

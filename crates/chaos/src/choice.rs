@@ -1,0 +1,146 @@
+//! The decision source a schedule is made of.
+//!
+//! Everything nondeterministic in a chaos run — the scenario shape,
+//! every delivery order, every injected fault — is expressed as a
+//! sequence of bounded integer choices drawn from a [`Chooser`]. The
+//! chooser records every decision it hands out, so a run is fully
+//! described by its *trace*: replaying the trace replays the run,
+//! byte for byte. Three sources exist:
+//!
+//! - **Random**: choices come from a seeded [`rand::rngs::StdRng`] —
+//!   the campaign workhorse. The same seed always yields the same
+//!   trace (the generator is a self-contained xoshiro256**, with no
+//!   platform dependence).
+//! - **Enumerated**: choices are the digits of one integer in a
+//!   mixed-radix system whose radices are the option counts actually
+//!   encountered. Iterating the integer over `0..K` walks the first
+//!   `K` schedules of a bounded-exhaustive enumeration.
+//! - **Replay**: choices come from a previously recorded trace. Out
+//!   of range values clamp and an exhausted trace yields `0`, so a
+//!   *shrunk* (edited) trace still replays a valid — just tamer —
+//!   schedule.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+enum Source {
+    Random(StdRng),
+    Enumerated { index: u64 },
+    Replay { trace: Vec<u32>, pos: usize },
+}
+
+/// A recording decision source (see module docs).
+pub struct Chooser {
+    source: Source,
+    /// Every decision handed out so far, in order.
+    pub trace: Vec<u32>,
+}
+
+impl Chooser {
+    /// Pseudo-random choices derived from `seed`.
+    pub fn random(seed: u64) -> Chooser {
+        Chooser {
+            source: Source::Random(StdRng::seed_from_u64(seed)),
+            trace: Vec::new(),
+        }
+    }
+
+    /// Mixed-radix digits of `index` (bounded-exhaustive mode).
+    pub fn enumerated(index: u64) -> Chooser {
+        Chooser {
+            source: Source::Enumerated { index },
+            trace: Vec::new(),
+        }
+    }
+
+    /// Replays a recorded (possibly shrunk) trace.
+    pub fn replay(trace: &[u32]) -> Chooser {
+        Chooser {
+            source: Source::Replay {
+                trace: trace.to_vec(),
+                pos: 0,
+            },
+            trace: Vec::new(),
+        }
+    }
+
+    /// Draws one decision in `0..n` (`n >= 1`) and records it.
+    pub fn choose(&mut self, n: usize) -> usize {
+        assert!(n >= 1, "choose needs at least one option");
+        let c = match &mut self.source {
+            Source::Random(rng) => {
+                if n == 1 {
+                    0
+                } else {
+                    rng.gen_range(0..n)
+                }
+            }
+            Source::Enumerated { index } => {
+                let d = (*index % n as u64) as usize;
+                *index /= n as u64;
+                d
+            }
+            Source::Replay { trace, pos } => {
+                let d = trace.get(*pos).copied().unwrap_or(0) as usize;
+                *pos += 1;
+                d.min(n - 1)
+            }
+        };
+        self.trace.push(c as u32);
+        c
+    }
+
+    /// For an enumerated source: true if the index was larger than the
+    /// decision space consumed so far (i.e. this index is a duplicate
+    /// of a smaller one and enumeration past it adds nothing new along
+    /// this path).
+    pub fn enumeration_overflowed(&self) -> bool {
+        matches!(self.source, Source::Enumerated { index } if index != 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_is_reproducible() {
+        let mut a = Chooser::random(42);
+        let mut b = Chooser::random(42);
+        for n in [3usize, 7, 2, 10, 4, 5] {
+            assert_eq!(a.choose(n), b.choose(n));
+        }
+        assert_eq!(a.trace, b.trace);
+    }
+
+    #[test]
+    fn enumerated_walks_all_digits() {
+        // Radices (3, 2): indices 0..6 cover the full product space.
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..6 {
+            let mut c = Chooser::enumerated(i);
+            let pair = (c.choose(3), c.choose(2));
+            assert!(!c.enumeration_overflowed());
+            seen.insert(pair);
+        }
+        assert_eq!(seen.len(), 6);
+        let mut c = Chooser::enumerated(6);
+        let _ = (c.choose(3), c.choose(2));
+        assert!(c.enumeration_overflowed());
+    }
+
+    #[test]
+    fn replay_reproduces_and_clamps() {
+        let mut orig = Chooser::random(7);
+        let choices: Vec<usize> = [4usize, 6, 3, 8].iter().map(|&n| orig.choose(n)).collect();
+        let mut rep = Chooser::replay(&orig.trace);
+        let replayed: Vec<usize> = [4usize, 6, 3, 8].iter().map(|&n| rep.choose(n)).collect();
+        assert_eq!(choices, replayed);
+        // Clamping: replay against smaller ranges stays in range.
+        let mut clamped = Chooser::replay(&[9, 9]);
+        assert_eq!(clamped.choose(2), 1);
+        assert_eq!(clamped.choose(1), 0);
+        // Exhausted trace pads with zeros.
+        assert_eq!(clamped.choose(5), 0);
+    }
+}

@@ -1,0 +1,189 @@
+//! # camelot-chaos
+//!
+//! Deterministic fault-schedule exploration for the Camelot
+//! commitment protocols. Where the property suites in `tests/`
+//! randomize *workloads* over the happy path, this crate randomizes
+//! the *schedule*: which queued message is delivered next, which
+//! timer fires early, which datagram is dropped or duplicated, which
+//! site crashes, restarts, or is partitioned away — then heals the
+//! cluster and checks the invariants the paper's protocols promise:
+//!
+//! - **agreement** — the coordinator and the updating subordinates of
+//!   a family never resolve it differently (read-only participants
+//!   may forget a committed family: that is the presumed-abort
+//!   read-only optimization working as designed);
+//! - **app-outcome stability** — the outcome returned to the
+//!   application never degrades: a reported commit of an updating
+//!   transaction re-resolves Committed at every subject site after
+//!   any amount of healing and recovery, and a reported abort never
+//!   turns into a commit;
+//! - **durability** — a committed outcome at the coordinator or an
+//!   updating subordinate survives a full-cluster crash, and nothing
+//!   flips from Aborted to Committed after the fact;
+//! - **progress** — after healing, no site holding a durable prepared
+//!   record is left blocked in doubt, and every coordinator that
+//!   never crashed answers its application;
+//! - **lock hygiene** — no data server holds locks or family state
+//!   for a family its own transaction manager has resolved, and no
+//!   locks survive without a live family.
+//!
+//! Every run is a pure function of a decision trace ([`Chooser`]),
+//! so a failure prints a seed and a (shrunk) trace that replays the
+//! exact schedule: `cargo run -p camelot-chaos -- --replay <trace>`.
+
+pub mod choice;
+pub mod runner;
+pub mod scenario;
+pub mod shrink;
+
+pub use choice::Chooser;
+pub use runner::{run_one, RunResult};
+
+/// One failing schedule, minimized.
+#[derive(Debug)]
+pub struct Failure {
+    /// Index of the schedule within the campaign.
+    pub index: u64,
+    /// Per-schedule seed (for `--seed <s> --schedules 1` replay).
+    pub seed: u64,
+    /// The full run result of the original failure.
+    pub result: RunResult,
+    /// Greedily shrunk trace that still reproduces a violation.
+    pub shrunk: Vec<u32>,
+}
+
+/// Summary of a campaign.
+#[derive(Debug)]
+pub struct CampaignReport {
+    pub schedules: u64,
+    pub failures: Vec<Failure>,
+}
+
+impl CampaignReport {
+    pub fn clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// SplitMix64 — derives independent per-schedule seeds from the
+/// campaign seed.
+pub fn schedule_seed(base: u64, index: u64) -> u64 {
+    let mut z = base.wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(index.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Runs the trace-replay of one schedule.
+pub fn run_trace(trace: &[u32], canary: bool) -> RunResult {
+    let mut ch = Chooser::replay(trace);
+    run_one(&mut ch, canary)
+}
+
+/// Runs one randomized schedule from a seed.
+pub fn run_seed(seed: u64, canary: bool) -> RunResult {
+    let mut ch = Chooser::random(seed);
+    run_one(&mut ch, canary)
+}
+
+/// Runs `schedules` randomized schedules derived from `base_seed`;
+/// failures are shrunk before being reported.
+pub fn campaign(base_seed: u64, schedules: u64, canary: bool) -> CampaignReport {
+    let mut failures = Vec::new();
+    for i in 0..schedules {
+        let seed = schedule_seed(base_seed, i);
+        let result = run_seed(seed, canary);
+        if !result.violations.is_empty() {
+            let shrunk = shrink::shrink(&result.trace, |t| {
+                !run_trace(t, canary).violations.is_empty()
+            });
+            failures.push(Failure {
+                index: i,
+                seed,
+                result,
+                shrunk,
+            });
+        }
+    }
+    CampaignReport {
+        schedules,
+        failures,
+    }
+}
+
+/// Runs schedules `0..limit` of the bounded-exhaustive enumeration
+/// (mixed-radix indices). Returns the report plus the number of
+/// indices that overflowed the decision space (an all-overflow tail
+/// means the space below `limit` is exhausted).
+pub fn exhaustive(limit: u64, canary: bool) -> (CampaignReport, u64) {
+    let mut failures = Vec::new();
+    let mut overflowed = 0;
+    for i in 0..limit {
+        let mut ch = Chooser::enumerated(i);
+        let result = run_one(&mut ch, canary);
+        if ch.enumeration_overflowed() {
+            overflowed += 1;
+            continue;
+        }
+        if !result.violations.is_empty() {
+            let shrunk = shrink::shrink(&result.trace, |t| {
+                !run_trace(t, canary).violations.is_empty()
+            });
+            failures.push(Failure {
+                index: i,
+                seed: i,
+                result,
+                shrunk,
+            });
+        }
+    }
+    (
+        CampaignReport {
+            schedules: limit,
+            failures,
+        },
+        overflowed,
+    )
+}
+
+/// Formats a trace the way the CLI prints and parses it.
+pub fn format_trace(trace: &[u32]) -> String {
+    trace
+        .iter()
+        .map(|d| d.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Parses a CLI trace string (`"0,3,1,2"`).
+pub fn parse_trace(s: &str) -> Result<Vec<u32>, String> {
+    s.split(',')
+        .filter(|p| !p.trim().is_empty())
+        .map(|p| {
+            p.trim()
+                .parse::<u32>()
+                .map_err(|e| format!("bad trace element {p:?}: {e}"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_roundtrip() {
+        let t = vec![0, 3, 11, 2];
+        assert_eq!(parse_trace(&format_trace(&t)).unwrap(), t);
+        assert_eq!(parse_trace("").unwrap(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn schedule_seeds_are_spread() {
+        let a = schedule_seed(1, 0);
+        let b = schedule_seed(1, 1);
+        let c = schedule_seed(2, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,148 @@
+//! Chaos campaign CLI.
+//!
+//! ```text
+//! cargo run -p camelot-chaos --release -- --seed 1 --schedules 1000
+//! cargo run -p camelot-chaos --release -- --exhaustive 5000
+//! cargo run -p camelot-chaos --release -- --replay 0,3,1,7,2
+//! cargo run -p camelot-chaos --release -- --canary --schedules 50
+//! ```
+//!
+//! Exit status is nonzero iff any schedule violated an invariant, so
+//! the binary slots straight into CI.
+
+use std::process::ExitCode;
+
+use camelot_chaos::{campaign, exhaustive, format_trace, parse_trace, run_trace, Failure};
+
+struct Opts {
+    seed: u64,
+    schedules: u64,
+    canary: bool,
+    exhaustive: Option<u64>,
+    replay: Option<Vec<u32>>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: camelot-chaos [--seed N] [--schedules K] [--canary] \
+         [--exhaustive LIMIT] [--replay T0,T1,...]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Opts {
+    let mut opts = Opts {
+        seed: 0xCA3E107,
+        schedules: 1000,
+        canary: false,
+        exhaustive: None,
+        replay: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let num = |args: &mut dyn Iterator<Item = String>| -> u64 {
+            args.next()
+                .and_then(|v| {
+                    v.strip_prefix("0x")
+                        .map(|h| u64::from_str_radix(h, 16).ok())
+                        .unwrap_or_else(|| v.parse().ok())
+                })
+                .unwrap_or_else(|| usage())
+        };
+        match a.as_str() {
+            "--seed" => opts.seed = num(&mut args),
+            "--schedules" => opts.schedules = num(&mut args),
+            "--canary" => opts.canary = true,
+            "--exhaustive" => opts.exhaustive = Some(num(&mut args)),
+            "--replay" => {
+                let t = args.next().unwrap_or_else(|| usage());
+                opts.replay = Some(parse_trace(&t).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage()
+                }));
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage();
+            }
+        }
+    }
+    opts
+}
+
+fn report_failure(f: &Failure) {
+    println!(
+        "schedule {} (seed {:#x}): {} violation(s)",
+        f.index,
+        f.seed,
+        f.result.violations.len()
+    );
+    println!("  scenario: {:?}", f.result.scenario);
+    for v in &f.result.violations {
+        println!("  violation: {v}");
+    }
+    println!(
+        "  shrunk trace ({} of {} decisions): {}",
+        f.shrunk.len(),
+        f.result.trace.len(),
+        format_trace(&f.shrunk)
+    );
+    println!(
+        "  replay: cargo run -p camelot-chaos -- --replay {}",
+        format_trace(&f.shrunk)
+    );
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+
+    if let Some(trace) = &opts.replay {
+        let result = run_trace(trace, opts.canary);
+        println!("scenario: {:?}", result.scenario);
+        println!("steps: {}", result.steps);
+        if result.violations.is_empty() {
+            println!("clean: no invariant violations");
+            return ExitCode::SUCCESS;
+        }
+        for v in &result.violations {
+            println!("violation: {v}");
+        }
+        return ExitCode::FAILURE;
+    }
+
+    let report = if let Some(limit) = opts.exhaustive {
+        let (report, overflowed) = exhaustive(limit, opts.canary);
+        println!(
+            "exhaustive: {} indices, {} beyond the decision space",
+            limit, overflowed
+        );
+        report
+    } else {
+        println!(
+            "campaign: {} schedules from seed {:#x}{}",
+            opts.schedules,
+            opts.seed,
+            if opts.canary { " (CANARY config)" } else { "" }
+        );
+        campaign(opts.seed, opts.schedules, opts.canary)
+    };
+
+    for f in &report.failures {
+        report_failure(f);
+    }
+    if report.clean() {
+        println!(
+            "clean: {} schedules, zero invariant violations",
+            report.schedules
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "{} of {} schedules violated invariants",
+            report.failures.len(),
+            report.schedules
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,137 @@
+//! Workload generation: what the cluster is *trying* to do while the
+//! explorer interferes.
+//!
+//! A scenario is drawn from the same [`Chooser`] that later drives
+//! the schedule, so the whole run — workload and interference alike —
+//! is one replayable decision trace.
+
+use camelot_core::{CommitMode, TwoPhaseVariant};
+use camelot_types::{ObjectId, ServerId, SiteId};
+
+use crate::choice::Chooser;
+
+/// The data server every site hosts in chaos runs.
+pub const SRV: ServerId = ServerId(1);
+
+/// What one site's server does for a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Write an object (votes yes, holds an exclusive lock).
+    Update,
+    /// Read-only participation (votes read-only).
+    ReadOnly,
+    /// Vote no at prepare time.
+    Veto,
+}
+
+/// One top-level transaction in the workload.
+#[derive(Debug, Clone)]
+pub struct TxnSpec {
+    /// Coordinator (home) site.
+    pub coord: SiteId,
+    /// Commitment protocol requested at commit-transaction.
+    pub mode: CommitMode,
+    /// Participating sites and their behaviour; always includes the
+    /// coordinator (first entry). Distinct transactions touch
+    /// distinct objects, so they interleave at the protocol layer
+    /// without lock conflicts.
+    pub ops: Vec<(SiteId, OpKind)>,
+}
+
+impl TxnSpec {
+    /// The object this transaction writes at every updating site.
+    pub fn object(idx: usize) -> ObjectId {
+        ObjectId(100 + idx as u64)
+    }
+
+    /// Remote participant sites (the commit call's participant list).
+    pub fn participants(&self) -> Vec<SiteId> {
+        self.ops.iter().skip(1).map(|(s, _)| *s).collect()
+    }
+
+    /// Sites with an `Update` op (the ones that must prepare).
+    pub fn update_sites(&self) -> Vec<SiteId> {
+        self.ops
+            .iter()
+            .filter(|(_, k)| *k == OpKind::Update)
+            .map(|(s, _)| *s)
+            .collect()
+    }
+}
+
+/// A generated workload.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Number of sites (ids `1..=sites`).
+    pub sites: u32,
+    /// Two-phase subordinate variant configured cluster-wide.
+    pub variant: TwoPhaseVariant,
+    pub txns: Vec<TxnSpec>,
+}
+
+/// Draws a scenario: 2–4 sites, any 2PC variant, 1–2 concurrent
+/// transactions mixing two-phase and non-blocking commitment, with
+/// per-site update/read-only/veto behaviours.
+pub fn generate(ch: &mut Chooser) -> Scenario {
+    let sites = 2 + ch.choose(3) as u32;
+    let variant = [
+        TwoPhaseVariant::Optimized,
+        TwoPhaseVariant::SemiOptimized,
+        TwoPhaseVariant::Unoptimized,
+    ][ch.choose(3)];
+    let n_txns = 1 + ch.choose(2);
+    let mut txns = Vec::new();
+    for _ in 0..n_txns {
+        let coord = SiteId(1 + ch.choose(sites as usize) as u32);
+        let mode = if ch.choose(2) == 0 {
+            CommitMode::TwoPhase
+        } else {
+            CommitMode::NonBlocking
+        };
+        let local = [OpKind::Update, OpKind::ReadOnly, OpKind::Veto][ch.choose(3)];
+        let mut ops = vec![(coord, local)];
+        for s in 1..=sites {
+            let s = SiteId(s);
+            if s == coord {
+                continue;
+            }
+            // 0 = not involved; vetoes rarer than the useful work.
+            match ch.choose(6) {
+                0 => {}
+                1 | 2 => ops.push((s, OpKind::Update)),
+                3 | 4 => ops.push((s, OpKind::ReadOnly)),
+                _ => ops.push((s, OpKind::Veto)),
+            }
+        }
+        txns.push(TxnSpec { coord, mode, ops });
+    }
+    Scenario {
+        sites,
+        variant,
+        txns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_is_well_formed() {
+        for seed in 0..200 {
+            let mut ch = Chooser::random(seed);
+            let sc = generate(&mut ch);
+            assert!((2..=4).contains(&sc.sites));
+            assert!(!sc.txns.is_empty() && sc.txns.len() <= 2);
+            for t in &sc.txns {
+                assert_eq!(t.ops[0].0, t.coord);
+                assert!(t.coord.0 >= 1 && t.coord.0 <= sc.sites);
+                for (s, _) in &t.ops {
+                    assert!(s.0 >= 1 && s.0 <= sc.sites);
+                }
+                // The coordinator appears exactly once.
+                assert_eq!(t.ops.iter().filter(|(s, _)| *s == t.coord).count(), 1);
+            }
+        }
+    }
+}

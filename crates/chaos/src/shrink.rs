@@ -1,0 +1,81 @@
+//! Greedy schedule shrinking.
+//!
+//! A failing schedule is a decision trace; replay pads a truncated
+//! trace with zeros and clamps out-of-range decisions, so *any*
+//! edited trace is still a valid schedule. Shrinking exploits this:
+//! zero a decision (choice 0 is always the tamest option — deliver
+//! the oldest message, no fault) or cut the tail, and keep the edit
+//! whenever the invariant violation survives. The result is a
+//! minimal-ish schedule where nearly every remaining nonzero decision
+//! matters.
+
+/// Greedily minimizes `trace` while `still_fails` keeps returning
+/// true. `still_fails` must be a pure function of the trace.
+pub fn shrink(trace: &[u32], mut still_fails: impl FnMut(&[u32]) -> bool) -> Vec<u32> {
+    let mut best: Vec<u32> = trace.to_vec();
+    // Trim trailing zeros: replay regenerates them for free.
+    while best.last() == Some(&0) {
+        best.pop();
+    }
+    // Binary-ish tail truncation.
+    loop {
+        let mut cut = best.len() / 2;
+        let mut progressed = false;
+        while cut >= 1 && best.len() > 1 {
+            let candidate = &best[..best.len() - cut.min(best.len() - 1)];
+            if still_fails(candidate) {
+                best = candidate.to_vec();
+                progressed = true;
+            } else {
+                cut /= 2;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    // Zero individual decisions until a pass makes no progress.
+    loop {
+        let mut progressed = false;
+        for i in 0..best.len() {
+            if best[i] == 0 {
+                continue;
+            }
+            let mut candidate = best.clone();
+            candidate[i] = 0;
+            if still_fails(&candidate) {
+                best = candidate;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    while best.last() == Some(&0) {
+        best.pop();
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_to_the_essential_decisions() {
+        // "Fails" iff position 3 is >= 2, regardless of anything else.
+        let fails = |t: &[u32]| t.get(3).copied().unwrap_or(0) >= 2;
+        let noisy = vec![5, 1, 7, 4, 9, 2, 8, 1, 3];
+        let min = shrink(&noisy, fails);
+        assert!(fails(&min));
+        assert_eq!(min, vec![0, 0, 0, 4]);
+    }
+
+    #[test]
+    fn non_failing_positions_zeroed() {
+        let fails = |t: &[u32]| t.first().copied().unwrap_or(0) == 9;
+        let min = shrink(&[9, 4, 4, 4], fails);
+        assert_eq!(min, vec![9]);
+    }
+}

@@ -61,6 +61,15 @@ pub struct EngineConfig {
     pub recruit_window: Duration,
     /// Pause before a blocked takeover retries from the top.
     pub takeover_retry: Duration,
+    /// **Fault-injection canary — never enable outside tests.** When
+    /// set, the 2PC coordinator *appends* its commit record without
+    /// forcing it and proceeds as if the commit point were durable.
+    /// A coordinator crash before a later platter write then loses the
+    /// commit record, recovery presumes abort, and subordinates that
+    /// already committed disagree — a deliberate atomicity violation
+    /// that the chaos checker (`camelot-chaos`) must detect. Exists
+    /// solely to prove the checker is alive.
+    pub unsafe_no_commit_force: bool,
 }
 
 impl Default for EngineConfig {
@@ -76,6 +85,7 @@ impl Default for EngineConfig {
             takeover_window: Duration::from_millis(500),
             recruit_window: Duration::from_millis(500),
             takeover_retry: Duration::from_secs(2),
+            unsafe_no_commit_force: false,
         }
     }
 }

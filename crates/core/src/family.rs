@@ -307,7 +307,7 @@ impl Family {
     pub fn effective_status(&self, tid: &Tid) -> Option<TxnStatus> {
         let own = self.txns.get(&tid.path)?.status;
         for depth in 0..tid.path.len() {
-            if let Some(anc) = self.txns.get(&tid.path[..depth].to_vec()) {
+            if let Some(anc) = self.txns.get(&tid.path[..depth]) {
                 if anc.status == TxnStatus::Aborted {
                     return Some(TxnStatus::Aborted);
                 }

@@ -661,6 +661,9 @@ impl Engine {
         let family = tid.family;
         match self.families.get_mut(&family) {
             None => {
+                // Presumed abort: no information means vote NO (see
+                // `sub2pc_prepare` — a crash here may have lost joined
+                // updates, so a read-only vote is unsound).
                 let me = self.site;
                 self.send(
                     out,
@@ -668,7 +671,7 @@ impl Engine {
                     TmMessage::NbVote {
                         tid,
                         from: me,
-                        vote: Vote::ReadOnly,
+                        vote: Vote::No,
                     },
                 );
             }

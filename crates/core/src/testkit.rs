@@ -54,6 +54,17 @@ pub struct Net {
     pub dropped: usize,
     /// Application-visible actions, in order.
     pub events: Vec<(SiteId, Action)>,
+    /// When `false`, `inject` (and the helpers built on it) only
+    /// enqueue: nothing is processed until an explicit `drain` or
+    /// `step_at`. This is the hook the chaos explorer uses to pick
+    /// delivery orders; the default `true` keeps the historical
+    /// run-to-quiescence behaviour.
+    pub auto_drain: bool,
+    /// When `true`, `Action::RelayAbort` is approximated by
+    /// broadcasting the abort to all other sites, standing in for the
+    /// communication managers' abort relaying (the node and rt
+    /// runtimes do this along recorded spread). Default `false`.
+    pub relay_aborts: bool,
     next_req: u64,
 }
 
@@ -84,6 +95,8 @@ impl Net {
             datagram_count: 0,
             dropped: 0,
             events: Vec::new(),
+            auto_drain: true,
+            relay_aborts: false,
             next_req: 100,
         }
     }
@@ -102,27 +115,75 @@ impl Net {
             .any(|g| g.contains(&a) && g.contains(&b))
     }
 
-    /// Feeds one input and runs to quiescence (all queued inputs
-    /// processed; timers stay pending).
+    /// Feeds one input and (in auto-drain mode) runs to quiescence
+    /// (all queued inputs processed; timers stay pending).
     pub fn inject(&mut self, site: SiteId, input: Input) {
         self.queue.push_back((site, input));
-        self.drain();
+        if self.auto_drain {
+            self.drain();
+        }
     }
 
     /// Processes queued inputs until none remain.
     pub fn drain(&mut self) {
-        while let Some((site, input)) = self.queue.pop_front() {
-            if self.down.contains(&site) {
-                continue;
+        while self.step_at(0) {}
+    }
+
+    /// Number of queued, undelivered inputs.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Peeks at a queued input without delivering it.
+    pub fn queued(&self, idx: usize) -> Option<(SiteId, &Input)> {
+        self.queue.get(idx).map(|(s, i)| (*s, i))
+    }
+
+    /// Delivers exactly the `idx`-th queued input (an input addressed
+    /// to a down site is silently discarded, as `drain` does). Any
+    /// follow-on inputs the handling produces are enqueued but *not*
+    /// processed. Returns false if `idx` is out of range.
+    pub fn step_at(&mut self, idx: usize) -> bool {
+        let Some((site, input)) = self.queue.remove(idx) else {
+            return false;
+        };
+        if self.down.contains(&site) {
+            return true;
+        }
+        let now = self.now;
+        let actions = {
+            let sb = self.sites.get_mut(&site).expect("site exists");
+            sb.engine.handle(input, now)
+        };
+        for a in actions {
+            self.apply(site, a);
+        }
+        true
+    }
+
+    /// Discards the `idx`-th queued input (targeted message loss).
+    pub fn drop_at(&mut self, idx: usize) -> bool {
+        if self.queue.remove(idx).is_some() {
+            self.dropped += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Re-enqueues a copy of the `idx`-th queued input at the back of
+    /// the queue (datagram duplication). Only network datagrams are
+    /// duplicated — log-completion and timer inputs are inherently
+    /// exactly-once, so the call is a no-op (returning false) for
+    /// them.
+    pub fn dup_at(&mut self, idx: usize) -> bool {
+        match self.queue.get(idx) {
+            Some((site, input @ Input::Datagram { .. })) => {
+                let dup = (*site, input.clone());
+                self.queue.push_back(dup);
+                true
             }
-            let now = self.now;
-            let actions = {
-                let sb = self.sites.get_mut(&site).expect("site exists");
-                sb.engine.handle(input, now)
-            };
-            for a in actions {
-                self.apply(site, a);
-            }
+            _ => false,
         }
     }
 
@@ -159,10 +220,20 @@ impl Net {
                 let sb = self.sites.get_mut(&site).expect("site exists");
                 sb.wal.append(&rec).expect("append");
             }
-            Action::RelayAbort { .. } => {
-                // The testkit has no communication managers; relaying
-                // is exercised by the node and rt runtimes. Recorded
-                // for assertions.
+            Action::RelayAbort { tid } => {
+                // The testkit has no communication managers; the node
+                // and rt runtimes relay along recorded spread. With
+                // `relay_aborts` set, approximate the relay by
+                // broadcasting the abort to every other site (sites
+                // that never knew the family ignore it); otherwise
+                // the action is dropped, as before.
+                if self.relay_aborts {
+                    let others: Vec<SiteId> =
+                        self.sites.keys().copied().filter(|s| *s != site).collect();
+                    for dst in others {
+                        self.deliver(site, dst, TmMessage::Abort { tid: tid.clone() });
+                    }
+                }
             }
             Action::SetTimer { token, after } => {
                 self.timers.push(TimerEntry {
@@ -218,7 +289,7 @@ impl Net {
             return;
         }
         self.datagram_count += 1;
-        if self.drop_every > 0 && self.datagram_count % self.drop_every == 0 {
+        if self.drop_every > 0 && self.datagram_count.is_multiple_of(self.drop_every) {
             self.dropped += 1;
             return;
         }
@@ -234,29 +305,60 @@ impl Net {
         for t in lazy {
             self.queue.push_back((site, Input::LogDurable { token: t }));
         }
-        self.drain();
+        self.maybe_drain();
+    }
+
+    fn maybe_drain(&mut self) {
+        if self.auto_drain {
+            self.drain();
+        }
+    }
+
+    /// Pending timers eligible to fire (not cancelled, site up), in
+    /// the deterministic firing order: earliest deadline first, ties
+    /// broken by site then token.
+    fn eligible_timers(&self) -> Vec<usize> {
+        let mut idxs: Vec<usize> = (0..self.timers.len())
+            .filter(|&i| {
+                let t = &self.timers[i];
+                !t.cancelled && !self.down.contains(&t.site)
+            })
+            .collect();
+        idxs.sort_by_key(|&i| {
+            let t = &self.timers[i];
+            (t.at, t.site, t.token.0)
+        });
+        idxs
+    }
+
+    /// Number of timers eligible to fire.
+    pub fn timer_len(&self) -> usize {
+        self.eligible_timers().len()
+    }
+
+    /// Fires the `k`-th eligible timer in deadline order — `k > 0`
+    /// fires a timer out of order, modelling clock skew and timeout
+    /// races. Virtual time advances to at least that timer's deadline
+    /// (never backwards). Follow-on inputs are enqueued; in auto-drain
+    /// mode they are processed to quiescence.
+    pub fn fire_timer_at(&mut self, k: usize) -> bool {
+        let idxs = self.eligible_timers();
+        let Some(&idx) = idxs.get(k) else {
+            return false;
+        };
+        let t = self.timers.remove(idx);
+        self.timers.retain(|t| !t.cancelled);
+        self.now = self.now.max(t.at);
+        self.queue
+            .push_back((t.site, Input::TimerFired { token: t.token }));
+        self.maybe_drain();
+        true
     }
 
     /// Fires the earliest pending timer (advancing virtual time) and
     /// drains. Returns false if no timers remain.
     pub fn fire_next_timer(&mut self) -> bool {
-        self.timers.retain(|t| !t.cancelled);
-        let Some(idx) = self
-            .timers
-            .iter()
-            .enumerate()
-            .filter(|(_, t)| !self.down.contains(&t.site))
-            .min_by_key(|(_, t)| (t.at, t.site, t.token.0))
-            .map(|(i, _)| i)
-        else {
-            return false;
-        };
-        let t = self.timers.remove(idx);
-        self.now = self.now.max(t.at);
-        self.queue
-            .push_back((t.site, Input::TimerFired { token: t.token }));
-        self.drain();
-        true
+        self.fire_timer_at(0)
     }
 
     /// Fires timers until none remain or `limit` firings happened.
@@ -292,7 +394,7 @@ impl Net {
         for a in actions {
             self.apply(site, a);
         }
-        self.drain();
+        self.maybe_drain();
     }
 
     // ---------------- High-level workload helpers ----------------

@@ -233,6 +233,175 @@ fn full_cycle_crash_all_sites_and_recover() {
 }
 
 #[test]
+fn delayed_commit_every_subordinate_crash_point_recovers() {
+    // The delayed-commit path (Optimized): the subordinate forces its
+    // prepared record, votes, drops its locks on the commit notice
+    // *before* the commit record is durable, appends that record
+    // lazily, and acks once it is. Crash the subordinate just before
+    // each input it would process — prepare, log completions, commit
+    // notice — and check every crash point converges after recovery
+    // with no split brain.
+    for crash_before in 0..8 {
+        let mut net = Net::new(2, EngineConfig::default());
+        let tid = net.begin(S1);
+        net.update_op(S1, SRV, &tid);
+        net.update_op(S2, SRV, &tid);
+        net.auto_drain = false;
+        let req = net.commit(S1, &tid, CommitMode::TwoPhase, vec![S2]);
+        let mut inputs_to_s2 = 0;
+        let mut crashed = false;
+        while let Some((site, _)) = net.queued(0) {
+            if site == S2 && !crashed {
+                if inputs_to_s2 == crash_before {
+                    net.crash(S2);
+                    crashed = true;
+                }
+                inputs_to_s2 += 1;
+            }
+            net.step_at(0);
+        }
+        // What the application was told before any recovery ran binds
+        // the final state.
+        let committed_pre = net.outcome_of(S1, req) == Some(Outcome::Committed);
+        if crashed {
+            net.restart(S2, EngineConfig::default());
+        }
+        net.auto_drain = true;
+        net.drain();
+        for _ in 0..3 {
+            net.flush_lazy(S1);
+            net.flush_lazy(S2);
+            net.run_timers(100);
+        }
+        net.assert_no_conflict(&tid.family);
+        if committed_pre {
+            assert_eq!(
+                net.engine(S2).resolution(&tid.family),
+                Some(Outcome::Committed),
+                "crash point {crash_before}: subordinate lost a commit \
+                 the coordinator answered"
+            );
+        }
+        assert!(
+            net.engine(S1).resolution(&tid.family).is_some(),
+            "crash point {crash_before}: coordinator never resolved"
+        );
+    }
+}
+
+#[test]
+fn delayed_commit_lazy_record_lost_reinquires_and_recommits() {
+    // Crash point unique to delayed commit: the subordinate dropped
+    // its locks on the commit notice (ServerCommit already issued)
+    // but died before the lazily-appended commit record reached the
+    // platter. The surviving log says only "prepared": recovery must
+    // inquire, and on learning the commit re-issue ServerCommit so
+    // the recovered data server redoes the family.
+    let t = tid(2, 7);
+    let (mut engine, actions) = recover(
+        S1,
+        vec![
+            LogRecord::ServerUpdate {
+                tid: t.clone(),
+                server: SRV,
+                object: camelot_types::ObjectId(9),
+                old: vec![],
+                new: vec![7],
+            },
+            LogRecord::Prepared {
+                tid: t.clone(),
+                coordinator: S2,
+            },
+        ],
+    );
+    assert!(actions.iter().any(|a| matches!(
+        a,
+        Action::Send { to, msg: TmMessage::Inquire { .. }, .. } if *to == S2
+    )));
+    let out = engine.handle(
+        Input::Datagram {
+            from: S2,
+            msg: TmMessage::InquireResp {
+                tid: t.clone(),
+                outcome: Outcome::Committed,
+            },
+        },
+        camelot_types::Time::ZERO,
+    );
+    assert!(
+        out.iter().any(|a| matches!(a, Action::ServerCommit { .. })),
+        "recovered subordinate must re-notify its servers: {out:?}"
+    );
+    assert_eq!(engine.resolution(&t.family), Some(Outcome::Committed));
+}
+
+#[test]
+fn delayed_commit_durable_record_ack_lost_reacks_resend() {
+    // Crash point just past the last: the lazy commit record DID
+    // become durable, but the piggybacked ack never left. Recovery
+    // needs no role for the family (nothing is owed locally), and the
+    // coordinator's commit-notice resend is re-acked from the
+    // recorded resolution.
+    let t = tid(2, 8);
+    let (mut engine, actions) = recover(
+        S1,
+        vec![
+            LogRecord::ServerUpdate {
+                tid: t.clone(),
+                server: SRV,
+                object: camelot_types::ObjectId(9),
+                old: vec![],
+                new: vec![8],
+            },
+            LogRecord::Prepared {
+                tid: t.clone(),
+                coordinator: S2,
+            },
+            LogRecord::Commit {
+                tid: t.clone(),
+                subs: vec![],
+            },
+        ],
+    );
+    assert_eq!(engine.live_families(), 0);
+    assert_eq!(engine.resolution(&t.family), Some(Outcome::Committed));
+    assert!(actions.is_empty(), "nothing owed at recovery: {actions:?}");
+    // The coordinator resends its commit notice; the ack must come
+    // back (directly, or after the piggyback delay timer fires).
+    let out = engine.handle(
+        Input::Datagram {
+            from: S2,
+            msg: TmMessage::Commit { tid: t.clone() },
+        },
+        camelot_types::Time::ZERO,
+    );
+    let acked_now = out.iter().any(|a| {
+        matches!(
+            a,
+            Action::Send { to, msg: TmMessage::CommitAck { .. }, .. } if *to == S2
+        )
+    });
+    if !acked_now {
+        // Optimized piggybacks acks behind a short timer.
+        let token = out
+            .iter()
+            .find_map(|a| match a {
+                Action::SetTimer { token, .. } => Some(*token),
+                _ => None,
+            })
+            .expect("no ack and no piggyback timer");
+        let out2 = engine.handle(Input::TimerFired { token }, camelot_types::Time::ZERO);
+        assert!(
+            out2.iter().any(|a| matches!(
+                a,
+                Action::Send { to, msg: TmMessage::CommitAck { .. }, .. } if *to == S2
+            )),
+            "piggyback timer fired but no ack: {out2:?}"
+        );
+    }
+}
+
+#[test]
 fn subordinate_crash_after_prepare_recovers_to_commit() {
     // The subordinate prepares (forced), crashes before the commit
     // notice, restarts, inquires, and learns the commit.

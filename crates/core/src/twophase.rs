@@ -214,6 +214,15 @@ impl Engine {
         }
         c.phase = CoordPhase::ForcingCommit;
         let subs: Vec<SiteId> = c.yes_subs.iter().copied().collect();
+        if self.config.unsafe_no_commit_force {
+            // Canary path (see `EngineConfig::unsafe_no_commit_force`):
+            // skip the commit-point force and pretend it completed.
+            out.push(Action::Append {
+                rec: LogRecord::Commit { tid, subs },
+            });
+            self.coord2pc_commit_forced(out, family, Time::ZERO);
+            return;
+        }
         let token = self.alloc_force(ForcePurpose::CoordCommit(family));
         self.stats.forces += 1;
         out.push(Action::Force {
@@ -537,9 +546,13 @@ impl Engine {
         let family = tid.family;
         match self.families.get_mut(&family) {
             None => {
-                // No server ever joined here (or we already resolved a
-                // read-only participation): vote read-only, keep
-                // nothing.
+                // Presumed abort: no information means vote NO. This
+                // site cannot tell "no server ever joined here" (or
+                // "read-only participation already resolved and
+                // forgotten") apart from "a server joined with updates
+                // and the site crashed before preparing" — a read-only
+                // vote in that last case would let the coordinator
+                // commit a transaction whose updates were lost.
                 let me = self.site;
                 self.send(
                     out,
@@ -547,7 +560,7 @@ impl Engine {
                     TmMessage::VoteMsg {
                         tid,
                         from: me,
-                        vote: Vote::ReadOnly,
+                        vote: Vote::No,
                     },
                 );
             }
@@ -580,21 +593,19 @@ impl Engine {
                         servers: servers.into_iter().collect(),
                     });
                 }
-                Role::Sub2pc(s) => {
-                    // Retransmitted prepare: repeat the vote if we
-                    // already cast it.
-                    if s.phase == SubPhase::Prepared {
-                        let me = self.site;
-                        self.send(
-                            out,
-                            coordinator,
-                            TmMessage::VoteMsg {
-                                tid,
-                                from: me,
-                                vote: Vote::Yes,
-                            },
-                        );
-                    }
+                // Retransmitted prepare: repeat the vote if we
+                // already cast it.
+                Role::Sub2pc(s) if s.phase == SubPhase::Prepared => {
+                    let me = self.site;
+                    self.send(
+                        out,
+                        coordinator,
+                        TmMessage::VoteMsg {
+                            tid,
+                            from: me,
+                            vote: Vote::Yes,
+                        },
+                    );
                 }
                 _ => {}
             },

@@ -151,7 +151,7 @@ pub struct DupFilter {
 
 impl DupFilter {
     pub fn new(window: u64) -> Self {
-        assert!(window >= 1 && window <= 128, "window must be 1..=128");
+        assert!((1..=128).contains(&window), "window must be 1..=128");
         DupFilter {
             window,
             state: HashMap::new(),

@@ -200,7 +200,15 @@ impl Client {
                 .lock();
             server.handle(make(req, tid.clone()))
         };
+        let deadlock = fx.deadlock;
         self.inner.route_server_effects(site, server, fx);
+        if deadlock {
+            // Deadlock-avoidance denied the operation (this caller is
+            // the victim): fail fast instead of waiting out the call
+            // timeout, so the application aborts and its peer runs.
+            self.inner.pending_ops.lock().remove(&req);
+            return Err(CamelotError::LockTimeout);
+        }
         // Merge the reply stamp at home (transitive spread).
         if site_id != self.home {
             let stamp = site.comman.lock().reply_stamp(&tid.family);

@@ -14,10 +14,12 @@ const S3: SiteId = SiteId(3);
 const SRV: ServerId = ServerId(1);
 
 fn quick_cfg() -> RtConfig {
-    let mut cfg = RtConfig::default();
-    cfg.datagram_delay = StdDuration::from_millis(1);
-    cfg.platter_delay = StdDuration::from_millis(1);
-    cfg.lazy_flush = StdDuration::from_millis(5);
+    let mut cfg = RtConfig {
+        datagram_delay: StdDuration::from_millis(1),
+        platter_delay: StdDuration::from_millis(1),
+        lazy_flush: StdDuration::from_millis(5),
+        ..RtConfig::default()
+    };
     // Short protocol timeouts so failure tests run quickly.
     cfg.engine.nb_outcome_timeout = camelot_types::Duration::from_millis(150);
     cfg.engine.takeover_window = camelot_types::Duration::from_millis(80);
@@ -292,9 +294,8 @@ fn many_concurrent_clients_stay_consistent() {
                     let _ = client.abort(&tid);
                     continue;
                 }
-                match client.commit(&tid, CommitMode::TwoPhase) {
-                    Ok(Outcome::Committed) => commits += 1,
-                    _ => {}
+                if let Ok(Outcome::Committed) = client.commit(&tid, CommitMode::TwoPhase) {
+                    commits += 1;
                 }
                 let _ = i;
             }
@@ -415,9 +416,8 @@ fn deadlock_resolves_via_call_timeout_and_abort() {
                     Ok(false)
                 }
             }
-            .map(|committed| {
+            .inspect(|_| {
                 let _ = &cluster;
-                committed
             })
         })
     };

@@ -63,6 +63,11 @@ pub struct Effects {
     pub replies: Vec<OpReply>,
     /// The *submitted* operation is queued behind a lock.
     pub blocked: bool,
+    /// The submitted operation was denied because queueing it would
+    /// have closed a waits-for cycle (deadlock). The requester is the
+    /// victim: the operation is not queued, and the application should
+    /// abort the transaction and retry.
+    pub deadlock: bool,
 }
 
 impl Effects {
@@ -79,6 +84,8 @@ pub struct ServerStats {
     pub writes: u64,
     pub lock_waits: u64,
     pub joins: u64,
+    /// Operations denied by deadlock detection (requester as victim).
+    pub deadlocks: u64,
 }
 
 /// One in-progress update (ordered; undo walks this in reverse).
@@ -155,6 +162,13 @@ impl DataServer {
         self.work.len()
     }
 
+    /// Families with uncommitted work, sorted (tests, leak checks).
+    pub fn families(&self) -> Vec<FamilyId> {
+        let mut f: Vec<FamilyId> = self.work.keys().copied().collect();
+        f.sort();
+        f
+    }
+
     /// Direct access to the lock manager (tests, contention metrics).
     pub fn locks(&self) -> &LockManager {
         &self.locks
@@ -170,8 +184,8 @@ impl DataServer {
         let mut fx = Effects::default();
         let tid = request.tid().clone();
         // Join on first touch of the family.
-        if !self.work.contains_key(&tid.family) {
-            self.work.insert(tid.family, FamilyWork::default());
+        if let std::collections::hash_map::Entry::Vacant(e) = self.work.entry(tid.family) {
+            e.insert(FamilyWork::default());
             fx.join = Some(tid.clone());
             self.stats.joins += 1;
         }
@@ -185,10 +199,21 @@ impl DataServer {
                 fx.reply(r)
             }
             Acquire::Queued => {
-                self.stats.lock_waits += 1;
-                self.pending.insert((object, tid), request);
-                fx.blocked = true;
-                fx
+                if self.wait_would_deadlock(object, &tid, mode) {
+                    // Deny rather than queue: the requester is the
+                    // victim. Cancelling the wait may unblock other
+                    // waiters the lock manager had queued behind it.
+                    let (_, granted) = self.locks.cancel_wait(object, &tid);
+                    self.run_granted(granted, &mut fx);
+                    self.stats.deadlocks += 1;
+                    fx.deadlock = true;
+                    fx
+                } else {
+                    self.stats.lock_waits += 1;
+                    self.pending.insert((object, tid), request);
+                    fx.blocked = true;
+                    fx
+                }
             }
         }
     }
@@ -230,6 +255,60 @@ impl DataServer {
                 }
             }
         }
+    }
+
+    /// Whether `tid.family` waiting on `object` in `mode` closes a
+    /// waits-for cycle among families.
+    ///
+    /// Edges run from a waiting family to each family holding a
+    /// conflicting lock on the awaited object (exclusive conflicts
+    /// with everything; shared only with exclusive). Cycle search is
+    /// a DFS from the candidate family. The check is conservative
+    /// only in that multiple waiters on one object are all given
+    /// edges to the holders, which can declare a deadlock one grant
+    /// earlier than strictly necessary — a safe over-approximation,
+    /// equivalent to a timeout firing early.
+    fn wait_would_deadlock(&self, object: ObjectId, tid: &Tid, mode: Mode) -> bool {
+        let me = tid.family;
+        let mut edges: HashMap<FamilyId, Vec<FamilyId>> = HashMap::new();
+        let add_wait = |edges: &mut HashMap<FamilyId, Vec<FamilyId>>,
+                        locks: &LockManager,
+                        obj: ObjectId,
+                        fam: FamilyId,
+                        m: Mode| {
+            for (holder, hmode) in locks.holders(obj) {
+                if holder.family == fam {
+                    continue;
+                }
+                if m == Mode::Exclusive || hmode == Mode::Exclusive {
+                    edges.entry(fam).or_default().push(holder.family);
+                }
+            }
+        };
+        for ((obj, waiter), req) in &self.pending {
+            let m = match req {
+                Request::Read { .. } => Mode::Shared,
+                Request::Write { .. } => Mode::Exclusive,
+            };
+            add_wait(&mut edges, &self.locks, *obj, waiter.family, m);
+        }
+        add_wait(&mut edges, &self.locks, object, me, mode);
+        // DFS: is `me` reachable from its own successors?
+        let mut stack: Vec<FamilyId> = edges.get(&me).cloned().unwrap_or_default();
+        let mut seen: Vec<FamilyId> = Vec::new();
+        while let Some(f) = stack.pop() {
+            if f == me {
+                return true;
+            }
+            if seen.contains(&f) {
+                continue;
+            }
+            seen.push(f);
+            if let Some(next) = edges.get(&f) {
+                stack.extend(next.iter().copied());
+            }
+        }
+        false
     }
 
     /// The value a member of `family` sees: its own uncommitted write
@@ -615,5 +694,58 @@ mod tests {
         assert_eq!(st.writes, 1);
         assert_eq!(st.reads, 2);
         assert_eq!(st.joins, 1);
+    }
+
+    #[test]
+    fn two_family_write_cycle_is_denied_not_queued() {
+        let mut s = server();
+        let (t1, t2) = (top(1), top(2));
+        assert!(!write(&mut s, 1, &t1, 1, b"a").blocked);
+        assert!(!write(&mut s, 2, &t2, 2, b"b").blocked);
+        // t2 waits on t1's object: a plain wait, no cycle yet.
+        let fx = write(&mut s, 3, &t2, 1, b"b1");
+        assert!(fx.blocked && !fx.deadlock);
+        // t1 asking for t2's object would close the cycle: denied.
+        let fx = write(&mut s, 4, &t1, 2, b"a2");
+        assert!(fx.deadlock, "cycle must be detected");
+        assert!(!fx.blocked, "victim is not queued");
+        assert_eq!(s.stats().deadlocks, 1);
+        // The victim aborts; the survivor's queued write completes.
+        let fx = s.abort_family(fam(1));
+        assert_eq!(fx.replies.len(), 1, "t2's wait granted");
+        let fx = s.commit_family(fam(2));
+        assert!(fx.replies.is_empty());
+        assert_eq!(s.committed_value(ObjectId(1)), b"b1");
+        assert_eq!(s.committed_value(ObjectId(2)), b"b");
+    }
+
+    #[test]
+    fn three_family_cycle_is_denied() {
+        let mut s = server();
+        let (t1, t2, t3) = (top(1), top(2), top(3));
+        write(&mut s, 1, &t1, 1, b"a");
+        write(&mut s, 2, &t2, 2, b"b");
+        write(&mut s, 3, &t3, 3, b"c");
+        assert!(write(&mut s, 4, &t1, 2, b"x").blocked); // 1 -> 2
+        assert!(write(&mut s, 5, &t2, 3, b"y").blocked); // 2 -> 3
+        let fx = write(&mut s, 6, &t3, 1, b"z"); // 3 -> 1 closes it
+        assert!(fx.deadlock);
+    }
+
+    #[test]
+    fn shared_waiters_do_not_false_positive() {
+        let mut s = server();
+        let (t1, t2) = (top(1), top(2));
+        write(&mut s, 1, &t1, 1, b"a");
+        // t2 queues a read behind t1's exclusive: 2 -> 1.
+        assert!(read(&mut s, 2, &t2, 1).blocked);
+        // t1 reading an object nobody holds is granted outright.
+        let fx = read(&mut s, 3, &t1, 5);
+        assert!(!fx.blocked && !fx.deadlock);
+        // t1 reading t2-shared data: shared/shared never conflicts,
+        // so no wait and no cycle.
+        read(&mut s, 4, &t2, 6);
+        let fx = read(&mut s, 5, &t1, 6);
+        assert!(!fx.blocked && !fx.deadlock);
     }
 }

@@ -123,11 +123,10 @@ impl<M> Resource<M> {
 
     /// Mean queueing delay over all grants so far.
     pub fn mean_wait(&self) -> Duration {
-        if self.grants == 0 {
-            Duration::ZERO
-        } else {
-            Duration::from_micros(self.total_wait.as_micros() / self.grants)
-        }
+        self.total_wait
+            .as_micros()
+            .checked_div(self.grants)
+            .map_or(Duration::ZERO, Duration::from_micros)
     }
 
     /// Utilization in `[0, 1]` up to `now`: busy server-time divided by

@@ -117,7 +117,7 @@ impl Sum for Duration {
 
 impl fmt::Display for Duration {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.0 % 1_000 == 0 {
+        if self.0.is_multiple_of(1_000) {
             write!(f, "{}ms", self.0 / 1_000)
         } else {
             write!(f, "{:.3}ms", self.as_millis_f64())

@@ -387,4 +387,99 @@ mod tests {
         let mut b = GroupCommitBatcher::new(BatchPolicy::Coalesce);
         b.write_complete(t(0));
     }
+
+    #[test]
+    fn force_while_window_timer_armed_shares_the_write() {
+        // A force request that arrives while the accumulation timer is
+        // armed neither re-arms the timer nor starts its own write: it
+        // rides the armed window, and the single platter write covers
+        // its (higher) LSN too. The satisfied batch then advances the
+        // epoch, so the superseded timer firing late is a no-op.
+        let mut b = GroupCommitBatcher::new(BatchPolicy::Window(Duration::from_millis(10)));
+        let a1 = b.request(ReqId(1), Lsn(100), t(0));
+        let e1 = match a1.as_slice() {
+            [BatcherAction::SetTimer { epoch, .. }] => *epoch,
+            other => panic!("expected SetTimer, got {other:?}"),
+        };
+        // The mid-window force: no second timer, no write.
+        let a2 = b.request(ReqId(2), Lsn(250), t(4));
+        assert!(a2.is_empty());
+        let a3 = b.timer_fired(e1, t(10));
+        assert_eq!(starts(&a3), vec![Lsn(250)], "one write covers both");
+        let a4 = b.write_complete(t(43));
+        let mut got = satisfied(&a4);
+        got.sort_by_key(|r| r.0);
+        assert_eq!(got, vec![ReqId(1), ReqId(2)]);
+        assert_eq!(b.writes(), 1);
+        // A fresh request arms a NEW epoch; the old one is dead.
+        let a5 = b.request(ReqId(3), Lsn(300), t(50));
+        let e2 = match a5.as_slice() {
+            [BatcherAction::SetTimer { epoch, .. }] => *epoch,
+            other => panic!("expected SetTimer, got {other:?}"),
+        };
+        assert_ne!(e1, e2);
+        assert!(b.timer_fired(e1, t(55)).is_empty(), "stale epoch ignored");
+    }
+
+    #[test]
+    fn epoch_rollover_across_crash_restart() {
+        // A crash discards the batcher; the disk manager rebuilds a
+        // fresh one at restart. Epoch numbering restarts with it, so
+        // two contracts matter: (1) a pre-crash timer firing into the
+        // fresh batcher (no timer armed yet) is ignored rather than
+        // starting a bogus write, and (2) the first post-restart
+        // window arms its own epoch and runs normally even though the
+        // number collides with a pre-crash epoch.
+        let mut b1 = GroupCommitBatcher::new(BatchPolicy::Window(Duration::from_millis(10)));
+        let a = b1.request(ReqId(1), Lsn(100), t(0));
+        let old_epoch = match a.as_slice() {
+            [BatcherAction::SetTimer { epoch, .. }] => *epoch,
+            other => panic!("expected SetTimer, got {other:?}"),
+        };
+        drop(b1); // Crash: volatile batcher state is gone.
+
+        let mut b2 = GroupCommitBatcher::new(BatchPolicy::Window(Duration::from_millis(10)));
+        // The stale pre-crash timer fires into the new incarnation.
+        assert!(b2.timer_fired(old_epoch, t(12)).is_empty());
+        assert_eq!(b2.writes(), 0);
+        // Recovery re-forces the recovered tail under a fresh window:
+        // the colliding epoch number belongs to b2 now and works.
+        let a1 = b2.request(ReqId(2), Lsn(100), t(20));
+        let new_epoch = match a1.as_slice() {
+            [BatcherAction::SetTimer { epoch, .. }] => *epoch,
+            other => panic!("expected SetTimer, got {other:?}"),
+        };
+        assert_eq!(new_epoch, old_epoch, "fresh numbering collides by design");
+        let a2 = b2.timer_fired(new_epoch, t(30));
+        assert_eq!(starts(&a2), vec![Lsn(100)]);
+        let a3 = b2.write_complete(t(63));
+        assert_eq!(satisfied(&a3), vec![ReqId(2)]);
+        assert_eq!(b2.durable(), Lsn(100));
+    }
+
+    #[test]
+    fn zero_delay_window_degenerates_to_per_record_force() {
+        // Window(0) arms a timer that expires at `now`: with requests
+        // arriving one at a time each gets its own platter write —
+        // exactly the no-batching behaviour, just with a timer hop in
+        // the middle.
+        let mut b = GroupCommitBatcher::new(BatchPolicy::Window(Duration::from_millis(0)));
+        for (i, lsn) in [(1u64, 100u64), (2, 200), (3, 300)] {
+            let now = t(i * 40);
+            let a1 = b.request(ReqId(i), Lsn(lsn), now);
+            let epoch = match a1.as_slice() {
+                [BatcherAction::SetTimer { at, epoch }] => {
+                    assert_eq!(*at, now, "zero window expires immediately");
+                    *epoch
+                }
+                other => panic!("expected SetTimer, got {other:?}"),
+            };
+            let a2 = b.timer_fired(epoch, now);
+            assert_eq!(starts(&a2), vec![Lsn(lsn)]);
+            let a3 = b.write_complete(now + Duration::from_millis(33));
+            assert_eq!(satisfied(&a3), vec![ReqId(i)]);
+        }
+        assert_eq!(b.writes(), 3, "one write per record");
+        assert_eq!(b.max_batch(), 1);
+    }
 }

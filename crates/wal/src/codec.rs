@@ -78,11 +78,9 @@ pub enum FrameRead {
 /// Attempts to read one frame from the front of `buf`.
 pub fn read_frame(buf: &[u8]) -> FrameRead {
     if buf.len() < FRAME_HEADER {
-        return if buf.is_empty() {
-            FrameRead::Torn // Caller distinguishes empty via buf.is_empty().
-        } else {
-            FrameRead::Torn
-        };
+        // Empty input and a short tail both read as Torn; callers that
+        // care distinguish empty via buf.is_empty().
+        return FrameRead::Torn;
     }
     let mut hdr = &buf[..FRAME_HEADER];
     let len = hdr.get_u32_le() as usize;

@@ -39,6 +39,31 @@ fn variant() -> impl Strategy<Value = TwoPhaseVariant> {
     ]
 }
 
+/// Explicit pin of the regression proptest once shrank to
+/// (`behaviors = [ReadOnly], local = Update, v = Optimized, nb =
+/// true` in `proptest_protocols.proptest-regressions`): a
+/// non-blocking commit whose only remote participant is read-only
+/// must still commit the local update — the read-only subordinate is
+/// excluded from the replication quorum, leaving the coordinator's
+/// own commit record as the (singleton) quorum.
+#[test]
+fn nonblocking_single_readonly_sub_commits_local_update() {
+    let mut net = Net::new(2, EngineConfig::for_variant(TwoPhaseVariant::Optimized));
+    let tid = net.begin(SiteId(1));
+    net.update_op(SiteId(1), SRV, &tid);
+    net.read_op(SiteId(2), SRV, &tid);
+    let req = net.commit(SiteId(1), &tid, CommitMode::NonBlocking, vec![SiteId(2)]);
+    assert_eq!(net.outcome_of(SiteId(1), req), Some(Outcome::Committed));
+    net.assert_no_conflict(&tid.family);
+    for s in [SiteId(1), SiteId(2)] {
+        net.flush_lazy(s);
+    }
+    net.run_timers(200);
+    for s in [SiteId(1), SiteId(2)] {
+        assert_eq!(net.engine(s).live_families(), 0, "{s} keeps state");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 

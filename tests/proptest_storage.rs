@@ -114,7 +114,7 @@ proptest! {
         let mut timers: Vec<u64> = Vec::new();
         let mut now = 0u64;
         let mut last_durable = Lsn(0);
-        let mut handle = |actions: Vec<BatcherAction>,
+        let handle = |actions: Vec<BatcherAction>,
                           satisfied: &mut Vec<u64>,
                           writes: &mut u32,
                           timers: &mut Vec<u64>,
@@ -145,7 +145,7 @@ proptest! {
                 let acts = b.write_complete(Time(now));
                 handle(acts, &mut satisfied, &mut writes_in_flight, &mut timers, &mut last_durable);
             }
-            let due: Vec<u64> = timers.drain(..).collect();
+            let due = std::mem::take(&mut timers);
             for epoch in due {
                 now += 1;
                 let acts = b.timer_fired(epoch, Time(now));
@@ -162,7 +162,7 @@ proptest! {
                 let acts = b.write_complete(Time(now));
                 handle(acts, &mut satisfied, &mut writes_in_flight, &mut timers, &mut last_durable);
             }
-            let due: Vec<u64> = timers.drain(..).collect();
+            let due = std::mem::take(&mut timers);
             for epoch in due {
                 let acts = b.timer_fired(epoch, Time(now));
                 handle(acts, &mut satisfied, &mut writes_in_flight, &mut timers, &mut last_durable);
@@ -190,10 +190,10 @@ proptest! {
                 live.retain(|f| *f != fam);
             } else {
                 let mode = if exclusive { Mode::Exclusive } else { Mode::Shared };
-                if lm.acquire(ObjectId(obj), &tid, mode) == Acquire::Granted {
-                    if !live.contains(&fam) {
-                        live.push(fam);
-                    }
+                if lm.acquire(ObjectId(obj), &tid, mode) == Acquire::Granted
+                    && !live.contains(&fam)
+                {
+                    live.push(fam);
                 }
             }
             // Invariant: for every object, the exclusive holders are

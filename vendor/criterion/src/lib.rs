@@ -1,0 +1,112 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset the bench targets use: `Criterion::
+//! bench_function`, `Bencher::iter`, `criterion_group!`,
+//! `criterion_main!`, and `black_box`. Measurement is a simple
+//! calibrated wall-clock loop reporting ns/iter — adequate for
+//! relative comparisons in this repo, with none of criterion's
+//! statistics. Passing `--test` (as `cargo test --benches` does)
+//! runs each benchmark once and skips measurement.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Bench driver handed to each registered function.
+pub struct Criterion {
+    /// Smoke mode: run each body once, no measurement.
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            test_mode: self.test_mode,
+            report: None,
+        };
+        f(&mut b);
+        match b.report {
+            Some(ns) if !self.test_mode => {
+                println!("{id:<50} {:>12.1} ns/iter", ns);
+            }
+            _ => println!("{id:<50}         (smoke)"),
+        }
+        self
+    }
+}
+
+/// Timing loop runner.
+pub struct Bencher {
+    test_mode: bool,
+    report: Option<f64>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut inner: F) {
+        if self.test_mode {
+            black_box(inner());
+            return;
+        }
+        // Calibrate: grow the batch until it runs >= 10ms.
+        let mut n: u64 = 1;
+        let target = Duration::from_millis(10);
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(inner());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= target || n >= 1 << 30 {
+                self.report = Some(elapsed.as_nanos() as f64 / n as f64);
+                return;
+            }
+            n = n.saturating_mul(if elapsed.is_zero() {
+                100
+            } else {
+                ((target.as_nanos() / elapsed.as_nanos().max(1)) as u64 + 1).min(100)
+            });
+        }
+    }
+}
+
+/// Registers bench functions under a group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emits `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn bencher_smoke() {
+        let mut c = super::Criterion { test_mode: true };
+        let mut ran = 0;
+        c.bench_function("noop", |b| b.iter(|| ran += 1));
+        assert_eq!(ran, 1);
+    }
+}

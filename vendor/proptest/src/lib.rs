@@ -1,0 +1,510 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so the workspace
+//! vendors a compatible subset of proptest: the `proptest!` macro,
+//! `Strategy` with `prop_map`, `Just`, `any`, ranges and tuples as
+//! strategies, `prop::collection::vec`, weighted `prop_oneof!`, and
+//! the `prop_assert*` macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! - **No shrinking.** A failing case reports the generated inputs
+//!   and the replay seed instead of a minimized counterexample. (The
+//!   repo's chaos subsystem has its own schedule shrinker for the
+//!   tests where minimization really matters.)
+//! - **Deterministic by default.** Case generation is seeded from the
+//!   test's name, so a failure reproduces on every run; set
+//!   `PROPTEST_SEED=<n>` to explore a different stream, and the
+//!   failure report prints the seed to replay.
+//! - `.proptest-regressions` files are not consumed; regressions that
+//!   matter are promoted to explicit `#[test]`s instead.
+
+use std::fmt::Debug;
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng as _};
+
+// ---------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------
+
+/// Random source handed to strategies.
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> TestRng {
+        TestRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.gen()
+    }
+
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0);
+        self.inner.gen_range(0..n)
+    }
+
+    pub fn unit_f64(&mut self) -> f64 {
+        self.inner.gen_range(0.0..1.0)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Config and runner
+// ---------------------------------------------------------------------
+
+/// Runner configuration; only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Base seed for a test: `PROPTEST_SEED` env override, else a stable
+/// hash of the test path (deterministic across runs and machines).
+pub fn base_seed(test_path: &str) -> u64 {
+    match std::env::var("PROPTEST_SEED") {
+        Ok(v) => v
+            .trim()
+            .parse::<u64>()
+            .unwrap_or_else(|_| panic!("PROPTEST_SEED must be a u64, got {v:?}")),
+        Err(_) => fnv1a(test_path),
+    }
+}
+
+/// Drives `case` once per configured case with a per-case RNG.
+/// `case` receives the RNG and the case index; it panics on failure
+/// (the macro wraps the body to report inputs first).
+pub fn run_cases(cfg: &ProptestConfig, test_path: &str, mut case: impl FnMut(&mut TestRng, u32)) {
+    let base = base_seed(test_path);
+    for i in 0..cfg.cases {
+        // Distinct, well-separated stream per case.
+        let seed = base ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = TestRng::new(seed);
+        case(&mut rng, i);
+    }
+}
+
+/// Called by the macro when a case body panicked: reports inputs and
+/// replay instructions, then re-raises.
+pub fn report_failure(
+    test_path: &str,
+    case_index: u32,
+    inputs: &str,
+    payload: Box<dyn std::any::Any + Send>,
+) -> ! {
+    let base = base_seed(test_path);
+    eprintln!("---- proptest failure in {test_path} (case {case_index}) ----");
+    eprintln!("inputs:\n{inputs}");
+    eprintln!("replay: PROPTEST_SEED={base} cargo test {test_path}");
+    std::panic::resume_unwind(payload)
+}
+
+// ---------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------
+
+/// A generator of values of `Self::Value`.
+pub trait Strategy {
+    type Value: Debug;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U: Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        _whence: &'static str,
+        f: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { inner: self, f }
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// `prop_filter` adapter: rejection sampling with a retry cap.
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 1000 candidates in a row");
+    }
+}
+
+/// Constant strategy.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Sized + Debug {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.unit_f64()
+    }
+}
+
+/// Strategy produced by [`any`].
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Full-range strategy for `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+// Ranges as strategies (uniform over the range).
+macro_rules! impl_strategy_for_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+impl_strategy_for_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+// Tuples of strategies.
+macro_rules! impl_strategy_for_tuple {
+    ($($S:ident/$idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_strategy_for_tuple!(A / 0);
+impl_strategy_for_tuple!(A / 0, B / 1);
+impl_strategy_for_tuple!(A / 0, B / 1, C / 2);
+impl_strategy_for_tuple!(A / 0, B / 1, C / 2, D / 3);
+impl_strategy_for_tuple!(A / 0, B / 1, C / 2, D / 3, E / 4);
+impl_strategy_for_tuple!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+impl_strategy_for_tuple!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6);
+impl_strategy_for_tuple!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6, H / 7);
+
+/// One weighted arm of a `prop_oneof!`: weight plus a type-erased
+/// generator.
+pub type OneOfArm<V> = (u32, Box<dyn Fn(&mut TestRng) -> V>);
+
+/// Weighted union over same-valued strategies (`prop_oneof!`).
+pub struct OneOf<V> {
+    arms: Vec<OneOfArm<V>>,
+    total: u64,
+}
+
+impl<V> OneOf<V> {
+    pub fn new(arms: Vec<OneOfArm<V>>) -> OneOf<V> {
+        assert!(!arms.is_empty(), "prop_oneof needs at least one arm");
+        let total = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof weights sum to zero");
+        OneOf { arms, total }
+    }
+}
+
+impl<V: Debug> Strategy for OneOf<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let mut pick = rng.below(self.total);
+        for (w, f) in &self.arms {
+            if pick < *w as u64 {
+                return f(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weight bookkeeping")
+    }
+}
+
+/// Helper the `prop_oneof!` macro uses to erase arm types.
+pub fn oneof_arm<S>(weight: u32, s: S) -> OneOfArm<S::Value>
+where
+    S: Strategy + 'static,
+{
+    (weight, Box::new(move |rng| s.generate(rng)))
+}
+
+// ---------------------------------------------------------------------
+// prop:: namespace
+// ---------------------------------------------------------------------
+
+pub mod prop {
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use std::fmt::Debug;
+        use std::ops::Range;
+
+        /// Vec of `element`s with length drawn from `size`.
+        pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+            assert!(size.start < size.end, "empty vec size range");
+            VecStrategy { element, size }
+        }
+
+        pub struct VecStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S>
+        where
+            S::Value: Debug,
+        {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = (self.size.end - self.size.start) as u64;
+                let len = self.size.start + rng.below(span) as usize;
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------
+
+/// The test-suite entry macro; same surface syntax as proptest's.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ (<$crate::ProptestConfig as ::std::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                let __path = concat!(module_path!(), "::", stringify!($name));
+                $crate::run_cases(&__cfg, __path, |__rng, __case| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), __rng);)+
+                    let mut __inputs = String::new();
+                    $(__inputs.push_str(&format!(
+                        "  {} = {:?}\n", stringify!($arg), &$arg));)+
+                    let __result = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| $body));
+                    if let Err(__e) = __result {
+                        $crate::report_failure(__path, __case, &__inputs, __e);
+                    }
+                });
+            }
+        )*
+    };
+}
+
+/// Weighted / unweighted strategy union.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![ $( $crate::oneof_arm(($weight) as u32, $strat) ),+ ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![ $( $crate::oneof_arm(1u32, $strat) ),+ ])
+    };
+}
+
+/// Assertion macros: identical to `assert!` family here (failures
+/// panic; the runner attaches inputs and seed).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        Just, ProptestConfig, Strategy,
+    };
+}
+
+// ---------------------------------------------------------------------
+// Self-tests
+// ---------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = TestRng::new(1);
+        let s = (1u32..5, 0u64..10, any::<bool>());
+        for _ in 0..1000 {
+            let (a, b, _c) = Strategy::generate(&s, &mut rng);
+            assert!((1..5).contains(&a));
+            assert!(b < 10);
+        }
+    }
+
+    #[test]
+    fn oneof_respects_zero_width_arms() {
+        let mut rng = TestRng::new(2);
+        let s = prop_oneof![ 3 => Just(1u8), 1 => Just(2u8) ];
+        let mut saw = [0u32; 3];
+        for _ in 0..1000 {
+            saw[Strategy::generate(&s, &mut rng) as usize] += 1;
+        }
+        assert_eq!(saw[0], 0);
+        assert!(saw[1] > saw[2]);
+    }
+
+    #[test]
+    fn collection_vec_lengths() {
+        let mut rng = TestRng::new(3);
+        let s = prop::collection::vec(any::<u8>(), 2..5);
+        for _ in 0..200 {
+            let v = Strategy::generate(&s, &mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn deterministic_without_env_override() {
+        if std::env::var("PROPTEST_SEED").is_ok() {
+            return; // Determinism vs. the default stream only.
+        }
+        let a = crate::base_seed("x::y");
+        let b = crate::base_seed("x::y");
+        assert_eq!(a, b);
+        assert_ne!(a, crate::base_seed("x::z"));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_smoke(v in prop::collection::vec(0u32..100, 0..8), b in any::<bool>()) {
+            prop_assert!(v.iter().all(|x| *x < 100));
+            let _ = b;
+            prop_assert_eq!(v.len(), v.len());
+        }
+    }
+}

@@ -61,6 +61,22 @@ impl Engine {
         config: EngineConfig,
         records: &[(Lsn, LogRecord)],
     ) -> (Engine, Vec<Action>) {
+        Engine::recover_sharded(site, config, 0, 1, records)
+    }
+
+    /// Rebuilds one shard of a sharded engine (see [`Engine::sharded`])
+    /// from the durable log. The caller must pass only the records of
+    /// families this shard owns (route with
+    /// [`crate::engine::shard_of_family`]); family-less records
+    /// (checkpoints, server snapshots) are ignored here and may be
+    /// given to any or all shards.
+    pub fn recover_sharded(
+        site: SiteId,
+        config: EngineConfig,
+        shard: u32,
+        of: u32,
+        records: &[(Lsn, LogRecord)],
+    ) -> (Engine, Vec<Action>) {
         let mut scans: BTreeMap<FamilyId, FamScan> = BTreeMap::new();
         let mut max_seq = 0u64;
         for (_, rec) in records {
@@ -91,7 +107,7 @@ impl Engine {
             }
         }
 
-        let mut engine = Engine::new(site, config);
+        let mut engine = Engine::sharded(site, config, shard, of);
         engine.bump_family_seq(max_seq + 1);
         let mut out = Vec::new();
 

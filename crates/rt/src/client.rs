@@ -157,13 +157,13 @@ impl Client {
     fn tm_call(&self, make: impl FnOnce(u64) -> Input) -> Result<Action> {
         let req = self.inner.alloc_req();
         let (tx, rx) = bounded(1);
-        self.inner.pending.lock().insert(req, tx);
+        self.inner.pending.insert(req, tx);
         let site = self.inner.sites.get(&self.home).expect("home exists");
         site.tm_tx
             .send(Some(make(req)))
             .map_err(|_| CamelotError::SiteDown(self.home))?;
         rx.recv_timeout(self.inner.cfg.call_timeout).map_err(|_| {
-            self.inner.pending.lock().remove(&req);
+            self.inner.pending.remove(req);
             CamelotError::SiteDown(self.home)
         })
     }
@@ -177,7 +177,7 @@ impl Client {
     ) -> Result<Vec<u8>> {
         let req = self.inner.alloc_req();
         let (tx, rx) = bounded(1);
-        self.inner.pending_ops.lock().insert(req, tx);
+        self.inner.pending_ops.insert(req, tx);
         // Remote spread tracking (the CornMan spying of §3.1).
         if site_id != self.home {
             let home = self.inner.sites.get(&self.home).expect("home exists");
@@ -189,7 +189,7 @@ impl Client {
             .get(&site_id)
             .ok_or(CamelotError::SiteDown(site_id))?;
         if !site.alive.load(std::sync::atomic::Ordering::SeqCst) {
-            self.inner.pending_ops.lock().remove(&req);
+            self.inner.pending_ops.remove(req);
             return Err(CamelotError::SiteDown(site_id));
         }
         let fx = {
@@ -206,7 +206,7 @@ impl Client {
             // Deadlock-avoidance denied the operation (this caller is
             // the victim): fail fast instead of waiting out the call
             // timeout, so the application aborts and its peer runs.
-            self.inner.pending_ops.lock().remove(&req);
+            self.inner.pending_ops.remove(req);
             return Err(CamelotError::LockTimeout);
         }
         // Merge the reply stamp at home (transitive spread).
@@ -216,7 +216,7 @@ impl Client {
             home.comman.lock().merge_reply_stamp(tid.family, &stamp);
         }
         let reply = rx.recv_timeout(self.inner.cfg.call_timeout).map_err(|_| {
-            self.inner.pending_ops.lock().remove(&req);
+            self.inner.pending_ops.remove(req);
             CamelotError::LockTimeout
         })?;
         Ok(reply.value)

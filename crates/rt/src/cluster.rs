@@ -1,7 +1,31 @@
 //! The cluster: sites, worker pools, disk managers, router.
+//!
+//! # Scaling structure
+//!
+//! The paper's conclusion 3 observes that with group commit the
+//! transaction manager, not the disk, becomes the throughput
+//! bottleneck — which only helps if the TranMan can actually use more
+//! than one processor. Two structural choices make that true here:
+//!
+//! - **Sharded engine state.** Each site runs `engine_shards`
+//!   independent [`Engine`] shards (see [`Engine::sharded`]), each
+//!   behind its own lock and owning a disjoint set of transaction
+//!   families. Workers route every input to its family's shard
+//!   ([`shard_of_family`] / [`shard_of_token`] read the owner straight
+//!   off the id), so unrelated transactions never contend on one
+//!   engine lock.
+//! - **A pipelined disk manager.** Workers encode and append records
+//!   into the WAL's in-memory segment themselves, under a short lock;
+//!   the disk thread only decides *when to write* (driving the
+//!   [`GroupCommitBatcher`]) and performs the platter write **without
+//!   holding the WAL lock**, so the log keeps filling while the
+//!   platter is busy — the classic double-buffered log manager. One
+//!   write makes durable exactly the prefix it started with
+//!   ([`Wal::force_to`]); everything appended during the write rides
+//!   the next one.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration as StdDuration, Instant};
@@ -9,13 +33,20 @@ use std::time::{Duration as StdDuration, Instant};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
-use camelot_core::{Action, Engine, EngineConfig, ForceToken, Input, TimerToken};
+use camelot_core::{
+    shard_of_family, shard_of_token, Action, Engine, EngineConfig, ForceToken, Input, TimerToken,
+};
 use camelot_net::comman::{CommMan, ServiceAddr};
 use camelot_server::{recover as server_recover, DataServer, OpReply};
 use camelot_types::{Lsn, ServerId, SiteId, Time};
-use camelot_wal::{FileStore, LogRecord, MemStore, StableStore, Wal};
+use camelot_wal::{
+    BatchPolicy, BatcherAction, FileStore, GroupCommitBatcher, LogRecord, MemStore, ReqId,
+    StableStore, Wal,
+};
 
 use crate::client::Client;
+use crate::shardmap::ShardedMap;
+use crate::stats::{add_engine_stats, ClusterStats, SiteCounters, SiteStats};
 
 /// Runtime configuration.
 #[derive(Debug, Clone)]
@@ -24,12 +55,26 @@ pub struct RtConfig {
     pub datagram_delay: StdDuration,
     /// Duration of one platter write.
     pub platter_delay: StdDuration,
-    /// Group commit on (coalesce) or off (one write per force).
-    pub group_commit: bool,
+    /// Group-commit policy for the disk manager (§3.5):
+    /// [`BatchPolicy::Immediate`] is group commit off (one platter
+    /// write per force), [`BatchPolicy::Coalesce`] batches whatever
+    /// piled up while the disk was busy, [`BatchPolicy::Window`] also
+    /// waits out an accumulation window before writing.
+    pub batch: BatchPolicy,
     /// Background flush period for lazily appended records.
     pub lazy_flush: StdDuration,
     /// TranMan worker threads per site.
     pub tm_threads: usize,
+    /// Engine shards per site. Families are partitioned over the
+    /// shards, each behind its own lock, so TranMan work on unrelated
+    /// transactions proceeds in parallel. `1` reproduces the
+    /// single-lock engine.
+    pub engine_shards: usize,
+    /// Simulated TranMan CPU cost per input, charged while the engine
+    /// shard lock is held. Zero (the default) for correctness tests;
+    /// the scaling benchmark sets it to paper-scale values so the
+    /// transaction manager — not the scheduler — is what saturates.
+    pub tm_service_time: StdDuration,
     /// Data servers per site.
     pub servers_per_site: u32,
     /// Client call timeout: a blocked operation (e.g. a lock wait
@@ -50,9 +95,11 @@ impl Default for RtConfig {
         RtConfig {
             datagram_delay: StdDuration::from_millis(2),
             platter_delay: StdDuration::from_millis(4),
-            group_commit: true,
+            batch: BatchPolicy::Coalesce,
             lazy_flush: StdDuration::from_millis(25),
             tm_threads: 4,
+            engine_shards: 8,
+            tm_service_time: StdDuration::ZERO,
             servers_per_site: 1,
             call_timeout: StdDuration::from_secs(30),
             engine: EngineConfig::default(),
@@ -62,9 +109,13 @@ impl Default for RtConfig {
 }
 
 pub(crate) enum DiskJob {
-    Force(LogRecord, ForceToken),
-    Append(LogRecord),
-    AppendNotify(LogRecord, ForceToken),
+    /// A force request: the record is already appended (by the
+    /// requesting worker); make the log durable through `upto` and
+    /// then feed `token` back as [`Input::LogForced`].
+    Force {
+        token: ForceToken,
+        upto: Lsn,
+    },
     Stop,
 }
 
@@ -86,23 +137,63 @@ pub(crate) enum RouterJob {
 pub(crate) struct SiteShared {
     pub id: SiteId,
     pub alive: AtomicBool,
-    pub engine: Mutex<Engine>,
+    /// The TranMan, partitioned by transaction family. Shard `k` owns
+    /// the families [`shard_of_family`] maps to `k`.
+    pub shards: Vec<Mutex<Engine>>,
+    /// Round-robin cursor distributing `Begin` (which has no family
+    /// yet) over the shards.
+    next_begin: AtomicUsize,
     pub wal: Mutex<Wal<Box<dyn StableStore + Send>>>,
     pub servers: BTreeMap<ServerId, Mutex<DataServer>>,
     pub comman: Mutex<CommMan>,
     pub tm_tx: Sender<Option<Input>>,
     pub disk_tx: Sender<DiskJob>,
     pub lazy: Mutex<Vec<(ForceToken, Lsn)>>,
+    pub counters: SiteCounters,
+}
+
+impl SiteShared {
+    /// Which engine shard handles this input. Family-bearing inputs go
+    /// to the family's owner; log and timer completions carry tokens
+    /// allocated in the owning shard's residue class, so they route
+    /// back by arithmetic alone. `Begin` has no family yet — any shard
+    /// may allocate one — so it round-robins.
+    fn route(&self, input: &Input) -> usize {
+        let n = self.shards.len();
+        match input {
+            Input::Begin { .. } => self.next_begin.fetch_add(1, Ordering::Relaxed) % n,
+            Input::BeginNested { parent, .. } => shard_of_family(self.id, &parent.family, n),
+            Input::CommitTop { tid, .. }
+            | Input::CommitNested { tid, .. }
+            | Input::AbortTx { tid, .. }
+            | Input::Join { tid, .. }
+            | Input::ServerVote { tid, .. } => shard_of_family(self.id, &tid.family, n),
+            Input::Datagram { msg, .. } => shard_of_family(self.id, &msg.tid().family, n),
+            Input::LogForced { token } | Input::LogDurable { token } => shard_of_token(token.0, n),
+            Input::TimerFired { token } => shard_of_token(token.0, n),
+        }
+    }
+
+    /// Appends a record into the WAL's in-memory segment (a short
+    /// critical section — encoding happens outside) and returns the
+    /// log end past it. Durability comes later, from the disk thread.
+    fn append(&self, rec: &LogRecord) -> Lsn {
+        self.counters.appends.fetch_add(1, Ordering::Relaxed);
+        let mut wal = self.wal.lock();
+        let _ = wal.append(rec);
+        wal.end_lsn()
+    }
 }
 
 /// Cluster-wide shared state.
 pub(crate) struct ClusterInner {
     pub sites: BTreeMap<SiteId, Arc<SiteShared>>,
     pub router_tx: Sender<RouterJob>,
-    /// Completions for application-level engine calls (begin, commit).
-    pub pending: Mutex<HashMap<u64, Sender<Action>>>,
+    /// Completions for application-level engine calls (begin, commit),
+    /// striped to keep completion bookkeeping off the hot-lock list.
+    pub pending: ShardedMap<Action>,
     /// Completions for data-server operations.
-    pub pending_ops: Mutex<HashMap<u64, Sender<OpReply>>>,
+    pub pending_ops: ShardedMap<OpReply>,
     pub next_req: AtomicU64,
     pub epoch: Instant,
     pub cfg: RtConfig,
@@ -117,24 +208,57 @@ impl ClusterInner {
         self.next_req.fetch_add(1, Ordering::Relaxed)
     }
 
+    /// Runs one input through its engine shard: route, lock (timing
+    /// the wait), handle, charge the modeled TranMan CPU. Returns the
+    /// engine's actions for the caller to apply with no locks held.
+    pub fn handle_on_shard(&self, site: &SiteShared, input: Input) -> Vec<Action> {
+        if !site.alive.load(Ordering::SeqCst) {
+            return Vec::new();
+        }
+        let shard = site.route(&input);
+        let now = self.now();
+        let contend = Instant::now();
+        let actions = {
+            let mut engine = site.shards[shard].lock();
+            site.counters
+                .lock_wait_ns
+                .fetch_add(contend.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            let actions = engine.handle(input, now);
+            if !self.cfg.tm_service_time.is_zero() {
+                // Modeled TranMan CPU: the shard is owned for the
+                // duration of the call, as the real TranMan's mutexes
+                // would hold it.
+                std::thread::sleep(self.cfg.tm_service_time);
+            }
+            actions
+        };
+        site.counters.inputs.fetch_add(1, Ordering::Relaxed);
+        actions
+    }
+
     /// Routes a server's effects: join-transaction, log records,
     /// operation replies.
     pub fn route_server_effects(
         &self,
-        site: &SiteShared,
+        site: &Arc<SiteShared>,
         server: ServerId,
         fx: camelot_server::Effects,
     ) {
         if let Some(tid) = fx.join {
             // Figure 1 step 4: the server notifies the local TranMan.
-            let _ = site.tm_tx.send(Some(Input::Join { tid, server }));
+            // Synchronous, as the real join-transaction RPC is — the
+            // operation does not return to the application until the
+            // TranMan knows about the join, so a later prepare (or
+            // commit) can never overtake it and mistake an updated
+            // family for an unknown one.
+            let actions = self.handle_on_shard(site, Input::Join { tid, server });
+            self.apply_actions(site, actions);
         }
         for rec in fx.log {
-            let _ = site.disk_tx.send(DiskJob::Append(rec));
+            site.append(&rec);
         }
         for reply in fx.replies {
-            let tx = self.pending_ops.lock().remove(&reply.req);
-            if let Some(tx) = tx {
+            if let Some(tx) = self.pending_ops.remove(reply.req) {
                 let _ = tx.send(reply);
             }
         }
@@ -151,8 +275,7 @@ impl ClusterInner {
                         | Action::Rejected { req, .. } => *req,
                         _ => unreachable!(),
                     };
-                    let tx = self.pending.lock().remove(&req);
-                    if let Some(tx) = tx {
+                    if let Some(tx) = self.pending.remove(req) {
                         let _ = tx.send(a);
                     }
                 }
@@ -270,13 +393,17 @@ impl ClusterInner {
                     }
                 }
                 Action::Append { rec } => {
-                    let _ = site.disk_tx.send(DiskJob::Append(rec));
+                    site.append(&rec);
                 }
                 Action::Force { rec, token } => {
-                    let _ = site.disk_tx.send(DiskJob::Force(rec, token));
+                    // The worker appends; the disk thread only decides
+                    // when the platter write happens.
+                    let upto = site.append(&rec);
+                    let _ = site.disk_tx.send(DiskJob::Force { token, upto });
                 }
                 Action::AppendNotify { rec, token } => {
-                    let _ = site.disk_tx.send(DiskJob::AppendNotify(rec, token));
+                    let upto = site.append(&rec);
+                    site.lazy.lock().push((token, upto));
                 }
                 Action::SetTimer { token, after } => {
                     let at = Instant::now() + StdDuration::from_micros(after.as_micros());
@@ -308,6 +435,7 @@ impl Cluster {
     /// Builds and starts `n` sites.
     pub fn new(n: u32, cfg: RtConfig) -> Cluster {
         let (router_tx, router_rx) = unbounded();
+        let shards_per_site = cfg.engine_shards.max(1);
         let mut sites = BTreeMap::new();
         let mut site_channels = Vec::new();
         for i in 1..=n {
@@ -336,16 +464,28 @@ impl Cluster {
                 }
                 None => Box::new(MemStore::new()),
             };
+            let shards = (0..shards_per_site)
+                .map(|k| {
+                    Mutex::new(Engine::sharded(
+                        id,
+                        cfg.engine.clone(),
+                        k as u32,
+                        shards_per_site as u32,
+                    ))
+                })
+                .collect();
             let shared = Arc::new(SiteShared {
                 id,
                 alive: AtomicBool::new(true),
-                engine: Mutex::new(Engine::new(id, cfg.engine.clone())),
+                shards,
+                next_begin: AtomicUsize::new(0),
                 wal: Mutex::new(Wal::new(store)),
                 servers,
                 comman: Mutex::new(comman),
                 tm_tx,
                 disk_tx,
                 lazy: Mutex::new(Vec::new()),
+                counters: SiteCounters::default(),
             });
             sites.insert(id, shared);
             site_channels.push((id, tm_rx, disk_rx));
@@ -353,8 +493,8 @@ impl Cluster {
         let inner = Arc::new(ClusterInner {
             sites,
             router_tx,
-            pending: Mutex::new(HashMap::new()),
-            pending_ops: Mutex::new(HashMap::new()),
+            pending: ShardedMap::new(16),
+            pending_ops: ShardedMap::new(16),
             next_req: AtomicU64::new(1),
             epoch: Instant::now(),
             cfg: cfg.clone(),
@@ -409,7 +549,8 @@ impl Cluster {
     }
 
     /// Restarts a crashed site: the transaction manager and servers
-    /// are rebuilt from the durable log.
+    /// are rebuilt from the durable log. Each engine shard recovers
+    /// from the log records of the families it owns.
     pub fn restart(&self, site: SiteId) {
         let s = self.inner.sites.get(&site).expect("unknown site");
         let records = s.wal.lock().recover().expect("recovery scan");
@@ -419,11 +560,30 @@ impl Cluster {
             let recovered = server_recover(site, *sid, &recs_only);
             *server.lock() = recovered.server;
         }
-        // Rebuild the engine.
-        let (engine, actions) = Engine::recover(site, self.inner.cfg.engine.clone(), &records);
-        *s.engine.lock() = engine;
+        // Partition the log by owning shard and rebuild each engine.
+        // Family-less records (checkpoints, snapshots) are for the
+        // servers only; engine recovery ignores them.
+        let n = s.shards.len();
+        let mut parts: Vec<Vec<(Lsn, LogRecord)>> = (0..n).map(|_| Vec::new()).collect();
+        for (lsn, rec) in records {
+            if let Some(tid) = rec.tid() {
+                parts[shard_of_family(site, &tid.family, n)].push((lsn, rec));
+            }
+        }
+        let mut all_actions = Vec::new();
+        for (k, part) in parts.into_iter().enumerate() {
+            let (engine, actions) = Engine::recover_sharded(
+                site,
+                self.inner.cfg.engine.clone(),
+                k as u32,
+                n as u32,
+                &part,
+            );
+            *s.shards[k].lock() = engine;
+            all_actions.extend(actions);
+        }
         s.alive.store(true, Ordering::SeqCst);
-        self.inner.apply_actions(s, actions);
+        self.inner.apply_actions(s, all_actions);
     }
 
     /// Writes a checkpoint at `site`: every server's committed-state
@@ -465,6 +625,42 @@ impl Cluster {
             .unwrap_or_default()
     }
 
+    /// A point-in-time snapshot of the cluster's contention and
+    /// throughput counters: per-shard protocol counters (summed), WAL
+    /// append/force counts, worker lock-wait time, platter writes and
+    /// group-commit batch sizes.
+    pub fn stats(&self) -> ClusterStats {
+        let sites = self
+            .inner
+            .sites
+            .values()
+            .map(|s| {
+                let mut engine = camelot_core::EngineStats::default();
+                let mut live = 0usize;
+                for shard in &s.shards {
+                    let e = shard.lock();
+                    add_engine_stats(&mut engine, e.stats());
+                    live += e.live_families();
+                }
+                let wal = s.wal.lock().stats();
+                let c = &s.counters;
+                SiteStats {
+                    site: s.id,
+                    engine,
+                    live_families: live,
+                    wal,
+                    lock_wait: StdDuration::from_nanos(c.lock_wait_ns.load(Ordering::Relaxed)),
+                    inputs: c.inputs.load(Ordering::Relaxed),
+                    platter_writes: c.platter_writes.load(Ordering::Relaxed),
+                    forces_satisfied: c.forces_satisfied.load(Ordering::Relaxed),
+                    max_batch: c.max_batch.load(Ordering::Relaxed),
+                    lazy_drained: c.lazy_drained.load(Ordering::Relaxed),
+                }
+            })
+            .collect();
+        ClusterStats { sites }
+    }
+
     /// Stops every thread and joins them.
     pub fn shutdown(mut self) {
         let _ = self.inner.router_tx.send(RouterJob::Stop);
@@ -480,108 +676,244 @@ impl Cluster {
     }
 }
 
-/// One TranMan worker: any thread serves any input (§3.4).
+/// One TranMan worker. Any thread serves any input (§3.4); the input's
+/// transaction family picks the engine shard, so threads working on
+/// different families hold different locks.
 fn tm_worker(inner: Arc<ClusterInner>, site: Arc<SiteShared>, rx: Receiver<Option<Input>>) {
     while let Ok(Some(input)) = rx.recv() {
-        if !site.alive.load(Ordering::SeqCst) {
-            continue;
-        }
-        let now = inner.now();
-        let actions = {
-            let mut engine = site.engine.lock();
-            engine.handle(input, now)
-        };
+        let actions = inner.handle_on_shard(&site, input);
         inner.apply_actions(&site, actions);
     }
 }
 
-/// The disk manager: single point of access to the log; group commit
-/// batches force requests that pile up while a write is in flight.
+/// The pipelined disk manager. Records are already in the WAL's
+/// in-memory segment when requests arrive; this thread only drives the
+/// [`GroupCommitBatcher`] and performs the platter writes. The write
+/// itself holds no lock at all — the busy time is a plain sleep, then
+/// a short [`Wal::force_to`] critical section marks the prefix
+/// durable — so workers keep appending (and lazy records keep
+/// accumulating) while the platter turns.
 fn disk_main(inner: Arc<ClusterInner>, site: Arc<SiteShared>, rx: Receiver<DiskJob>) {
+    let mut batcher = GroupCommitBatcher::new(inner.cfg.batch);
+    // Batcher requests are anonymous; this maps them back to the
+    // engine force tokens awaiting [`Input::LogForced`]. Background
+    // lazy flushes ride as tokenless requests.
+    let mut tokens: HashMap<u64, ForceToken> = HashMap::new();
+    let mut next_req: u64 = 1;
+    // The batcher's accumulation-window timer, as a wall-clock
+    // deadline. Stale epochs are ignored by the batcher, so a newer
+    // timer just overwrites.
+    let mut window: Option<(Instant, u64)> = None;
     loop {
-        let job = match rx.recv_timeout(inner.cfg.lazy_flush) {
-            Ok(j) => j,
-            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
-                // Background flush of lazily appended records.
-                flush(&inner, &site, Vec::new());
-                continue;
-            }
-            Err(_) => return,
+        let timeout = match window {
+            Some((at, _)) => at
+                .saturating_duration_since(Instant::now())
+                .min(inner.cfg.lazy_flush),
+            None => inner.cfg.lazy_flush,
         };
-        match job {
-            DiskJob::Stop => return,
-            DiskJob::Append(rec) => {
-                let _ = site.wal.lock().append(&rec);
+        match rx.recv_timeout(timeout) {
+            Ok(DiskJob::Stop) => {
+                final_flush(&site, &mut tokens);
+                return;
             }
-            DiskJob::AppendNotify(rec, token) => {
-                let mut wal = site.wal.lock();
-                let _ = wal.append(&rec);
-                let end = wal.end_lsn();
-                drop(wal);
-                site.lazy.lock().push((token, end));
-            }
-            DiskJob::Force(rec, token) => {
-                let _ = site.wal.lock().append(&rec);
-                let mut tokens = vec![token];
-                // Group commit: absorb everything already queued.
-                if inner.cfg.group_commit {
-                    while let Ok(extra) = rx.try_recv() {
-                        match extra {
-                            DiskJob::Stop => {
-                                flush(&inner, &site, tokens);
-                                return;
-                            }
-                            DiskJob::Append(r) => {
-                                let _ = site.wal.lock().append(&r);
-                            }
-                            DiskJob::AppendNotify(r, t) => {
-                                let mut wal = site.wal.lock();
-                                let _ = wal.append(&r);
-                                let end = wal.end_lsn();
-                                drop(wal);
-                                site.lazy.lock().push((t, end));
-                            }
-                            DiskJob::Force(r, t) => {
-                                let _ = site.wal.lock().append(&r);
-                                tokens.push(t);
-                            }
+            Ok(DiskJob::Force { token, upto }) => {
+                // Drain whatever else queued up while the disk was
+                // busy, so the batcher decides over the whole backlog
+                // rather than learning of it one request at a time.
+                let mut queue = vec![(token, upto)];
+                let mut stop = false;
+                while let Ok(job) = rx.try_recv() {
+                    match job {
+                        DiskJob::Force { token, upto } => queue.push((token, upto)),
+                        DiskJob::Stop => {
+                            stop = true;
+                            break;
                         }
                     }
                 }
-                flush(&inner, &site, tokens);
+                let mut actions = Vec::new();
+                for (token, upto) in queue {
+                    let req = ReqId(next_req);
+                    next_req += 1;
+                    tokens.insert(req.0, token);
+                    actions.extend(batcher.request(req, upto, inner.now()));
+                }
+                drive(
+                    &inner,
+                    &site,
+                    &mut batcher,
+                    &mut tokens,
+                    &mut window,
+                    actions,
+                );
+                if stop {
+                    final_flush(&site, &mut tokens);
+                    return;
+                }
             }
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                if let Some((at, epoch)) = window {
+                    if Instant::now() >= at {
+                        window = None;
+                        let actions = batcher.timer_fired(epoch, inner.now());
+                        drive(
+                            &inner,
+                            &site,
+                            &mut batcher,
+                            &mut tokens,
+                            &mut window,
+                            actions,
+                        );
+                        continue;
+                    }
+                }
+                lazy_tick(
+                    &inner,
+                    &site,
+                    &mut batcher,
+                    &mut tokens,
+                    &mut window,
+                    &mut next_req,
+                );
+            }
+            Err(_) => return,
         }
     }
 }
 
-/// Performs one platter write and notifies force/lazy waiters.
-fn flush(inner: &ClusterInner, site: &SiteShared, tokens: Vec<ForceToken>) {
+/// Shutdown: one last synchronous force so everything appended is
+/// durable, then release every waiter.
+fn final_flush(site: &SiteShared, tokens: &mut HashMap<u64, ForceToken>) {
+    if site.alive.load(Ordering::SeqCst) {
+        let _ = site.wal.lock().force();
+    }
+    let durable = site.wal.lock().durable_lsn();
+    for (_, token) in tokens.drain() {
+        let _ = site.tm_tx.send(Some(Input::LogForced { token }));
+    }
+    drain_lazy(site, durable);
+}
+
+/// Executes batcher actions, including the platter writes they start,
+/// until the batcher goes quiet. A completed write can immediately
+/// start the next (requests that arrived while the platter was busy),
+/// so this loops.
+fn drive(
+    inner: &ClusterInner,
+    site: &SiteShared,
+    batcher: &mut GroupCommitBatcher,
+    tokens: &mut HashMap<u64, ForceToken>,
+    window: &mut Option<(Instant, u64)>,
+    mut actions: Vec<BatcherAction>,
+) {
+    while !actions.is_empty() {
+        let mut next = Vec::new();
+        for action in actions {
+            match action {
+                BatcherAction::SetTimer { at, epoch } => {
+                    let deadline = inner.epoch + StdDuration::from_micros(at.as_micros());
+                    *window = Some((deadline, epoch));
+                }
+                BatcherAction::Satisfied { reqs, durable } => {
+                    let mut satisfied = 0u64;
+                    for r in reqs {
+                        if let Some(token) = tokens.remove(&r.0) {
+                            satisfied += 1;
+                            let _ = site.tm_tx.send(Some(Input::LogForced { token }));
+                        }
+                    }
+                    if satisfied > 0 {
+                        site.counters.note_batch(satisfied);
+                    }
+                    drain_lazy(site, durable);
+                }
+                BatcherAction::StartWrite { upto } => {
+                    next.extend(platter_write(inner, site, batcher, upto));
+                }
+            }
+        }
+        actions = next;
+    }
+}
+
+/// One platter write: busy for `platter_delay` with **no lock held**,
+/// then a short critical section marking the prefix durable. Reports
+/// the actual durable watermark back to the batcher — a concurrent
+/// foreground force (checkpoint) may have pushed it past `upto`, and a
+/// crash during the write leaves it short; either way the batcher only
+/// releases requests at or below it.
+fn platter_write(
+    inner: &ClusterInner,
+    site: &SiteShared,
+    batcher: &mut GroupCommitBatcher,
+    upto: Lsn,
+) -> Vec<BatcherAction> {
+    let actual = if site.alive.load(Ordering::SeqCst) {
+        std::thread::sleep(inner.cfg.platter_delay);
+        site.counters.platter_writes.fetch_add(1, Ordering::Relaxed);
+        let mut wal = site.wal.lock();
+        if site.alive.load(Ordering::SeqCst) {
+            wal.force_to(upto).unwrap_or_else(|_| wal.durable_lsn())
+        } else {
+            // The site died mid-write: the un-synced tail is gone.
+            wal.durable_lsn()
+        }
+    } else {
+        site.wal.lock().durable_lsn()
+    };
+    batcher.write_complete_to(actual, inner.now())
+}
+
+/// Periodic background flush: if lazily appended records (or any other
+/// unforced tail) are waiting and nothing else is pushing the disk,
+/// issue a tokenless batch request for them. The write then happens
+/// under the same pipeline as foreground forces.
+fn lazy_tick(
+    inner: &ClusterInner,
+    site: &SiteShared,
+    batcher: &mut GroupCommitBatcher,
+    tokens: &mut HashMap<u64, ForceToken>,
+    window: &mut Option<(Instant, u64)>,
+    next_req: &mut u64,
+) {
     if !site.alive.load(Ordering::SeqCst) {
         return;
     }
-    let need_write = {
+    let (end, durable) = {
         let wal = site.wal.lock();
-        !tokens.is_empty() || wal.end_lsn() > wal.durable_lsn()
+        (wal.end_lsn(), wal.durable_lsn())
     };
-    if need_write {
-        std::thread::sleep(inner.cfg.platter_delay);
-        let _ = site.wal.lock().force();
+    if end <= durable {
+        // Everything durable already; release any lazy stragglers.
+        drain_lazy(site, durable);
+        return;
     }
-    for t in tokens {
-        let _ = site.tm_tx.send(Some(Input::LogForced { token: t }));
-    }
-    let durable = site.wal.lock().durable_lsn();
-    let mut lazy = site.lazy.lock();
+    let req = ReqId(*next_req);
+    *next_req += 1;
+    let actions = batcher.request(req, end, inner.now());
+    drive(inner, site, batcher, tokens, window, actions);
+}
+
+/// Delivers [`Input::LogDurable`] for every lazy append at or below
+/// the durable watermark.
+fn drain_lazy(site: &SiteShared, durable: Lsn) {
     let mut done = Vec::new();
-    lazy.retain(|(t, lsn)| {
-        if *lsn <= durable {
-            done.push(*t);
-            false
-        } else {
-            true
-        }
-    });
-    drop(lazy);
+    {
+        let mut lazy = site.lazy.lock();
+        lazy.retain(|(t, lsn)| {
+            if *lsn <= durable {
+                done.push(*t);
+                false
+            } else {
+                true
+            }
+        });
+    }
+    if !done.is_empty() {
+        site.counters
+            .lazy_drained
+            .fetch_add(done.len() as u64, Ordering::Relaxed);
+    }
     for t in done {
         let _ = site.tm_tx.send(Some(Input::LogDurable { token: t }));
     }
@@ -633,7 +965,6 @@ fn router_main(inner: Arc<ClusterInner>, rx: Receiver<RouterJob>) {
         // Deliver everything due.
         let now = Instant::now();
         let mut due: Vec<Entry> = Vec::new();
-        heap.retain_mut(|_| true); // no-op to appease borrow of retain + drain pattern below
         let mut i = 0;
         while i < heap.len() {
             if heap[i].at <= now {

@@ -9,11 +9,14 @@
 //! - a **transaction-manager worker pool** per site — "create a pool
 //!   of threads when the process starts […] have every thread wait
 //!   for any type of input, process the input, and resume waiting"
-//!   (§3.4); the engine's family table is the shared structure the
-//!   workers serialize on;
-//! - a **disk-manager thread** per site — the single point of access
-//!   to the log, where group commit batches force requests that
-//!   arrive while a platter write is in flight (§3.5);
+//!   (§3.4); the engine's family table is partitioned into
+//!   independently locked shards so the pool actually scales
+//!   (conclusion 3 makes the TranMan the bottleneck once group commit
+//!   relieves the disk);
+//! - a pipelined **disk-manager thread** per site — workers append
+//!   records into the log's in-memory segment themselves; this thread
+//!   only drives the group-commit batcher (§3.5) and performs platter
+//!   writes *without holding the log lock*, double-buffer style;
 //! - a **router thread** — the NetMsgServer stand-in: delivers
 //!   inter-site datagrams after a configurable delay, drops traffic
 //!   to crashed sites;
@@ -27,6 +30,10 @@
 
 pub mod client;
 pub mod cluster;
+mod shardmap;
+pub mod stats;
 
+pub use camelot_wal::BatchPolicy;
 pub use client::Client;
 pub use cluster::{Cluster, RtConfig};
+pub use stats::{ClusterStats, SiteStats};

@@ -1,0 +1,118 @@
+//! Contention and throughput counters for the real-thread runtime.
+//!
+//! The paper's performance analysis leans on exactly this kind of
+//! instrumentation: where the milliseconds go (§4.1), how large the
+//! group-commit batches get (§3.5), and whether the transaction
+//! manager or the disk is the bottleneck (conclusion 3). The runtime
+//! keeps cheap relaxed atomics on the hot paths and
+//! [`Cluster::stats`](crate::Cluster::stats) assembles them — together
+//! with the per-shard engine counters and the WAL counters — into one
+//! [`ClusterStats`] snapshot.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::Duration as StdDuration;
+
+use camelot_core::EngineStats;
+use camelot_types::SiteId;
+use camelot_wal::WalStats;
+
+/// Hot-path counters, one set per site. All updates are relaxed: the
+/// values are diagnostics, not synchronization.
+#[derive(Default)]
+pub(crate) struct SiteCounters {
+    /// Nanoseconds workers spent waiting to acquire an engine shard.
+    pub lock_wait_ns: AtomicU64,
+    /// Inputs handled by the TranMan workers.
+    pub inputs: AtomicU64,
+    /// Records appended to the WAL (all sources).
+    pub appends: AtomicU64,
+    /// Platter writes the disk thread performed.
+    pub platter_writes: AtomicU64,
+    /// Force requests satisfied by the batcher.
+    pub forces_satisfied: AtomicU64,
+    /// Largest number of force requests one platter write satisfied.
+    pub max_batch: AtomicU64,
+    /// Lazy (no-force) appends whose durability notice was delivered.
+    pub lazy_drained: AtomicU64,
+}
+
+impl SiteCounters {
+    pub fn note_batch(&self, satisfied: u64) {
+        self.forces_satisfied.fetch_add(satisfied, Relaxed);
+        self.max_batch.fetch_max(satisfied, Relaxed);
+    }
+}
+
+/// A point-in-time snapshot of one site's counters.
+#[derive(Debug, Clone)]
+pub struct SiteStats {
+    pub site: SiteId,
+    /// Protocol counters, summed over the engine shards.
+    pub engine: EngineStats,
+    /// Families currently live across all shards.
+    pub live_families: usize,
+    /// WAL append/force counters.
+    pub wal: WalStats,
+    /// Total time workers spent blocked on engine-shard locks.
+    pub lock_wait: StdDuration,
+    /// Inputs handled by the TranMan workers.
+    pub inputs: u64,
+    /// Platter writes the disk thread performed.
+    pub platter_writes: u64,
+    /// Force requests satisfied by the batcher.
+    pub forces_satisfied: u64,
+    /// Largest number of force requests one platter write satisfied.
+    pub max_batch: u64,
+    /// Lazy appends whose durability notice was delivered.
+    pub lazy_drained: u64,
+}
+
+impl SiteStats {
+    /// Mean force requests satisfied per platter write — the paper's
+    /// group-commit batching factor.
+    pub fn mean_batch(&self) -> f64 {
+        if self.platter_writes == 0 {
+            0.0
+        } else {
+            self.forces_satisfied as f64 / self.platter_writes as f64
+        }
+    }
+}
+
+/// A point-in-time snapshot of the whole cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterStats {
+    pub sites: Vec<SiteStats>,
+}
+
+impl ClusterStats {
+    /// Commits resolved cluster-wide (coordinator side).
+    pub fn total_commits(&self) -> u64 {
+        self.sites.iter().map(|s| s.engine.commits).sum()
+    }
+
+    /// Platter writes cluster-wide.
+    pub fn total_platter_writes(&self) -> u64 {
+        self.sites.iter().map(|s| s.platter_writes).sum()
+    }
+
+    /// Total worker lock-wait across sites.
+    pub fn total_lock_wait(&self) -> StdDuration {
+        self.sites.iter().map(|s| s.lock_wait).sum()
+    }
+}
+
+/// Field-wise sum of two engine-shard counter sets.
+pub(crate) fn add_engine_stats(acc: &mut EngineStats, s: EngineStats) {
+    acc.begins += s.begins;
+    acc.nested_begins += s.nested_begins;
+    acc.commits += s.commits;
+    acc.read_only_commits += s.read_only_commits;
+    acc.aborts += s.aborts;
+    acc.forces += s.forces;
+    acc.lazy_appends += s.lazy_appends;
+    acc.datagrams += s.datagrams;
+    acc.piggybacked += s.piggybacked;
+    acc.takeovers += s.takeovers;
+    acc.blocked += s.blocked;
+}

@@ -1,0 +1,223 @@
+//! Multi-client stress tests: many real application threads driving
+//! mixed local/distributed transactions through the sharded engine and
+//! the pipelined disk manager at once. These are the tests that catch
+//! routing mistakes (an input handled by the wrong engine shard),
+//! lost completions (a force token dropped by the disk pipeline — the
+//! client would then hit its call timeout), and cross-site
+//! inconsistency (a subordinate applying a different value than its
+//! coordinator).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration as StdDuration;
+
+use camelot_core::CommitMode;
+use camelot_net::Outcome;
+use camelot_rt::{BatchPolicy, Cluster, RtConfig};
+use camelot_types::{Duration, ObjectId, ServerId, SiteId};
+
+const SRV: ServerId = ServerId(1);
+
+fn quick_cfg() -> RtConfig {
+    RtConfig {
+        datagram_delay: StdDuration::from_millis(1),
+        platter_delay: StdDuration::from_millis(1),
+        lazy_flush: StdDuration::from_millis(5),
+        ..RtConfig::default()
+    }
+}
+
+/// N clients × M sites, mixed local and distributed update
+/// transactions, every client on its own objects (writers never
+/// conflict, so nothing may abort or time out under the default call
+/// timeout). Afterwards the value of every distributed object must be
+/// identical at every site that holds a replica of it — the
+/// transactions wrote the same value everywhere, so any divergence
+/// means a subordinate lost or misapplied a commit.
+#[test]
+fn many_clients_mixed_workload_stays_consistent() {
+    let sites = 3u32;
+    let clients_per_site = 2usize;
+    let txns_per_client = 15u64;
+    let cluster = Arc::new(Cluster::new(sites, quick_cfg()));
+    let commits = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::new();
+    for home in 1..=sites {
+        for c in 0..clients_per_site {
+            let cluster = cluster.clone();
+            let commits = commits.clone();
+            handles.push(std::thread::spawn(move || {
+                let me = SiteId(home);
+                let remote = SiteId(home % sites + 1);
+                let client = cluster.client(me);
+                // Distinct objects per client: no data conflicts.
+                let key = (home as u64) * 100 + c as u64;
+                let local_obj = ObjectId(1000 + key);
+                let shared_obj = ObjectId(2000 + key);
+                for i in 0..txns_per_client {
+                    let tid = client.begin().expect("begin");
+                    let value = format!("c{key}-t{i}").into_bytes();
+                    if i % 3 == 0 {
+                        // Local-only update.
+                        client
+                            .write(&tid, me, SRV, local_obj, value)
+                            .expect("local write");
+                    } else {
+                        // Distributed update: same value at two sites.
+                        client
+                            .write(&tid, me, SRV, shared_obj, value.clone())
+                            .expect("home write");
+                        client
+                            .write(&tid, remote, SRV, shared_obj, value)
+                            .expect("remote write");
+                    }
+                    let out = client.commit(&tid, CommitMode::TwoPhase).expect("commit");
+                    assert_eq!(out, Outcome::Committed, "client {key} txn {i}");
+                    commits.fetch_add(1, Ordering::Relaxed);
+                }
+                (key, local_obj, shared_obj, me, remote, txns_per_client)
+            }));
+        }
+    }
+    let mut expectations = Vec::new();
+    for h in handles {
+        expectations.push(h.join().expect("client thread"));
+    }
+    assert_eq!(
+        commits.load(Ordering::Relaxed),
+        sites as u64 * clients_per_site as u64 * txns_per_client
+    );
+    // Give lazily acknowledged subordinate commits a beat to apply.
+    std::thread::sleep(StdDuration::from_millis(150));
+    for (key, local_obj, shared_obj, me, remote, n) in expectations {
+        let last_local = format!("c{key}-t{}", ((n - 1) / 3) * 3).into_bytes();
+        assert_eq!(
+            cluster.committed_value(me, SRV, local_obj),
+            last_local,
+            "client {key} local object"
+        );
+        // The last distributed txn's value, identical at both sites.
+        let last_dist = (0..n).rev().find(|i| i % 3 != 0).unwrap();
+        let expect = format!("c{key}-t{last_dist}").into_bytes();
+        assert_eq!(
+            cluster.committed_value(me, SRV, shared_obj),
+            expect,
+            "client {key} shared object at home"
+        );
+        assert_eq!(
+            cluster.committed_value(remote, SRV, shared_obj),
+            expect,
+            "client {key} shared object at subordinate"
+        );
+    }
+    // The contention counters saw the traffic.
+    let stats = cluster.stats();
+    assert!(stats.total_commits() >= sites as u64 * clients_per_site as u64 * txns_per_client);
+    assert!(stats.total_platter_writes() > 0);
+    let cluster = Arc::try_unwrap(cluster).ok().expect("sole owner");
+    cluster.shutdown();
+}
+
+/// The pipelined disk driver under a Window policy, with foreground
+/// checkpoints racing the background platter writes. Checkpoints force
+/// the log synchronously from outside the disk thread, pushing the
+/// durable watermark past what the in-flight write asked for — the
+/// batcher must absorb that (`write_complete_to`) without ever losing
+/// a force completion (a lost completion would park a commit forever
+/// and trip the call timeout).
+#[test]
+fn window_policy_with_concurrent_checkpoints() {
+    let cfg = RtConfig {
+        batch: BatchPolicy::Window(Duration::from_millis(2)),
+        ..quick_cfg()
+    };
+    let cluster = Arc::new(Cluster::new(2, cfg));
+    let stop = Arc::new(AtomicU64::new(0));
+    let ckpt = {
+        let cluster = cluster.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            while stop.load(Ordering::Relaxed) == 0 {
+                cluster.checkpoint(SiteId(1));
+                cluster.checkpoint(SiteId(2));
+                std::thread::sleep(StdDuration::from_millis(3));
+            }
+        })
+    };
+    let mut handles = Vec::new();
+    for c in 0..4u64 {
+        let cluster = cluster.clone();
+        handles.push(std::thread::spawn(move || {
+            let client = cluster.client(SiteId(1));
+            for i in 0..10u64 {
+                let tid = client.begin().expect("begin");
+                client
+                    .write(&tid, SiteId(1), SRV, ObjectId(10 + c), vec![i as u8])
+                    .expect("write home");
+                client
+                    .write(&tid, SiteId(2), SRV, ObjectId(10 + c), vec![i as u8])
+                    .expect("write remote");
+                let out = client.commit(&tid, CommitMode::TwoPhase).expect("commit");
+                assert_eq!(out, Outcome::Committed);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    stop.store(1, Ordering::Relaxed);
+    ckpt.join().expect("checkpoint thread");
+    std::thread::sleep(StdDuration::from_millis(100));
+    for c in 0..4u64 {
+        assert_eq!(
+            cluster.committed_value(SiteId(1), SRV, ObjectId(10 + c)),
+            [9]
+        );
+        assert_eq!(
+            cluster.committed_value(SiteId(2), SRV, ObjectId(10 + c)),
+            [9]
+        );
+    }
+    let cluster = Arc::try_unwrap(cluster).ok().expect("sole owner");
+    cluster.shutdown();
+}
+
+/// Group commit off (`Immediate`): every force takes its own platter
+/// write, so the write count must at least match the force count —
+/// and everything still commits correctly, just slower.
+#[test]
+fn immediate_policy_correctness_and_write_accounting() {
+    let cfg = RtConfig {
+        batch: BatchPolicy::Immediate,
+        ..quick_cfg()
+    };
+    let cluster = Cluster::new(2, cfg);
+    let client = cluster.client(SiteId(1));
+    for i in 0..8u64 {
+        let tid = client.begin().expect("begin");
+        client
+            .write(&tid, SiteId(1), SRV, ObjectId(1), vec![i as u8])
+            .expect("write home");
+        client
+            .write(&tid, SiteId(2), SRV, ObjectId(1), vec![i as u8])
+            .expect("write remote");
+        assert_eq!(
+            client.commit(&tid, CommitMode::TwoPhase).expect("commit"),
+            Outcome::Committed
+        );
+    }
+    std::thread::sleep(StdDuration::from_millis(100));
+    assert_eq!(cluster.committed_value(SiteId(1), SRV, ObjectId(1)), [7]);
+    assert_eq!(cluster.committed_value(SiteId(2), SRV, ObjectId(1)), [7]);
+    let stats = cluster.stats();
+    for s in &stats.sites {
+        assert!(
+            s.platter_writes >= s.forces_satisfied,
+            "site {}: Immediate may not batch ({} writes < {} forces)",
+            s.site,
+            s.platter_writes,
+            s.forces_satisfied
+        );
+    }
+    cluster.shutdown();
+}

@@ -143,11 +143,25 @@ impl GroupCommitBatcher {
 
     /// The driver finished the platter write previously requested.
     pub fn write_complete(&mut self, now: Time) -> Vec<BatcherAction> {
-        let upto = self
-            .in_flight
+        let upto = self.in_flight.expect("write_complete without StartWrite");
+        self.write_complete_to(upto, now)
+    }
+
+    /// The driver finished a platter write that established `actual`
+    /// as the durable watermark. A pipelined driver whose workers keep
+    /// appending while the platter is busy uses this form: the write
+    /// drains everything appended so far, so `actual` is usually
+    /// *beyond* the `upto` the [`BatcherAction::StartWrite`] asked for
+    /// and later requests ride along for free. A driver whose store
+    /// lost the tail (crash during the write) may report `actual`
+    /// *below* `upto`: the uncovered requests simply stay pending.
+    /// Either way, [`BatcherAction::Satisfied`] only ever reports
+    /// requests whose LSN is at or below the durable watermark.
+    pub fn write_complete_to(&mut self, actual: Lsn, now: Time) -> Vec<BatcherAction> {
+        self.in_flight
             .take()
             .expect("write_complete without StartWrite");
-        self.durable = self.durable.max(upto);
+        self.durable = self.durable.max(actual);
         let mut done = Vec::new();
         self.pending.retain(|&(req, lsn)| {
             if lsn <= self.durable {
@@ -386,6 +400,95 @@ mod tests {
     fn completion_without_start_panics() {
         let mut b = GroupCommitBatcher::new(BatchPolicy::Coalesce);
         b.write_complete(t(0));
+    }
+
+    #[test]
+    fn pipelined_completion_ride_along_satisfies_later_requests() {
+        // The pipelined driver's platter write drains everything the
+        // workers appended while it was in flight: reporting the
+        // *actual* watermark satisfies requests beyond the StartWrite
+        // target in the same write.
+        let mut b = GroupCommitBatcher::new(BatchPolicy::Coalesce);
+        let a1 = b.request(ReqId(1), Lsn(100), t(0));
+        assert_eq!(starts(&a1), vec![Lsn(100)]);
+        // Arrives while the platter is busy; its record is in the
+        // drained buffer anyway.
+        b.request(ReqId(2), Lsn(180), t(1));
+        let a2 = b.write_complete_to(Lsn(200), t(33));
+        let mut got = satisfied(&a2);
+        got.sort_by_key(|r| r.0);
+        assert_eq!(got, vec![ReqId(1), ReqId(2)], "ride-along satisfied");
+        assert!(starts(&a2).is_empty(), "nothing left to write");
+        assert_eq!(b.writes(), 1);
+        assert_eq!(b.durable(), Lsn(200));
+    }
+
+    #[test]
+    fn satisfied_never_reports_requests_above_the_durable_watermark() {
+        // Regression for the pipelined driver: a write that establishes
+        // a watermark *below* a pending request's LSN (e.g. the store
+        // lost its tail in a crash) must leave that request pending,
+        // not report it satisfied.
+        let mut b = GroupCommitBatcher::new(BatchPolicy::Coalesce);
+        b.request(ReqId(1), Lsn(100), t(0));
+        b.request(ReqId(2), Lsn(300), t(1));
+        // The write was started for Lsn(300); the store only made 150
+        // durable.
+        let a = b.write_complete_to(Lsn(150), t(33));
+        for action in &a {
+            if let BatcherAction::Satisfied { reqs, durable } = action {
+                assert_eq!(reqs, &vec![ReqId(1)]);
+                assert_eq!(*durable, Lsn(150));
+            }
+        }
+        assert_eq!(b.pending_len(), 1, "uncovered request stays pending");
+        // The completion immediately restarts a write for the
+        // remainder; once it lands, the request is satisfied.
+        assert_eq!(starts(&a), vec![Lsn(300)]);
+        let a2 = b.write_complete_to(Lsn(300), t(66));
+        assert_eq!(satisfied(&a2), vec![ReqId(2)]);
+    }
+
+    #[test]
+    fn pipelined_completion_watermark_invariant_over_many_rounds() {
+        // Drive an Immediate batcher with interleaved requests and
+        // over- and under-shooting completions; Satisfied must never
+        // name a request whose LSN exceeds the reported watermark.
+        let mut b = GroupCommitBatcher::new(BatchPolicy::Immediate);
+        let mut lsns = std::collections::HashMap::new();
+        let mut next_req = 1u64;
+        let mut satisfied_total = 0usize;
+        for round in 0..50u64 {
+            for k in 0..3u64 {
+                let r = ReqId(next_req);
+                next_req += 1;
+                let lsn = Lsn(round * 100 + k * 30 + 10);
+                lsns.insert(r, lsn);
+                b.request(r, lsn, t(round));
+            }
+            if b.pending_len() > 0 {
+                // Alternate overshoot / exact completions.
+                let actual = if round % 2 == 0 {
+                    Lsn(round * 100 + 100)
+                } else {
+                    Lsn(round * 100 + 40)
+                };
+                let actions = b.write_complete_to(actual, t(round));
+                for a in &actions {
+                    if let BatcherAction::Satisfied { reqs, durable } = a {
+                        for r in reqs {
+                            satisfied_total += 1;
+                            assert!(
+                                lsns[r] <= *durable,
+                                "req {r:?} at {:?} reported durable at {durable:?}",
+                                lsns[r]
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        assert!(satisfied_total > 0);
     }
 
     #[test]

@@ -63,6 +63,20 @@ impl<S: StableStore> Wal<S> {
         Ok(after)
     }
 
+    /// Forces the prefix up to `upto` only (see
+    /// [`StableStore::force_to`]); appends beyond it stay buffered for
+    /// the next write. The pipelined disk manager uses this so one
+    /// platter write covers exactly the batch it started with.
+    pub fn force_to(&mut self, upto: Lsn) -> Result<Lsn> {
+        self.stats.forces_requested += 1;
+        let before = self.store.durable_lsn();
+        let after = self.store.force_to(upto)?;
+        if after > before {
+            self.stats.forces_effective += 1;
+        }
+        Ok(after)
+    }
+
     /// True if `lsn`'s record is durable.
     pub fn is_durable(&self, lsn: Lsn) -> bool {
         lsn < self.store.durable_lsn()

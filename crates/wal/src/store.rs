@@ -31,6 +31,16 @@ pub trait StableStore {
     /// watermark (the LSN just past the last durable byte).
     fn force(&mut self) -> Result<Lsn>;
 
+    /// Makes the prefix up to `upto` durable, leaving anything
+    /// appended beyond it buffered; returns the new durable watermark.
+    /// This is the double-buffered disk manager's write primitive: one
+    /// platter write covers exactly the bytes handed to the controller
+    /// when it started, while later appends keep filling the other
+    /// buffer. `upto` must lie on a frame boundary (an LSN returned by
+    /// `append`, or `end_lsn` captured between appends). Forcing at or
+    /// below the durable watermark is a no-op.
+    fn force_to(&mut self, upto: Lsn) -> Result<Lsn>;
+
     /// LSN just past the last durable byte.
     fn durable_lsn(&self) -> Lsn;
 
@@ -54,6 +64,9 @@ impl<T: StableStore + ?Sized> StableStore for Box<T> {
     }
     fn force(&mut self) -> Result<Lsn> {
         (**self).force()
+    }
+    fn force_to(&mut self, upto: Lsn) -> Result<Lsn> {
+        (**self).force_to(upto)
     }
     fn durable_lsn(&self) -> Lsn {
         (**self).durable_lsn()
@@ -115,6 +128,15 @@ impl StableStore for MemStore {
         if self.durable < self.buf.len() {
             self.forces += 1;
             self.durable = self.buf.len();
+        }
+        Ok(Lsn(self.durable as u64))
+    }
+
+    fn force_to(&mut self, upto: Lsn) -> Result<Lsn> {
+        let target = (upto.0 as usize).min(self.buf.len());
+        if self.durable < target {
+            self.forces += 1;
+            self.durable = target;
         }
         Ok(Lsn(self.durable as u64))
     }
@@ -225,6 +247,22 @@ impl StableStore for FileStore {
         Ok(Lsn(self.durable))
     }
 
+    fn force_to(&mut self, upto: Lsn) -> Result<Lsn> {
+        let n = (upto.0.saturating_sub(self.durable) as usize).min(self.pending.len());
+        if n > 0 {
+            self.file
+                .write_all(&self.pending[..n])
+                .map_err(|e| CamelotError::Log(format!("write: {e}")))?;
+            self.file
+                .sync_data()
+                .map_err(|e| CamelotError::Log(format!("sync: {e}")))?;
+            self.durable += n as u64;
+            self.pending.drain(..n);
+            self.forces += 1;
+        }
+        Ok(Lsn(self.durable))
+    }
+
     fn durable_lsn(&self) -> Lsn {
         Lsn(self.durable)
     }
@@ -300,6 +338,43 @@ mod tests {
         s.force().unwrap();
         s.force().unwrap();
         assert_eq!(s.forces(), 1, "forcing a clean log is free");
+    }
+
+    fn check_partial_force(store: &mut dyn StableStore) {
+        store.append(b"first").unwrap();
+        let boundary = store.end_lsn();
+        store.append(b"second").unwrap();
+        let d = store.force_to(boundary).unwrap();
+        assert_eq!(d, boundary, "exactly the prefix becomes durable");
+        assert_eq!(store.read_durable().unwrap().len(), 1);
+        assert!(
+            store.end_lsn() > store.durable_lsn(),
+            "suffix still buffered"
+        );
+        // Forcing at or below the watermark is free.
+        assert_eq!(store.force_to(Lsn(0)).unwrap(), boundary);
+        // The buffered suffix survives for the next write.
+        let all = store.force().unwrap();
+        assert_eq!(all, store.end_lsn());
+        assert_eq!(store.read_durable().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn mem_store_partial_force() {
+        let mut s = MemStore::new();
+        check_partial_force(&mut s);
+        assert_eq!(s.forces(), 2);
+    }
+
+    #[test]
+    fn file_store_partial_force() {
+        let dir = std::env::temp_dir().join(format!("camelot-wal-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("partial.log");
+        let _ = std::fs::remove_file(&path);
+        let mut s = FileStore::open(&path).unwrap();
+        check_partial_force(&mut s);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

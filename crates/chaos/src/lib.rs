@@ -23,20 +23,26 @@
 //! - **progress** — after healing, no site holding a durable prepared
 //!   record is left blocked in doubt, and every coordinator that
 //!   never crashed answers its application;
-//! - **lock hygiene** — no data server holds locks or family state
-//!   for a family its own transaction manager has resolved, and no
-//!   locks survive without a live family.
+//! - **lock hygiene** — once a family is resolved anywhere, no data
+//!   server anywhere still holds locks or family state for it after
+//!   full healing (the engine's orphan watchdog closes the
+//!   joined-but-never-prepared gap by inquiring at the origin), and
+//!   no locks survive without a live family.
 //!
 //! Every run is a pure function of a decision trace ([`Chooser`]),
 //! so a failure prints a seed and a (shrunk) trace that replays the
 //! exact schedule: `cargo run -p camelot-chaos -- --replay <trace>`.
 
 pub mod choice;
+pub mod rt;
 pub mod runner;
 pub mod scenario;
 pub mod shrink;
 
 pub use choice::Chooser;
+pub use rt::{
+    rt_campaign, rt_run_one, rt_run_seed, rt_run_trace, RtCampaignReport, RtFailure, RtRunResult,
+};
 pub use runner::{run_one, RunResult};
 
 /// One failing schedule, minimized.

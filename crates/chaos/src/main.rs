@@ -5,26 +5,37 @@
 //! cargo run -p camelot-chaos --release -- --exhaustive 5000
 //! cargo run -p camelot-chaos --release -- --replay 0,3,1,7,2
 //! cargo run -p camelot-chaos --release -- --canary --schedules 50
+//! cargo run -p camelot-chaos --release -- --rt --seed 7 --schedules 100
 //! ```
+//!
+//! `--rt` aims the drawn fault plans at the *real-thread* runtime
+//! (`camelot-rt`) instead of the deterministic sim: real worker
+//! pools, the pipelined disk thread, crash points inside the log
+//! pipeline, and WAL corruption across restarts. Expect roughly a
+//! couple of seconds per schedule.
 //!
 //! Exit status is nonzero iff any schedule violated an invariant, so
 //! the binary slots straight into CI.
 
 use std::process::ExitCode;
 
-use camelot_chaos::{campaign, exhaustive, format_trace, parse_trace, run_trace, Failure};
+use camelot_chaos::{
+    campaign, exhaustive, format_trace, parse_trace, rt_campaign, rt_run_trace, run_trace, Failure,
+    RtFailure,
+};
 
 struct Opts {
     seed: u64,
     schedules: u64,
     canary: bool,
+    rt: bool,
     exhaustive: Option<u64>,
     replay: Option<Vec<u32>>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: camelot-chaos [--seed N] [--schedules K] [--canary] \
+        "usage: camelot-chaos [--seed N] [--schedules K] [--canary] [--rt] \
          [--exhaustive LIMIT] [--replay T0,T1,...]"
     );
     std::process::exit(2);
@@ -35,6 +46,7 @@ fn parse_args() -> Opts {
         seed: 0xCA3E107,
         schedules: 1000,
         canary: false,
+        rt: false,
         exhaustive: None,
         replay: None,
     };
@@ -53,6 +65,7 @@ fn parse_args() -> Opts {
             "--seed" => opts.seed = num(&mut args),
             "--schedules" => opts.schedules = num(&mut args),
             "--canary" => opts.canary = true,
+            "--rt" => opts.rt = true,
             "--exhaustive" => opts.exhaustive = Some(num(&mut args)),
             "--replay" => {
                 let t = args.next().unwrap_or_else(|| usage());
@@ -94,8 +107,78 @@ fn report_failure(f: &Failure) {
     );
 }
 
+fn report_rt_failure(f: &RtFailure) {
+    println!(
+        "rt schedule {} (seed {:#x}): {} violation(s)",
+        f.index,
+        f.seed,
+        f.result.violations.len()
+    );
+    println!("  plan: {}", f.result.plan);
+    for v in &f.result.violations {
+        println!("  violation: {v}");
+    }
+    println!(
+        "  shrunk trace ({} of {} decisions): {}",
+        f.shrunk.len(),
+        f.result.trace.len(),
+        format_trace(&f.shrunk)
+    );
+    println!(
+        "  replay: cargo run -p camelot-chaos -- --rt --replay {}",
+        format_trace(&f.shrunk)
+    );
+}
+
+fn rt_main(opts: &Opts) -> ExitCode {
+    if let Some(trace) = &opts.replay {
+        let result = rt_run_trace(trace, opts.canary);
+        println!("plan: {}", result.plan);
+        if result.violations.is_empty() {
+            println!("clean: no invariant violations");
+            return ExitCode::SUCCESS;
+        }
+        for v in &result.violations {
+            println!("violation: {v}");
+        }
+        return ExitCode::FAILURE;
+    }
+    if opts.exhaustive.is_some() {
+        eprintln!("--exhaustive is sim-only (real threads are not enumerable)");
+        return ExitCode::from(2);
+    }
+    println!(
+        "rt campaign: {} schedules from seed {:#x}{}",
+        opts.schedules,
+        opts.seed,
+        if opts.canary { " (CANARY config)" } else { "" }
+    );
+    let report = rt_campaign(opts.seed, opts.schedules, opts.canary);
+    for f in &report.failures {
+        report_rt_failure(f);
+    }
+    if report.clean() {
+        println!(
+            "clean: {} rt schedules, zero invariant violations",
+            report.schedules
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "{} of {} rt schedules violated invariants",
+            report.failures.len(),
+            report.schedules
+        );
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let opts = parse_args();
+
+    if opts.rt {
+        return rt_main(&opts);
+    }
 
     if let Some(trace) = &opts.replay {
         let result = run_trace(trace, opts.canary);

@@ -1,0 +1,397 @@
+//! Chaos over real threads.
+//!
+//! The sim campaigns (`runner`) own the *interleaving*: every queue
+//! pop is a recorded decision, so a trace replays bit-for-bit. The
+//! real-thread runtime cannot promise that — the OS schedules the
+//! worker pools — so this module explores a different axis: the
+//! *fault plan*. Every run draws a workload and a fault schedule
+//! (link faults, a crash at a named [`CrashPoint`], optional WAL
+//! corruption between crash and restart) from one [`Chooser`], aims
+//! it at a live [`Cluster`], heals, and checks the same invariant
+//! families as the sim runner:
+//!
+//! - **atomic commit / agreement** — every object a transaction wrote
+//!   converges to the same value at every replica site;
+//! - **no lost updates** — a commit reported `Committed` to the
+//!   application survives the crash and the heal at every replica;
+//! - **corruption detection** — a bit-flipped committed record makes
+//!   the restart fail with the *typed* corruption error and leaves
+//!   the site down (never a panic, never silent truncation);
+//! - **lock hygiene / progress** — after healing, a probe transaction
+//!   reacquires every object the workload touched, cluster-wide: a
+//!   leaked lock or a wedged worker pool fails the probe.
+//!
+//! A trace replays the same fault *plan*; against real threads that
+//! is statistical (same dose, same crash point, same corruption), not
+//! bitwise. Shrinking still works because the violations these plans
+//! provoke — most importantly the `unsafe_no_commit_force` canary,
+//! whose append-without-force commit evaporates when the coordinator
+//! dies inside the lazy-flush window — depend on the plan, not on a
+//! particular thread interleaving.
+
+use std::sync::Arc;
+use std::time::Duration as StdDuration;
+
+use camelot_core::{CommitMode, CrashPoint, EngineConfig};
+use camelot_net::Outcome;
+use camelot_rt::{Cluster, FaultPlan, RtConfig};
+use camelot_types::{CamelotError, ObjectId, ServerId, SiteId, Tid};
+
+use crate::choice::Chooser;
+use crate::shrink;
+
+const SRV: ServerId = ServerId(1);
+
+/// Outcome of one real-thread schedule.
+#[derive(Debug)]
+pub struct RtRunResult {
+    /// The complete decision trace (workload + fault plan).
+    pub trace: Vec<u32>,
+    /// Invariant violations, empty on a clean run.
+    pub violations: Vec<String>,
+    /// Human-readable description of the drawn plan.
+    pub plan: String,
+}
+
+/// One failing real-thread schedule, minimized.
+#[derive(Debug)]
+pub struct RtFailure {
+    pub index: u64,
+    pub seed: u64,
+    pub result: RtRunResult,
+    pub shrunk: Vec<u32>,
+}
+
+/// Summary of a real-thread campaign.
+#[derive(Debug)]
+pub struct RtCampaignReport {
+    pub schedules: u64,
+    pub failures: Vec<RtFailure>,
+}
+
+impl RtCampaignReport {
+    pub fn clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+fn rt_cfg(canary: bool) -> RtConfig {
+    let mut cfg = RtConfig {
+        datagram_delay: StdDuration::from_millis(1),
+        platter_delay: StdDuration::from_millis(1),
+        // A wide lazy window keeps the canary's append-without-force
+        // commit record volatile long enough for a post-commit kill
+        // to expose it.
+        lazy_flush: StdDuration::from_millis(20),
+        call_timeout: StdDuration::from_secs(2),
+        engine: EngineConfig::default(),
+        ..RtConfig::default()
+    };
+    cfg.engine.unsafe_no_commit_force = canary;
+    // Every protocol patience shortened so that dropped datagrams
+    // resolve within the heal window: a coordinator missing votes
+    // aborts in 400ms instead of the production 5s.
+    cfg.engine.vote_timeout = camelot_types::Duration::from_millis(400);
+    cfg.engine.nb_outcome_timeout = camelot_types::Duration::from_millis(150);
+    cfg.engine.takeover_window = camelot_types::Duration::from_millis(80);
+    cfg.engine.recruit_window = camelot_types::Duration::from_millis(80);
+    cfg.engine.takeover_retry = camelot_types::Duration::from_millis(150);
+    cfg.engine.inquiry_interval = camelot_types::Duration::from_millis(200);
+    cfg.engine.notify_resend_interval = camelot_types::Duration::from_millis(200);
+    cfg.engine.orphan_check_interval = camelot_types::Duration::from_millis(250);
+    cfg
+}
+
+struct TxnSpec {
+    home: SiteId,
+    remote: SiteId,
+    mode: CommitMode,
+    obj: ObjectId,
+    value: Vec<u8>,
+}
+
+/// When the drawn crash fires, relative to the victim transaction.
+enum CrashMode {
+    None,
+    /// Armed on the coordinator just before the commit call; fires at
+    /// the named point inside the log pipeline.
+    At(CrashPoint),
+    /// The coordinator is killed right after the commit call returns:
+    /// inside the lazy-flush window, where only a properly *forced*
+    /// commit record survives. This is the schedule that catches the
+    /// `unsafe_no_commit_force` canary.
+    AfterCommit,
+}
+
+/// Runs one fault plan drawn from `ch` against a real-thread cluster.
+pub fn rt_run_one(ch: &mut Chooser, canary: bool) -> RtRunResult {
+    // ---- Draw the plan ----
+    let sites = 2 + ch.choose(2) as u32; // 2..=3
+    let n_txns = 2 + ch.choose(3); // 2..=4
+    let mut txns = Vec::new();
+    for i in 0..n_txns {
+        let home = SiteId(1 + ch.choose(sites as usize) as u32);
+        let remote = {
+            let pick = 1 + ch.choose((sites - 1) as usize) as u32;
+            let r = SiteId(if pick == home.0 { sites } else { pick });
+            debug_assert_ne!(r, home);
+            r
+        };
+        let mode = if ch.choose(2) == 0 {
+            CommitMode::TwoPhase
+        } else {
+            CommitMode::NonBlocking
+        };
+        txns.push(TxnSpec {
+            home,
+            remote,
+            mode,
+            obj: ObjectId(100 + i as u64),
+            value: format!("txn{i}").into_bytes(),
+        });
+    }
+    // Link-fault profile. Drops are dosed with a small budget so the
+    // protocols' resend machinery can finish inside the call timeout.
+    let (profile, fault) = match ch.choose(3) {
+        0 => ("clean links", FaultPlan::disabled()),
+        1 => (
+            "dup+delay links",
+            FaultPlan::new(
+                0xBAD_5EED ^ ch.choose(1 << 16) as u64,
+                0,
+                300,
+                300,
+                StdDuration::from_millis(6),
+                40,
+            ),
+        ),
+        _ => (
+            "lossy links",
+            FaultPlan::new(
+                0xD0_D0 ^ ch.choose(1 << 16) as u64,
+                150,
+                0,
+                150,
+                StdDuration::from_millis(6),
+                5,
+            ),
+        ),
+    };
+    let victim = ch.choose(n_txns);
+    let crash_mode = match ch.choose(5) {
+        0 => CrashMode::None,
+        1 => CrashMode::At(CrashPoint::PreForce),
+        2 => CrashMode::At(CrashPoint::PostForcePreSend),
+        3 => CrashMode::At(CrashPoint::MidPlatterWrite),
+        _ => CrashMode::AfterCommit,
+    };
+    let corrupt_wal = ch.choose(2) == 1;
+    let mut plan = format!(
+        "{sites} sites, {n_txns} txns, {profile}, crash={} on txn {victim}, corrupt_wal={corrupt_wal}",
+        match crash_mode {
+            CrashMode::None => "none".to_string(),
+            CrashMode::At(p) => format!("{p:?}"),
+            CrashMode::AfterCommit => "AfterCommit".to_string(),
+        }
+    );
+
+    // ---- Run the workload with the plan armed ----
+    let fault = Arc::new(fault);
+    let cluster = Cluster::new_with_faults(sites, rt_cfg(canary), fault.clone());
+    let mut violations = Vec::new();
+    let mut outcomes: Vec<Result<Outcome, CamelotError>> = Vec::new();
+    let mut tids: Vec<Option<Tid>> = Vec::new();
+    for (i, t) in txns.iter().enumerate() {
+        let client = cluster.client(t.home);
+        let mut started = None;
+        let run = (|| {
+            let tid = client.begin()?;
+            started = Some(tid.clone());
+            client.write(&tid, t.home, SRV, t.obj, t.value.clone())?;
+            client.write(&tid, t.remote, SRV, t.obj, t.value.clone())?;
+            if i == victim {
+                if let CrashMode::At(point) = crash_mode {
+                    fault.arm_crash(t.home, point);
+                }
+            }
+            client.commit(&tid, t.mode)
+        })();
+        if i == victim && matches!(crash_mode, CrashMode::AfterCommit) {
+            cluster.crash(t.home);
+        }
+        tids.push(started);
+        outcomes.push(run);
+    }
+    let summary: Vec<String> = txns
+        .iter()
+        .zip(&outcomes)
+        .map(|(t, o)| {
+            let app = match o {
+                Ok(out) => format!("{out:?}"),
+                Err(e) => format!("{e}"),
+            };
+            format!("{}@{}:{:?}={app}", t.obj, t.home, t.mode)
+        })
+        .collect();
+    plan.push_str(&format!("; [{}]", summary.join(", ")));
+
+    // ---- Optional WAL corruption against a crashed site ----
+    let crashed: Vec<SiteId> = (1..=sites)
+        .map(SiteId)
+        .filter(|s| !cluster.is_alive(*s))
+        .collect();
+    if corrupt_wal {
+        if let Some(&s) = crashed.first() {
+            match cluster.wal_image(s) {
+                Ok(pristine) if pristine.len() > 8 => {
+                    let mut evil = pristine.clone();
+                    evil[8] ^= 0x01;
+                    let _ = cluster.set_wal_image(s, &evil);
+                    match cluster.restart(s) {
+                        Err(CamelotError::Corruption { .. }) => {
+                            if cluster.is_alive(s) {
+                                violations
+                                    .push(format!("corruption: {s} came up despite a corrupt log"));
+                            }
+                        }
+                        Err(other) => violations.push(format!(
+                            "corruption: {s} failed restart with untyped error {other}"
+                        )),
+                        Ok(()) => violations.push(format!(
+                            "corruption: {s} restarted cleanly over a bit-flipped \
+                             committed record"
+                        )),
+                    }
+                    let _ = cluster.set_wal_image(s, &pristine);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // ---- Heal: stop injecting, restart the dead, let timers run ----
+    fault.heal();
+    for s in (1..=sites).map(SiteId) {
+        if !cluster.is_alive(s) {
+            if let Err(e) = cluster.restart(s) {
+                violations.push(format!(
+                    "heal: {s} failed to restart on a pristine log: {e}"
+                ));
+            }
+        }
+    }
+    // Typed-error recovery: a call that failed with `Timeout { tid }`
+    // or `SiteDown` names (or implies) a transaction whose outcome is
+    // unknown — an application that walks away leaves an *active*
+    // family holding locks, which is abandonment, not a protocol
+    // leak. Do what the error type tells the application to do:
+    // abort the named transaction, best-effort, now that the cluster
+    // is healed. The probe below then verifies the locks actually
+    // came back.
+    for (t, (tid, out)) in txns.iter().zip(tids.iter().zip(&outcomes)) {
+        if let (Some(tid), Err(_)) = (tid, out) {
+            let _ = cluster.client(t.home).abort(tid);
+        }
+    }
+    std::thread::sleep(StdDuration::from_millis(1500));
+
+    // ---- Invariants ----
+    for (t, out) in txns.iter().zip(&outcomes) {
+        let vh = cluster.committed_value(t.home, SRV, t.obj);
+        let vr = cluster.committed_value(t.remote, SRV, t.obj);
+        if vh != vr {
+            violations.push(format!(
+                "agreement: {} diverged for {:?} ({vh:?} at {} vs {vr:?} at {})",
+                t.obj, out, t.home, t.remote
+            ));
+        }
+        match out {
+            Ok(Outcome::Committed) if vh != t.value => {
+                violations.push(format!(
+                    "lost-update: commit of {} returned Committed but {} holds \
+                     {vh:?} after healing",
+                    t.obj, t.home
+                ));
+            }
+            Ok(Outcome::Aborted) if vh == t.value => {
+                violations.push(format!(
+                    "app-outcome: {} returned Aborted but its value is installed",
+                    t.obj
+                ));
+            }
+            _ => {} // Timeout/SiteDown: outcome unknown, agreement was checked.
+        }
+    }
+    // Lock hygiene + progress, cluster-wide: one probe transaction
+    // re-writes every workload object at every site that replicates
+    // it. Any leaked lock or wedged pipeline fails this.
+    let probe_client = cluster.client(SiteId(1));
+    let probe = (|| {
+        let tid = probe_client.begin()?;
+        for t in &txns {
+            probe_client.write(&tid, t.home, SRV, t.obj, b"probe".to_vec())?;
+            probe_client.write(&tid, t.remote, SRV, t.obj, b"probe".to_vec())?;
+        }
+        probe_client.commit(&tid, CommitMode::TwoPhase)
+    })();
+    match probe {
+        Ok(Outcome::Committed) => {}
+        other => {
+            let state: Vec<String> = (1..=sites)
+                .map(SiteId)
+                .map(|s| cluster.debug_state(s))
+                .filter(|d| !d.is_empty())
+                .collect();
+            violations.push(format!(
+                "progress: post-heal probe over every workload object did not commit: \
+                 {other:?} [{}]",
+                state.join(" | ")
+            ));
+        }
+    }
+    cluster.shutdown();
+
+    RtRunResult {
+        trace: ch.trace.clone(),
+        violations,
+        plan,
+    }
+}
+
+/// Runs one randomized real-thread schedule from a seed.
+pub fn rt_run_seed(seed: u64, canary: bool) -> RtRunResult {
+    let mut ch = Chooser::random(seed);
+    rt_run_one(&mut ch, canary)
+}
+
+/// Replays a recorded (possibly shrunk) real-thread fault plan.
+pub fn rt_run_trace(trace: &[u32], canary: bool) -> RtRunResult {
+    let mut ch = Chooser::replay(trace);
+    rt_run_one(&mut ch, canary)
+}
+
+/// Runs `schedules` real-thread schedules derived from `base_seed`;
+/// failures are shrunk (greedy, re-running the plan per candidate)
+/// before being reported.
+pub fn rt_campaign(base_seed: u64, schedules: u64, canary: bool) -> RtCampaignReport {
+    let mut failures = Vec::new();
+    for i in 0..schedules {
+        let seed = crate::schedule_seed(base_seed, i);
+        let result = rt_run_seed(seed, canary);
+        if !result.violations.is_empty() {
+            let shrunk = shrink::shrink(&result.trace, |t| {
+                !rt_run_trace(t, canary).violations.is_empty()
+            });
+            failures.push(RtFailure {
+                index: i,
+                seed,
+                result,
+                shrunk,
+            });
+        }
+    }
+    RtCampaignReport {
+        schedules,
+        failures,
+    }
+}

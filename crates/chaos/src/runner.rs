@@ -581,35 +581,45 @@ fn check_progress(
     }
 }
 
-/// Invariant: a server holds no lock or family state for a family its
-/// own transaction manager has resolved. (A subordinate that joined
-/// but never prepared and then lost every abort notice to a partition
-/// may block with its locks until an operator or fresh contact
-/// intervenes — presumed abort's documented cost — so the check is
-/// scoped to locally-resolved families rather than global
-/// quiescence.)
+/// Invariant: once a family is resolved *anywhere*, no server
+/// anywhere in the cluster still holds locks or family state for it
+/// after full healing. A subordinate that joined but never prepared
+/// and lost every abort notice used to be exempt (it had no local
+/// resolution to check against); the engine's orphan watchdog now
+/// inquires at the family's origin — where presumed abort answers for
+/// even forgotten families — so after healing, relayed-abort gaps
+/// must close cluster-wide, not just at sites holding a local
+/// resolution.
 fn check_locks(
     net: &Net,
     tids: &[camelot_types::Tid],
     mirrors: &BTreeMap<SiteId, DataServer>,
     violations: &mut Vec<String>,
 ) {
-    for (site, m) in mirrors {
-        let live = m.families();
-        let in_doubt = m.in_doubt_families();
-        for tid in tids {
-            let f = tid.family;
-            if net.sites[site].engine.resolution(&f).is_some()
-                && (live.contains(&f) || in_doubt.contains(&f))
-            {
+    for tid in tids {
+        let f = tid.family;
+        let resolved_anywhere = net
+            .sites
+            .values()
+            .any(|sb| sb.engine.resolution(&f).is_some());
+        if !resolved_anywhere {
+            continue;
+        }
+        for (site, m) in mirrors {
+            if m.families().contains(&f) || m.in_doubt_families().contains(&f) {
                 violations.push(format!(
-                    "locks: {site} resolved {f} but its server still tracks the \
-                     family ({} locked objects)",
+                    "locks: {f} is resolved in the cluster but {site}'s server \
+                     still tracks the family ({} locked objects)",
                     m.locks().locked_objects()
                 ));
             }
         }
-        if m.active_families() == 0 && in_doubt.is_empty() && m.locks().locked_objects() != 0 {
+    }
+    for (site, m) in mirrors {
+        if m.active_families() == 0
+            && m.in_doubt_families().is_empty()
+            && m.locks().locked_objects() != 0
+        {
             violations.push(format!(
                 "locks: {site} holds {} locked objects with no live family",
                 m.locks().locked_objects()

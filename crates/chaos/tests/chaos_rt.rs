@@ -1,0 +1,99 @@
+//! Real-thread chaos: bounded integration tests.
+//!
+//! Each schedule here spins up a real [`camelot_rt::Cluster`] (worker
+//! pools, pipelined disk threads, router) and runs for a couple of
+//! seconds of wall clock, so these tests stay deliberately small; the
+//! broad campaigns run from the CLI (`camelot-chaos --rt`) in the
+//! nightly CI job. The `#[ignore]`d test at the bottom is the
+//! minutes-long canary-shrink exercise nightly runs with
+//! `cargo test -- --ignored`.
+
+use camelot_chaos::{rt_campaign, rt_run_trace};
+
+/// Hand-written decision trace: 2 sites, 2 transactions (both
+/// S1-coordinated, S2 subordinate, two-phase), clean links, and the
+/// coordinator killed right after transaction 0's commit call
+/// returns — inside the lazy-flush window.
+///
+/// Decisions, in draw order: sites, n_txns, then per txn
+/// (home, remote, mode), link profile, victim, crash mode (4 =
+/// kill-after-commit), WAL corruption.
+const KILL_AFTER_COMMIT: &[u32] = &[0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 4, 0];
+
+/// Under the honest protocol the kill-after-commit schedule is
+/// harmless: the commit record was *forced* before the client heard
+/// "Committed", so recovery replays it and every invariant holds.
+#[test]
+fn kill_after_commit_is_harmless_with_forced_commits() {
+    let result = rt_run_trace(KILL_AFTER_COMMIT, false);
+    assert!(
+        result.violations.is_empty(),
+        "honest run violated: {:?} (plan: {})",
+        result.violations,
+        result.plan
+    );
+}
+
+/// The same schedule against the `unsafe_no_commit_force` canary
+/// must be caught: the coordinator *appended* its commit record
+/// without forcing, the kill lands before the lazy flush, recovery
+/// presumes abort, and the subordinate (which already committed)
+/// disagrees with both the replica and the application.
+#[test]
+fn kill_after_commit_catches_the_forceless_canary() {
+    let result = rt_run_trace(KILL_AFTER_COMMIT, true);
+    assert!(
+        !result.violations.is_empty(),
+        "canary survived the kill-after-commit schedule (plan: {})",
+        result.plan
+    );
+    assert!(
+        result
+            .violations
+            .iter()
+            .any(|v| v.starts_with("lost-update:") || v.starts_with("agreement:")),
+        "expected an atomicity violation, got: {:?}",
+        result.violations
+    );
+}
+
+/// A small randomized campaign over the honest protocol is clean.
+#[test]
+fn small_rt_campaign_is_clean() {
+    let report = rt_campaign(0xF1E1D, 2, false);
+    assert!(
+        report.clean(),
+        "violations: {:?}",
+        report
+            .failures
+            .iter()
+            .map(|f| (&f.result.plan, &f.result.violations))
+            .collect::<Vec<_>>()
+    );
+}
+
+/// Nightly-profile exercise (minutes of real-thread schedules): a
+/// canary campaign must find the planted atomicity violation and
+/// shrink the failing schedule, and the shrunk trace must still
+/// reproduce a violation when replayed.
+#[test]
+#[ignore = "minutes of real-thread schedules; nightly CI runs with --ignored"]
+fn rt_canary_campaign_catches_and_shrinks() {
+    let report = rt_campaign(11, 12, true);
+    assert!(
+        !report.clean(),
+        "12 canary schedules found nothing — the checker is blind"
+    );
+    let f = &report.failures[0];
+    assert!(
+        f.shrunk.len() <= f.result.trace.len(),
+        "shrinking grew the trace"
+    );
+    let replay = rt_run_trace(&f.shrunk, true);
+    assert!(
+        !replay.violations.is_empty(),
+        "shrunk trace {:?} no longer reproduces (original seed {:#x})",
+        f.shrunk,
+        f.seed
+    );
+}

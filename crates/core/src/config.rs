@@ -61,6 +61,18 @@ pub struct EngineConfig {
     pub recruit_window: Duration,
     /// Pause before a blocked takeover retries from the top.
     pub takeover_retry: Duration,
+    /// Multiplier applied to a retry interval on each successive
+    /// re-send of the same protocol datagram (inquiries, commit-notice
+    /// resends, takeover retries). `1` keeps the fixed intervals.
+    pub retry_backoff: u32,
+    /// Ceiling on any backed-off retry interval.
+    pub retry_cap: Duration,
+    /// Watchdog interval for *orphaned* subordinate families: joined
+    /// from a remote coordinator but never prepared. If the abort
+    /// relay (or the whole coordinator) is lost before prepare, the
+    /// watchdog inquires at the origin; presumed abort answers
+    /// "aborted" for a forgotten family, releasing the orphan's locks.
+    pub orphan_check_interval: Duration,
     /// **Fault-injection canary — never enable outside tests.** When
     /// set, the 2PC coordinator *appends* its commit record without
     /// forcing it and proceeds as if the commit point were durable.
@@ -85,6 +97,9 @@ impl Default for EngineConfig {
             takeover_window: Duration::from_millis(500),
             recruit_window: Duration::from_millis(500),
             takeover_retry: Duration::from_secs(2),
+            retry_backoff: 2,
+            retry_cap: Duration::from_secs(60),
+            orphan_check_interval: Duration::from_secs(10),
             unsafe_no_commit_force: false,
         }
     }

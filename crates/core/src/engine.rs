@@ -8,7 +8,7 @@
 use std::collections::HashMap;
 
 use camelot_net::{Outcome, TmMessage, Vote};
-use camelot_types::{AbortReason, FamilyId, ServerId, SiteId, Tid, Time};
+use camelot_types::{AbortReason, Duration, FamilyId, ServerId, SiteId, Tid, Time};
 use camelot_wal::LogRecord;
 
 use crate::config::{CommitMode, EngineConfig};
@@ -38,11 +38,17 @@ pub(crate) enum TimerPurpose {
     VoteTimeout(FamilyId),
     Inquiry(FamilyId),
     NotifyResend(FamilyId),
+    /// Watchdog for the non-blocking replication phase: re-send
+    /// `NbReplicate` to targets whose ack is missing.
+    ReplicateResend(FamilyId),
     NbOutcome(FamilyId),
     TakeoverWindow(FamilyId),
     RecruitWindow(FamilyId),
     TakeoverRetry(FamilyId),
     AckFlush(SiteId),
+    /// Watchdog for a remote-origin family still executing: the abort
+    /// relay that should have reached us may have been lost.
+    OrphanCheck(FamilyId),
 }
 
 /// Counters the experiments read off the engine.
@@ -190,6 +196,14 @@ impl Engine {
         self.families.len()
     }
 
+    /// Ids of the live family descriptors, sorted (diagnostics, leak
+    /// checks).
+    pub fn family_ids(&self) -> Vec<FamilyId> {
+        let mut ids: Vec<FamilyId> = self.families.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
     /// The locally known outcome of a family, if it resolved here.
     pub fn resolution(&self, id: &FamilyId) -> Option<Outcome> {
         self.resolutions.get(id).copied()
@@ -291,6 +305,27 @@ impl Engine {
                 | ForcePurpose::TkAbortJoin(f)
                 if f == id)
         });
+    }
+
+    /// Backed-off interval for the `attempt`-th firing of a periodic
+    /// protocol datagram. Attempt 0 (the initial arm) always uses
+    /// `base` unchanged, so fixed-interval expectations in tests and
+    /// traces hold until a retry actually happens. Later attempts grow
+    /// exponentially by `retry_backoff`, capped at `retry_cap`, plus
+    /// deterministic jitter (up to +25%) derived from the family id so
+    /// retries started together de-synchronize without an RNG.
+    pub(crate) fn retry_after(&self, family: &FamilyId, base: Duration, attempt: u32) -> Duration {
+        if attempt == 0 || self.config.retry_backoff <= 1 {
+            return base;
+        }
+        let factor = u64::from(self.config.retry_backoff).saturating_pow(attempt.min(20));
+        let backed = Duration(base.0.saturating_mul(factor)).min(self.config.retry_cap);
+        let mut h = (family.origin.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= family.seq.wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+        h ^= u64::from(attempt).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        h ^= h >> 29;
+        let jitter = backed.0 / 4;
+        Duration(backed.0 + if jitter > 0 { h % jitter } else { 0 })
     }
 
     /// Record a family's final outcome.
@@ -407,6 +442,23 @@ impl Engine {
                     server,
                 },
             });
+        }
+        // A remote-origin family that only ever *executes* here is
+        // invisible to the commitment protocols; if the origin aborts
+        // and the relayed abort is lost, its locks would leak forever.
+        // Arm a watchdog that inquires at the origin — presumed abort
+        // guarantees a safe answer for forgotten families, and the
+        // origin stays silent while the family is live and undecided.
+        if tid.family.origin != self.site
+            && fam.orphan_timer.is_none()
+            && matches!(fam.role, Role::Executing)
+        {
+            let t = self.alloc_timer(TimerPurpose::OrphanCheck(tid.family));
+            let after = self.config.orphan_check_interval;
+            if let Some(fam) = self.families.get_mut(&tid.family) {
+                fam.orphan_timer = Some(t);
+            }
+            out.push(Action::SetTimer { token: t, after });
         }
     }
 
@@ -668,12 +720,13 @@ impl Engine {
         };
         let top = fam.top_tid();
         let servers: Vec<ServerId> = fam.servers.iter().copied().collect();
-        let timers: Vec<Option<TimerToken>> = match &fam.role {
+        let mut timers: Vec<Option<TimerToken>> = match &fam.role {
             Role::Sub2pc(s) => vec![s.inquiry_timer],
             Role::SubNb(s) => vec![s.outcome_timer],
             Role::Takeover(t) => vec![t.timer],
             _ => vec![None],
         };
+        timers.push(fam.orphan_timer.take());
         fam.mark_subtree(&top, TxnStatus::Aborted);
         out.push(Action::Append {
             rec: LogRecord::Abort { tid: tid.clone() },
@@ -718,6 +771,36 @@ impl Engine {
         }
     }
 
+    /// Orphan watchdog fired: the family is still only *executing*
+    /// here (never prepared) long after a remote coordinator created
+    /// it. Ask the origin. Three cases: the origin resolved and forgot
+    /// it — presumed abort answers `Aborted` and we release; the origin
+    /// still has it live and undecided — it stays silent and we re-arm
+    /// with backoff; commitment started meanwhile — the role changed
+    /// and the watchdog retires (the commit protocols carry their own
+    /// inquiry timers).
+    fn orphan_check_fired(&mut self, out: &mut Vec<Action>, family: FamilyId, now: Time) {
+        let Some(fam) = self.families.get_mut(&family) else {
+            return;
+        };
+        if !matches!(fam.role, Role::Executing) {
+            fam.orphan_timer = None;
+            return;
+        }
+        let tid = fam.top_tid();
+        fam.retry_attempts += 1;
+        let attempt = fam.retry_attempts;
+        let t = self.alloc_timer(TimerPurpose::OrphanCheck(family));
+        if let Some(fam) = self.families.get_mut(&family) {
+            fam.orphan_timer = Some(t);
+        }
+        let me = self.site;
+        self.send(out, family.origin, TmMessage::Inquire { tid, from: me });
+        let after = self.retry_after(&family, self.config.orphan_check_interval, attempt);
+        out.push(Action::SetTimer { token: t, after });
+        let _ = now;
+    }
+
     fn on_timer(&mut self, out: &mut Vec<Action>, token: TimerToken, now: Time) {
         let Some(purpose) = self.timers.remove(&token) else {
             return;
@@ -726,10 +809,12 @@ impl Engine {
             TimerPurpose::VoteTimeout(f) => self.vote_timeout(out, f, now),
             TimerPurpose::Inquiry(f) => self.sub2pc_inquiry_timer(out, f, now),
             TimerPurpose::NotifyResend(f) => self.notify_resend(out, f, now),
+            TimerPurpose::ReplicateResend(f) => self.coordnb_replicate_resend(out, f, now),
             TimerPurpose::NbOutcome(f) => self.subnb_outcome_timeout(out, f, now),
             TimerPurpose::TakeoverWindow(f) => self.takeover_window_fired(out, f, now),
             TimerPurpose::RecruitWindow(f) => self.takeover_recruit_fired(out, f, now),
             TimerPurpose::TakeoverRetry(f) => self.takeover_retry_fired(out, f, now),
+            TimerPurpose::OrphanCheck(f) => self.orphan_check_fired(out, f, now),
             TimerPurpose::AckFlush(site) => {
                 self.ack_flush_timer.remove(&site);
                 if let Some(mut msgs) = self.pending_acks.remove(&site) {
@@ -1054,6 +1139,97 @@ mod tests {
                 shard as usize
             );
         }
+    }
+
+    #[test]
+    fn retry_after_backs_off_and_caps() {
+        let e = engine();
+        let fid = FamilyId {
+            origin: SiteId(3),
+            seq: 7,
+        };
+        let base = Duration::from_secs(5);
+        assert_eq!(
+            e.retry_after(&fid, base, 0),
+            base,
+            "attempt 0 is unjittered"
+        );
+        let a1 = e.retry_after(&fid, base, 1);
+        let a2 = e.retry_after(&fid, base, 2);
+        assert!(
+            a1 >= base * 2 && a1 < base * 3,
+            "one doubling plus <=25% jitter"
+        );
+        assert!(a2 >= base * 4 && a2 < base * 5);
+        // Deterministic: same inputs, same interval.
+        assert_eq!(a1, e.retry_after(&fid, base, 1));
+        // Far-out attempts are capped (cap plus at most 25% jitter).
+        let far = e.retry_after(&fid, base, 30);
+        let cap = e.config().retry_cap;
+        assert!(far >= cap && far <= cap + cap / 4);
+    }
+
+    #[test]
+    fn remote_join_arms_orphan_watchdog_that_inquires_at_origin() {
+        let mut e = engine();
+        let remote = Tid::top_level(FamilyId {
+            origin: SiteId(9),
+            seq: 3,
+        });
+        let a = e.handle(
+            Input::Join {
+                tid: remote.clone(),
+                server: ServerId(1),
+            },
+            Time::ZERO,
+        );
+        let token = a
+            .iter()
+            .find_map(|x| match x {
+                Action::SetTimer { token, .. } => Some(*token),
+                _ => None,
+            })
+            .expect("remote join arms the orphan watchdog");
+        // Local-origin joins never arm it (their site drives commit).
+        let local = e.handle(Input::Begin { req: 1 }, Time::ZERO);
+        let local_tid = match &local[0] {
+            Action::Began { tid, .. } => tid.clone(),
+            other => panic!("{other:?}"),
+        };
+        let a = e.handle(
+            Input::Join {
+                tid: local_tid,
+                server: ServerId(1),
+            },
+            Time::ZERO,
+        );
+        assert!(!a.iter().any(|x| matches!(x, Action::SetTimer { .. })));
+        // Firing the watchdog inquires at the origin and re-arms with
+        // backoff.
+        let a = e.handle(Input::TimerFired { token }, Time::ZERO);
+        assert!(a.iter().any(|x| matches!(
+            x,
+            Action::Send {
+                to: SiteId(9),
+                msg: TmMessage::Inquire { .. },
+                ..
+            }
+        )));
+        assert!(a.iter().any(|x| matches!(x, Action::SetTimer { .. })));
+        // A presumed-abort answer releases the orphan entirely.
+        let a = e.handle(
+            Input::Datagram {
+                from: SiteId(9),
+                msg: TmMessage::InquireResp {
+                    tid: remote.clone(),
+                    outcome: Outcome::Aborted,
+                },
+            },
+            Time::ZERO,
+        );
+        assert!(a.iter().any(|x| matches!(x, Action::ServerAbort { .. })));
+        assert_eq!(e.family_view(&remote.family), None);
+        assert_eq!(e.resolution(&remote.family), Some(Outcome::Aborted));
     }
 
     #[test]

@@ -255,6 +255,13 @@ pub struct Family {
     /// Correlation id of the pending commit/abort call, if this is
     /// the application's home site.
     pub commit_req: Option<u64>,
+    /// How many times the family's current periodic datagram (inquiry,
+    /// notice resend, takeover retry) has already fired; drives the
+    /// exponential-backoff schedule.
+    pub retry_attempts: u32,
+    /// Watchdog for remote-origin families still executing: fires an
+    /// inquiry at the origin in case the abort relay was lost.
+    pub orphan_timer: Option<TimerToken>,
 }
 
 impl Family {
@@ -268,6 +275,8 @@ impl Family {
             servers: BTreeSet::new(),
             role: Role::Executing,
             commit_req: None,
+            retry_attempts: 0,
+            orphan_timer: None,
         }
     }
 

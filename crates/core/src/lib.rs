@@ -78,4 +78,4 @@ pub use camelot_net::{Outcome, Vote};
 pub use config::{CommitMode, EngineConfig, TwoPhaseVariant};
 pub use engine::{shard_of_family, shard_of_token, Engine, EngineStats};
 pub use family::{FamilyPhase, FamilyView};
-pub use io::{Action, ForceToken, Input, TimerToken};
+pub use io::{Action, CrashPoint, ForceToken, Input, TimerToken};

@@ -358,12 +358,73 @@ impl Engine {
         }
         c.phase = NbCoordPhase::Replicating;
         let info = c.info.clone();
+        // A single lost replicate request (or ack) must not park the
+        // quorum: a watchdog re-sends until every ack is in.
+        let t = self.alloc_timer(TimerPurpose::ReplicateResend(family));
+        if let Some(fam) = self.families.get_mut(&family) {
+            fam.retry_attempts = 0;
+            if let Role::CoordNb(c) = &mut fam.role {
+                c.resend_timer = Some(t);
+            }
+        }
         self.broadcast(
             out,
             targets.into_iter().collect(),
             TmMessage::NbReplicate { tid, info },
         );
+        out.push(Action::SetTimer {
+            token: t,
+            after: self.config.notify_resend_interval,
+        });
         let _ = now;
+    }
+
+    /// Replication-phase watchdog fired: re-send `NbReplicate` to
+    /// every target whose ack is still missing, backing off each
+    /// round ("if some operation fails to respond, the site that
+    /// invoked it should eventually" retry). Without this, one lost
+    /// replicate datagram stalls the coordinator in `Replicating`
+    /// forever — and no subordinate takeover can rescue it, because a
+    /// *live* coordinator answers status requests with `Prepared`
+    /// while never re-driving its own quorum.
+    pub(crate) fn coordnb_replicate_resend(
+        &mut self,
+        out: &mut Vec<Action>,
+        family: FamilyId,
+        _now: Time,
+    ) {
+        let Some(fam) = self.families.get_mut(&family) else {
+            return;
+        };
+        let tid = fam.top_tid();
+        let (missing, info) = match &fam.role {
+            Role::CoordNb(c) if matches!(c.phase, NbCoordPhase::Replicating) => (
+                c.replication_targets
+                    .difference(&c.repl_acks)
+                    .copied()
+                    .collect::<Vec<SiteId>>(),
+                c.info.clone(),
+            ),
+            _ => return,
+        };
+        if missing.is_empty() {
+            return;
+        }
+        let t = self.alloc_timer(TimerPurpose::ReplicateResend(family));
+        let mut attempt = 0;
+        if let Some(fam) = self.families.get_mut(&family) {
+            fam.retry_attempts += 1;
+            attempt = fam.retry_attempts;
+            if let Role::CoordNb(c) = &mut fam.role {
+                c.resend_timer = Some(t);
+            }
+        }
+        let interval = self.retry_after(&family, self.config.notify_resend_interval, attempt);
+        out.push(Action::SetTimer {
+            token: t,
+            after: interval,
+        });
+        self.broadcast(out, missing, TmMessage::NbReplicate { tid, info });
     }
 
     /// A replicate-ack arrived (routes by role: normal coordinator or
@@ -397,6 +458,8 @@ impl Engine {
                 if c.repl_acks.len() + 1 >= c.info.commit_quorum as usize {
                     c.phase = NbCoordPhase::ForcingCommit;
                     let subs: Vec<SiteId> = c.replication_targets.iter().copied().collect();
+                    let watchdog = c.resend_timer.take();
+                    self.cancel_timer(out, watchdog);
                     let token = self.alloc_force(ForcePurpose::NbCoordCommit(family));
                     self.stats.forces += 1;
                     out.push(Action::Force {
@@ -476,6 +539,7 @@ impl Engine {
         let t = self.alloc_timer(TimerPurpose::NotifyResend(family));
         let interval = self.config.notify_resend_interval;
         if let Some(fam) = self.families.get_mut(&family) {
+            fam.retry_attempts = 0;
             if let Role::CoordNb(c) = &mut fam.role {
                 c.resend_timer = Some(t);
             }
@@ -560,6 +624,7 @@ impl Engine {
         let t = self.alloc_timer(TimerPurpose::NotifyResend(family));
         let interval = self.config.notify_resend_interval;
         if let Some(fam) = self.families.get_mut(&family) {
+            fam.retry_attempts = 0;
             if let Role::CoordNb(c) = &mut fam.role {
                 c.resend_timer = Some(t);
             }
@@ -846,6 +911,7 @@ impl Engine {
         let t = self.alloc_timer(TimerPurpose::NbOutcome(family));
         let timeout = self.config.nb_outcome_timeout;
         if let Some(fam) = self.families.get_mut(&family) {
+            fam.retry_attempts = 0;
             if let Role::SubNb(s) = &mut fam.role {
                 s.outcome_timer = Some(t);
             }
@@ -1045,6 +1111,7 @@ impl Engine {
                 let t = self.alloc_timer(TimerPurpose::NbOutcome(family));
                 let timeout = self.config.nb_outcome_timeout;
                 if let Some(fam) = self.families.get_mut(&family) {
+                    fam.retry_attempts = 0;
                     if let Role::SubNb(s) = &mut fam.role {
                         s.outcome_timer = Some(t);
                     }

@@ -358,11 +358,11 @@ impl Engine {
     }
 
     /// Mark blocked and schedule a retry (reachable only under
-    /// multiple failures).
+    /// multiple failures). Successive blocked rounds back off so a
+    /// long-dead quorum is probed ever more gently.
     fn takeover_blocked(&mut self, out: &mut Vec<Action>, family: FamilyId) {
         self.stats.blocked += 1;
         let timer = self.alloc_timer(TimerPurpose::TakeoverRetry(family));
-        let retry = self.config.takeover_retry;
         let Some(fam) = self.families.get_mut(&family) else {
             return;
         };
@@ -371,6 +371,9 @@ impl Engine {
         };
         t.phase = TakeoverPhase::Blocked;
         t.timer = Some(timer);
+        fam.retry_attempts += 1;
+        let attempt = fam.retry_attempts - 1;
+        let retry = self.retry_after(&family, self.config.takeover_retry, attempt);
         out.push(Action::SetTimer {
             token: timer,
             after: retry,
@@ -777,6 +780,7 @@ impl Engine {
         let timer = self.alloc_timer(TimerPurpose::NotifyResend(family));
         let interval = self.config.notify_resend_interval;
         if let Some(fam) = self.families.get_mut(&family) {
+            fam.retry_attempts = 0;
             if let Role::Takeover(t) = &mut fam.role {
                 t.timer = Some(timer);
             }

@@ -304,6 +304,7 @@ impl Engine {
         let t = self.alloc_timer(TimerPurpose::NotifyResend(family));
         let interval = self.config.notify_resend_interval;
         if let Some(fam) = self.families.get_mut(&family) {
+            fam.retry_attempts = 0;
             if let Role::Coord2pc(c) = &mut fam.role {
                 c.resend_timer = Some(t);
             }
@@ -485,10 +486,12 @@ impl Engine {
             },
             _ => return,
         };
-        // Re-arm the timer.
+        // Re-arm the timer, backing off each successive resend.
         let t = self.alloc_timer(TimerPurpose::NotifyResend(family));
-        let interval = self.config.notify_resend_interval;
+        let mut attempt = 0;
         if let Some(fam) = self.families.get_mut(&family) {
+            fam.retry_attempts += 1;
+            attempt = fam.retry_attempts;
             match &mut fam.role {
                 Role::Coord2pc(c) => c.resend_timer = Some(t),
                 Role::CoordNb(c) => c.resend_timer = Some(t),
@@ -496,6 +499,7 @@ impl Engine {
                 _ => {}
             }
         }
+        let interval = self.retry_after(&family, self.config.notify_resend_interval, attempt);
         out.push(Action::SetTimer {
             token: t,
             after: interval,
@@ -719,6 +723,7 @@ impl Engine {
         let t = self.alloc_timer(TimerPurpose::Inquiry(family));
         let interval = self.config.inquiry_interval;
         if let Some(fam) = self.families.get_mut(&family) {
+            fam.retry_attempts = 0;
             if let Role::Sub2pc(s) = &mut fam.role {
                 s.inquiry_timer = Some(t);
             }
@@ -875,14 +880,17 @@ impl Engine {
         }
         let coordinator = s.coordinator;
         let t = self.alloc_timer(TimerPurpose::Inquiry(family));
-        let interval = self.config.inquiry_interval;
+        let mut attempt = 0;
         if let Some(fam) = self.families.get_mut(&family) {
+            fam.retry_attempts += 1;
+            attempt = fam.retry_attempts;
             if let Role::Sub2pc(s) = &mut fam.role {
                 s.inquiry_timer = Some(t);
             }
         }
         let me = self.site;
         self.send(out, coordinator, TmMessage::Inquire { tid, from: me });
+        let interval = self.retry_after(&family, self.config.inquiry_interval, attempt);
         out.push(Action::SetTimer {
             token: t,
             after: interval,

@@ -30,7 +30,7 @@ impl Client {
     /// `begin-transaction`: returns the new top-level transaction
     /// identifier.
     pub fn begin(&self) -> Result<Tid> {
-        match self.tm_call(|req| Input::Begin { req })? {
+        match self.tm_call(None, |req| Input::Begin { req })? {
             Action::Began { tid, .. } => Ok(tid),
             Action::Rejected { tid, detail, .. } => Err(CamelotError::BadState { tid, detail }),
             other => Err(CamelotError::Internal(format!(
@@ -42,7 +42,10 @@ impl Client {
     /// Begins a nested transaction under `parent`.
     pub fn begin_nested(&self, parent: &Tid) -> Result<Tid> {
         let parent = parent.clone();
-        match self.tm_call(move |req| Input::BeginNested { req, parent })? {
+        match self.tm_call(Some(parent.clone()), move |req| Input::BeginNested {
+            req,
+            parent,
+        })? {
             Action::Began { tid, .. } => Ok(tid),
             Action::Rejected { tid, detail, .. } => Err(CamelotError::BadState { tid, detail }),
             other => Err(CamelotError::Internal(format!(
@@ -91,7 +94,7 @@ impl Client {
             site.comman.lock().participants(&tid.family)
         };
         let t = tid.clone();
-        let reply = self.tm_call(move |req| Input::CommitTop {
+        let reply = self.tm_call(Some(tid.clone()), move |req| Input::CommitTop {
             req,
             tid: t,
             mode,
@@ -118,7 +121,7 @@ impl Client {
             site.comman.lock().participants(&tid.family)
         };
         let t = tid.clone();
-        match self.tm_call(move |req| Input::CommitNested {
+        match self.tm_call(Some(tid.clone()), move |req| Input::CommitNested {
             req,
             tid: t,
             participants,
@@ -138,7 +141,7 @@ impl Client {
             site.comman.lock().participants(&tid.family)
         };
         let t = tid.clone();
-        match self.tm_call(move |req| Input::AbortTx {
+        match self.tm_call(Some(tid.clone()), move |req| Input::AbortTx {
             req,
             tid: t,
             reason: AbortReason::Application,
@@ -154,26 +157,78 @@ impl Client {
 
     // -----------------------------------------------------------------
 
-    fn tm_call(&self, make: impl FnOnce(u64) -> Input) -> Result<Action> {
+    /// One synchronous call into the home TranMan. A reply that never
+    /// arrives within `call_timeout` surfaces as the typed
+    /// [`CamelotError::Timeout`] carrying `tid`: the outcome is
+    /// *unknown* (the engine may still resolve the transaction later),
+    /// which is a different situation from [`CamelotError::SiteDown`],
+    /// where the call provably never started.
+    fn tm_call(&self, tid: Option<Tid>, make: impl FnOnce(u64) -> Input) -> Result<Action> {
         let req = self.inner.alloc_req();
         let (tx, rx) = bounded(1);
         self.inner.pending.insert(req, tx);
         let site = self.inner.sites.get(&self.home).expect("home exists");
+        if !site.alive.load(std::sync::atomic::Ordering::SeqCst) {
+            self.inner.pending.remove(req);
+            return Err(CamelotError::SiteDown(self.home));
+        }
         site.tm_tx
             .send(Some(make(req)))
             .map_err(|_| CamelotError::SiteDown(self.home))?;
         rx.recv_timeout(self.inner.cfg.call_timeout).map_err(|_| {
             self.inner.pending.remove(req);
-            CamelotError::SiteDown(self.home)
+            CamelotError::Timeout { tid }
         })
     }
 
+    /// A data-server operation, with bounded retry: if the target site
+    /// is down the call backs off (exponentially, with deterministic
+    /// jitter) and tries again up to `op_retries` times — a briefly
+    /// crashed site may come back — before surfacing
+    /// [`CamelotError::SiteDown`]. Lock-wait and reply timeouts are
+    /// never retried: the operation may have taken effect.
     fn operation(
         &self,
         tid: &Tid,
         site_id: SiteId,
         server: ServerId,
-        make: impl FnOnce(u64, Tid) -> Request,
+        make: impl Fn(u64, Tid) -> Request,
+    ) -> Result<Vec<u8>> {
+        if !self.inner.sites.contains_key(&site_id) {
+            return Err(CamelotError::SiteDown(site_id));
+        }
+        let mut attempt = 0u32;
+        loop {
+            match self.operation_once(tid, site_id, server, &make) {
+                Err(CamelotError::SiteDown(s)) if attempt < self.inner.cfg.op_retries => {
+                    attempt += 1;
+                    std::thread::sleep(self.retry_pause(s, attempt));
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Backoff before retry `attempt` (1-based): base × 2^(attempt-1)
+    /// plus up to +25% jitter, deterministic in (home, target, attempt)
+    /// so colliding clients desynchronise without nondeterminism.
+    fn retry_pause(&self, target: SiteId, attempt: u32) -> std::time::Duration {
+        let base = self.inner.cfg.op_retry_base;
+        let backed = base * (1u32 << (attempt - 1).min(10));
+        let mut h = ((self.home.0 as u64) << 32 | target.0 as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(attempt as u64);
+        h ^= h >> 29;
+        let quarter = (backed.as_nanos() as u64) / 4;
+        backed + std::time::Duration::from_nanos(if quarter > 0 { h % quarter } else { 0 })
+    }
+
+    fn operation_once(
+        &self,
+        tid: &Tid,
+        site_id: SiteId,
+        server: ServerId,
+        make: impl Fn(u64, Tid) -> Request,
     ) -> Result<Vec<u8>> {
         let req = self.inner.alloc_req();
         let (tx, rx) = bounded(1);
@@ -217,7 +272,13 @@ impl Client {
         }
         let reply = rx.recv_timeout(self.inner.cfg.call_timeout).map_err(|_| {
             self.inner.pending_ops.remove(req);
-            CamelotError::LockTimeout
+            // The operation was accepted but its reply never came —
+            // typically a lock wait that outlived the call timeout.
+            // The outcome is unknown; the typed error names the
+            // transaction so the application can abort it.
+            CamelotError::Timeout {
+                tid: Some(tid.clone()),
+            }
         })?;
         Ok(reply.value)
     }

@@ -34,17 +34,19 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
 use camelot_core::{
-    shard_of_family, shard_of_token, Action, Engine, EngineConfig, ForceToken, Input, TimerToken,
+    shard_of_family, shard_of_token, Action, CrashPoint, Engine, EngineConfig, ForceToken, Input,
+    TimerToken,
 };
 use camelot_net::comman::{CommMan, ServiceAddr};
 use camelot_server::{recover as server_recover, DataServer, OpReply};
-use camelot_types::{Lsn, ServerId, SiteId, Time};
+use camelot_types::{Lsn, Result, ServerId, SiteId, Time};
 use camelot_wal::{
     BatchPolicy, BatcherAction, FileStore, GroupCommitBatcher, LogRecord, MemStore, ReqId,
     StableStore, Wal,
 };
 
 use crate::client::Client;
+use crate::fault::{FaultPlan, LinkDecision};
 use crate::shardmap::ShardedMap;
 use crate::stats::{add_engine_stats, ClusterStats, SiteCounters, SiteStats};
 
@@ -81,6 +83,14 @@ pub struct RtConfig {
     /// behind a deadlock) errors out after this long, letting the
     /// application abort — Camelot's answer to data-level deadlock.
     pub call_timeout: StdDuration,
+    /// How many times a client operation retries after finding its
+    /// target site down, before surfacing [`CamelotError::SiteDown`].
+    /// Retries wait `op_retry_base`, doubling each attempt (plus a
+    /// deterministic jitter), giving a briefly crashed site time to
+    /// restart instead of failing the transaction outright.
+    pub op_retries: u32,
+    /// Base backoff between client operation retries.
+    pub op_retry_base: StdDuration,
     /// Engine configuration (protocol variant, timeouts).
     pub engine: EngineConfig,
     /// Directory for file-backed logs (`site-N.log`). `None` keeps
@@ -102,6 +112,8 @@ impl Default for RtConfig {
             tm_service_time: StdDuration::ZERO,
             servers_per_site: 1,
             call_timeout: StdDuration::from_secs(30),
+            op_retries: 2,
+            op_retry_base: StdDuration::from_millis(10),
             engine: EngineConfig::default(),
             log_dir: None,
         }
@@ -183,6 +195,17 @@ impl SiteShared {
         let _ = wal.append(rec);
         wal.end_lsn()
     }
+
+    /// Kills the site in place: volatile state is lost, unforced log
+    /// records discarded, traffic to it dropped by the router. Safe to
+    /// call from any runtime thread holding no site locks.
+    fn kill(&self) {
+        self.alive.store(false, Ordering::SeqCst);
+        let mut wal = self.wal.lock();
+        wal.store_mut().lose_volatile();
+        drop(wal);
+        self.lazy.lock().clear();
+    }
 }
 
 /// Cluster-wide shared state.
@@ -197,6 +220,9 @@ pub(crate) struct ClusterInner {
     pub next_req: AtomicU64,
     pub epoch: Instant,
     pub cfg: RtConfig,
+    /// Fault-injection plan consulted on every datagram and at the
+    /// named crash points. [`FaultPlan::disabled`] for ordinary runs.
+    pub fault: Arc<FaultPlan>,
 }
 
 impl ClusterInner {
@@ -234,6 +260,31 @@ impl ClusterInner {
         };
         site.counters.inputs.fetch_add(1, Ordering::Relaxed);
         actions
+    }
+
+    /// Posts one inter-site datagram through the fault plan: it may be
+    /// delivered normally, dropped, delayed past later traffic on the
+    /// link (reordering), or duplicated. Timer firings never come
+    /// through here — they are site-local, not network traffic.
+    fn post_datagram(&self, from: SiteId, to: SiteId, msg: camelot_net::TmMessage) {
+        let base = Instant::now() + self.cfg.datagram_delay;
+        let deliver = |at: Instant, msg: camelot_net::TmMessage| {
+            let _ = self.router_tx.send(RouterJob::Deliver {
+                at,
+                to,
+                input: Input::Datagram { from, msg },
+                timer: None,
+            });
+        };
+        match self.fault.link_decision(from, to) {
+            LinkDecision::Deliver => deliver(base, msg),
+            LinkDecision::Drop => {}
+            LinkDecision::Delay(extra) => deliver(base + extra, msg),
+            LinkDecision::Duplicate(extra) => {
+                deliver(base, msg.clone());
+                deliver(base + extra, msg);
+            }
+        }
     }
 
     /// Routes a server's effects: join-transaction, log records,
@@ -339,36 +390,14 @@ impl ClusterInner {
                     }
                 }
                 Action::Send { to, msg, piggyback } => {
-                    let at = Instant::now() + self.cfg.datagram_delay;
-                    let from = site.id;
-                    let _ = self.router_tx.send(RouterJob::Deliver {
-                        at,
-                        to,
-                        input: Input::Datagram { from, msg },
-                        timer: None,
-                    });
+                    self.post_datagram(site.id, to, msg);
                     for m in piggyback {
-                        let _ = self.router_tx.send(RouterJob::Deliver {
-                            at,
-                            to,
-                            input: Input::Datagram { from, msg: m },
-                            timer: None,
-                        });
+                        self.post_datagram(site.id, to, m);
                     }
                 }
                 Action::Broadcast { to, msg } => {
-                    let at = Instant::now() + self.cfg.datagram_delay;
-                    let from = site.id;
                     for dst in to {
-                        let _ = self.router_tx.send(RouterJob::Deliver {
-                            at,
-                            to: dst,
-                            input: Input::Datagram {
-                                from,
-                                msg: msg.clone(),
-                            },
-                            timer: None,
-                        });
+                        self.post_datagram(site.id, dst, msg.clone());
                     }
                 }
                 Action::RelayAbort { tid } => {
@@ -378,24 +407,24 @@ impl ClusterInner {
                         cm.forget(&tid.family);
                         t
                     };
-                    let at = Instant::now() + self.cfg.datagram_delay;
-                    let from = site.id;
                     for dst in targets {
-                        let _ = self.router_tx.send(RouterJob::Deliver {
-                            at,
-                            to: dst,
-                            input: Input::Datagram {
-                                from,
-                                msg: camelot_net::TmMessage::Abort { tid: tid.clone() },
-                            },
-                            timer: None,
-                        });
+                        self.post_datagram(
+                            site.id,
+                            dst,
+                            camelot_net::TmMessage::Abort { tid: tid.clone() },
+                        );
                     }
                 }
                 Action::Append { rec } => {
                     site.append(&rec);
                 }
                 Action::Force { rec, token } => {
+                    // Crash point: the decision is made but its commit
+                    // record never reaches even the volatile log.
+                    if self.fault.should_crash(site.id, CrashPoint::PreForce) {
+                        site.kill();
+                        continue;
+                    }
                     // The worker appends; the disk thread only decides
                     // when the platter write happens.
                     let upto = site.append(&rec);
@@ -432,8 +461,15 @@ pub struct Cluster {
 }
 
 impl Cluster {
-    /// Builds and starts `n` sites.
+    /// Builds and starts `n` sites with no fault injection.
     pub fn new(n: u32, cfg: RtConfig) -> Cluster {
+        Cluster::new_with_faults(n, cfg, Arc::new(FaultPlan::disabled()))
+    }
+
+    /// Builds and starts `n` sites with `fault` installed. The plan is
+    /// shared: the caller keeps its own `Arc` to arm crash points or
+    /// heal mid-run.
+    pub fn new_with_faults(n: u32, cfg: RtConfig, fault: Arc<FaultPlan>) -> Cluster {
         let (router_tx, router_rx) = unbounded();
         let shards_per_site = cfg.engine_shards.max(1);
         let mut sites = BTreeMap::new();
@@ -498,6 +534,7 @@ impl Cluster {
             next_req: AtomicU64::new(1),
             epoch: Instant::now(),
             cfg: cfg.clone(),
+            fault,
         });
         let mut handles = Vec::new();
         // Router.
@@ -526,10 +563,15 @@ impl Cluster {
         // already holds.
         if cfg.log_dir.is_some() {
             for id in cluster.inner.sites.keys().copied().collect::<Vec<_>>() {
-                cluster.restart(id);
+                cluster.restart(id).expect("recovery scan at startup");
             }
         }
         cluster
+    }
+
+    /// The installed fault plan.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.inner.fault
     }
 
     /// A client homed at `site`.
@@ -541,19 +583,41 @@ impl Cluster {
     /// Crashes a site: volatile state is lost, unforced log records
     /// discarded, traffic to it dropped.
     pub fn crash(&self, site: SiteId) {
+        self.inner.sites.get(&site).expect("unknown site").kill();
+    }
+
+    /// A snapshot of a site's durable log bytes, for fault harnesses
+    /// that corrupt and later restore the log across a restart.
+    pub fn wal_image(&self, site: SiteId) -> Result<Vec<u8>> {
         let s = self.inner.sites.get(&site).expect("unknown site");
-        s.alive.store(false, Ordering::SeqCst);
-        let mut wal = s.wal.lock();
-        wal.store_mut().lose_volatile();
-        s.lazy.lock().clear();
+        s.wal.lock().store_mut().durable_bytes()
+    }
+
+    /// Replaces a site's durable log bytes. The site must be down:
+    /// rewriting the log under a live site would corrupt its in-memory
+    /// view of the tail.
+    pub fn set_wal_image(&self, site: SiteId, bytes: &[u8]) -> Result<()> {
+        let s = self.inner.sites.get(&site).expect("unknown site");
+        assert!(
+            !s.alive.load(Ordering::SeqCst),
+            "set_wal_image requires a crashed site"
+        );
+        s.wal.lock().store_mut().set_durable_bytes(bytes)
     }
 
     /// Restarts a crashed site: the transaction manager and servers
     /// are rebuilt from the durable log. Each engine shard recovers
     /// from the log records of the families it owns.
-    pub fn restart(&self, site: SiteId) {
+    ///
+    /// If the recovery scan finds a corrupt record (checksum mismatch
+    /// on a complete frame), the typed [`CamelotError::Corruption`]
+    /// error is returned and the site **stays down** — restarting on a
+    /// damaged log must never silently drop committed state.
+    ///
+    /// [`CamelotError::Corruption`]: camelot_types::CamelotError::Corruption
+    pub fn restart(&self, site: SiteId) -> Result<()> {
         let s = self.inner.sites.get(&site).expect("unknown site");
-        let records = s.wal.lock().recover().expect("recovery scan");
+        let records = s.wal.lock().recover()?;
         let recs_only: Vec<LogRecord> = records.iter().map(|(_, r)| r.clone()).collect();
         // Rebuild servers.
         for (sid, server) in &s.servers {
@@ -584,6 +648,7 @@ impl Cluster {
         }
         s.alive.store(true, Ordering::SeqCst);
         self.inner.apply_actions(s, all_actions);
+        Ok(())
     }
 
     /// Writes a checkpoint at `site`: every server's committed-state
@@ -599,6 +664,41 @@ impl Cluster {
         }
         let _ = wal.append(&LogRecord::Checkpoint);
         let _ = wal.force();
+    }
+
+    /// One-line-per-entity diagnostic dump of a site's protocol
+    /// state: every live family descriptor in every engine shard
+    /// (with phase and role) and every server family still tracked
+    /// (with its lock count). Chaos campaigns attach this to
+    /// progress-violation reports so a wedged schedule explains
+    /// itself.
+    pub fn debug_state(&self, site: SiteId) -> String {
+        let mut out = Vec::new();
+        if let Some(s) = self.inner.sites.get(&site) {
+            for shard in &s.shards {
+                let e = shard.lock();
+                for id in e.family_ids() {
+                    if let Some(v) = e.family_view(&id) {
+                        out.push(format!("{site} engine: {id} {} {:?}", v.role, v.phase));
+                    }
+                }
+            }
+            for (srv, server) in &s.servers {
+                let srv = srv.0;
+                let m = server.lock();
+                for f in m.families() {
+                    out.push(format!("{site} server{srv}: active {f}"));
+                }
+                for f in m.in_doubt_families() {
+                    out.push(format!("{site} server{srv}: in-doubt {f}"));
+                }
+                let locked = m.locks().locked_objects();
+                if locked != 0 {
+                    out.push(format!("{site} server{srv}: {locked} locked object(s)"));
+                }
+            }
+        }
+        out.join("; ")
     }
 
     /// True if the site is up.
@@ -681,7 +781,20 @@ impl Cluster {
 /// different families hold different locks.
 fn tm_worker(inner: Arc<ClusterInner>, site: Arc<SiteShared>, rx: Receiver<Option<Input>>) {
     while let Ok(Some(input)) = rx.recv() {
+        let forced = matches!(input, Input::LogForced { .. });
         let actions = inner.handle_on_shard(&site, input);
+        // Crash point: the force hit the platter (the decision is
+        // durable) but the datagrams announcing it never leave — the
+        // window where peers must find the outcome via recovery or
+        // inquiry.
+        if forced
+            && inner
+                .fault
+                .should_crash(site.id, CrashPoint::PostForcePreSend)
+        {
+            site.kill();
+            continue;
+        }
         inner.apply_actions(&site, actions);
     }
 }
@@ -828,7 +941,7 @@ fn drive(
                     drain_lazy(site, durable);
                 }
                 BatcherAction::StartWrite { upto } => {
-                    next.extend(platter_write(inner, site, batcher, upto));
+                    next.extend(platter_write(inner, site, batcher, tokens, upto));
                 }
             }
         }
@@ -846,22 +959,46 @@ fn platter_write(
     inner: &ClusterInner,
     site: &SiteShared,
     batcher: &mut GroupCommitBatcher,
+    tokens: &mut HashMap<u64, ForceToken>,
     upto: Lsn,
 ) -> Vec<BatcherAction> {
+    let mut died = false;
     let actual = if site.alive.load(Ordering::SeqCst) {
         std::thread::sleep(inner.cfg.platter_delay);
+        // Crash point: power fails while the platter write is in
+        // flight — the un-synced tail is torn off, and whatever force
+        // requests were riding this write never complete.
+        if inner
+            .fault
+            .should_crash(site.id, CrashPoint::MidPlatterWrite)
+        {
+            site.kill();
+        }
         site.counters.platter_writes.fetch_add(1, Ordering::Relaxed);
         let mut wal = site.wal.lock();
         if site.alive.load(Ordering::SeqCst) {
             wal.force_to(upto).unwrap_or_else(|_| wal.durable_lsn())
         } else {
             // The site died mid-write: the un-synced tail is gone.
+            died = true;
             wal.durable_lsn()
         }
     } else {
+        died = true;
         site.wal.lock().durable_lsn()
     };
-    batcher.write_complete_to(actual, inner.now())
+    let actions = batcher.write_complete_to(actual, inner.now());
+    if died {
+        // Requests left uncovered came from the incarnation that just
+        // died: the truncated log can never reach their watermarks,
+        // and their force tokens belong to torn-down engines. Abandon
+        // them or the batcher would retry the write forever, wedging
+        // this thread and starving post-restart forces.
+        for req in batcher.crash_abandon() {
+            tokens.remove(&req.0);
+        }
+    }
+    actions
 }
 
 /// Periodic background flush: if lazily appended records (or any other

@@ -176,7 +176,7 @@ fn crash_and_restart_recovers_committed_data() {
     std::thread::sleep(StdDuration::from_millis(30));
     cluster.crash(S1);
     assert!(!cluster.is_alive(S1));
-    cluster.restart(S1);
+    cluster.restart(S1).unwrap();
     assert!(cluster.is_alive(S1));
     // The committed value survived (redo from the log).
     assert_eq!(cluster.committed_value(S1, SRV, ObjectId(7)), b"durable");
@@ -199,7 +199,7 @@ fn uncommitted_data_lost_in_crash() {
         .unwrap();
     // No commit: crash loses it.
     cluster.crash(S1);
-    cluster.restart(S1);
+    cluster.restart(S1).unwrap();
     assert_eq!(cluster.committed_value(S1, SRV, ObjectId(8)), b"");
     cluster.shutdown();
 }
@@ -381,7 +381,7 @@ fn checkpoint_then_crash_recovers_from_snapshot() {
     // Crash with the last transaction unresolved.
     std::thread::sleep(StdDuration::from_millis(40));
     cluster.crash(S1);
-    cluster.restart(S1);
+    cluster.restart(S1).unwrap();
     assert_eq!(cluster.committed_value(S1, SRV, ObjectId(1)), b"one-v2");
     assert_eq!(cluster.committed_value(S1, SRV, ObjectId(2)), b"two");
     assert_eq!(cluster.committed_value(S1, SRV, ObjectId(3)), b"");

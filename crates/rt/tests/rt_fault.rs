@@ -1,0 +1,179 @@
+//! Fault injection against the real-thread runtime: the crash-point
+//! matrix, WAL corruption across a restart, and link faults.
+//!
+//! The matrix tests assert the *recovery contract*, not a particular
+//! outcome: whatever instant the coordinator dies at, once it restarts
+//! and the protocol timers run, every site must agree on the
+//! transaction's fate and the cluster must accept new work. Which fate
+//! (committed if the decision survived on disk, aborted otherwise)
+//! depends on which side of the force the crash landed — exactly what
+//! the named crash points pin down.
+
+use std::sync::Arc;
+use std::time::Duration as StdDuration;
+
+use camelot_core::CommitMode;
+use camelot_rt::{Cluster, CrashPoint, FaultPlan, RtConfig};
+use camelot_types::{CamelotError, ObjectId, ServerId, SiteId};
+
+const S1: SiteId = SiteId(1);
+const S2: SiteId = SiteId(2);
+const SRV: ServerId = ServerId(1);
+
+fn quick_cfg() -> RtConfig {
+    let mut cfg = RtConfig {
+        datagram_delay: StdDuration::from_millis(1),
+        platter_delay: StdDuration::from_millis(1),
+        lazy_flush: StdDuration::from_millis(5),
+        call_timeout: StdDuration::from_secs(2),
+        ..RtConfig::default()
+    };
+    // Short protocol timeouts so in-doubt transactions resolve fast.
+    cfg.engine.nb_outcome_timeout = camelot_types::Duration::from_millis(150);
+    cfg.engine.takeover_window = camelot_types::Duration::from_millis(80);
+    cfg.engine.recruit_window = camelot_types::Duration::from_millis(80);
+    cfg.engine.takeover_retry = camelot_types::Duration::from_millis(150);
+    cfg.engine.inquiry_interval = camelot_types::Duration::from_millis(200);
+    cfg.engine.notify_resend_interval = camelot_types::Duration::from_millis(200);
+    cfg.engine.orphan_check_interval = camelot_types::Duration::from_millis(250);
+    cfg
+}
+
+/// One cell of the matrix: crash the coordinator at `point` during a
+/// distributed commit under `mode`, restart it, and require a
+/// consistent, live cluster.
+fn crash_point_round_trip(point: CrashPoint, mode: CommitMode) {
+    let fault = Arc::new(FaultPlan::disabled());
+    let cluster = Cluster::new_with_faults(2, quick_cfg(), fault.clone());
+    let obj = ObjectId(7);
+    let client = cluster.client(S1);
+    let tid = client.begin().unwrap();
+    client.write(&tid, S1, SRV, obj, b"fate".to_vec()).unwrap();
+    client.write(&tid, S2, SRV, obj, b"fate".to_vec()).unwrap();
+    // Arm only now, so the crash fires inside the commit protocol and
+    // not on the writes' lazy log traffic.
+    fault.arm_crash(S1, point);
+    let outcome = client.commit(&tid, mode);
+    // The site must actually have died at the armed point.
+    assert!(
+        !cluster.is_alive(S1),
+        "{point:?}/{mode:?}: coordinator should have crashed"
+    );
+    assert_eq!(cluster.faults().stats().crashes, 1);
+    cluster.restart(S1).expect("clean log recovers");
+    // Let recovery announcements, inquiries, and takeovers settle.
+    std::thread::sleep(StdDuration::from_millis(1500));
+    let v1 = cluster.committed_value(S1, SRV, obj);
+    let v2 = cluster.committed_value(S2, SRV, obj);
+    assert_eq!(
+        v1, v2,
+        "{point:?}/{mode:?}: sites disagree after recovery (client saw {outcome:?})"
+    );
+    // If the client got a definite answer before the lights went out,
+    // recovery must honour it.
+    if let Ok(camelot_net::Outcome::Committed) = outcome {
+        assert_eq!(v1, b"fate", "{point:?}/{mode:?}: committed value lost");
+    }
+    // The recovered cluster accepts and resolves new transactions.
+    let probe = client.begin().unwrap();
+    client
+        .write(&probe, S1, SRV, ObjectId(99), b"alive".to_vec())
+        .unwrap();
+    client
+        .write(&probe, S2, SRV, ObjectId(99), b"alive".to_vec())
+        .unwrap();
+    client.commit(&probe, CommitMode::TwoPhase).unwrap();
+    std::thread::sleep(StdDuration::from_millis(100));
+    assert_eq!(cluster.committed_value(S2, SRV, ObjectId(99)), b"alive");
+    cluster.shutdown();
+}
+
+#[test]
+fn crash_matrix_two_phase() {
+    for point in CrashPoint::ALL {
+        crash_point_round_trip(point, CommitMode::TwoPhase);
+    }
+}
+
+#[test]
+fn crash_matrix_nonblocking() {
+    for point in CrashPoint::ALL {
+        crash_point_round_trip(point, CommitMode::NonBlocking);
+    }
+}
+
+/// WAL corruption across a restart: a bit-flipped committed record
+/// makes `restart` return the typed corruption error and leaves the
+/// site down; restoring the pristine image heals it with no data loss.
+#[test]
+fn corrupted_wal_fails_restart_with_typed_error_then_heals() {
+    let cluster = Cluster::new(1, quick_cfg());
+    let client = cluster.client(S1);
+    let tid = client.begin().unwrap();
+    client
+        .write(&tid, S1, SRV, ObjectId(1), b"precious".to_vec())
+        .unwrap();
+    client.commit(&tid, CommitMode::TwoPhase).unwrap();
+    std::thread::sleep(StdDuration::from_millis(50));
+    cluster.crash(S1);
+    let pristine = cluster.wal_image(S1).unwrap();
+    assert!(pristine.len() > 8, "commit records should be durable");
+    // Flip one bit inside the first frame's payload (the frame header
+    // is [len][crc], 8 bytes): the frame stays complete, so the
+    // recovery scan must report corruption, not a torn tail.
+    let mut evil = pristine.clone();
+    evil[8] ^= 0x01;
+    cluster.set_wal_image(S1, &evil).unwrap();
+    let err = cluster.restart(S1).unwrap_err();
+    assert!(
+        matches!(err, CamelotError::Corruption { offset: 0 }),
+        "want Corruption at frame 0, got {err}"
+    );
+    assert!(!cluster.is_alive(S1), "site must stay down on a bad log");
+    // Restore the good image: recovery succeeds and the committed
+    // value is intact.
+    cluster.set_wal_image(S1, &pristine).unwrap();
+    cluster.restart(S1).unwrap();
+    assert!(cluster.is_alive(S1));
+    assert_eq!(cluster.committed_value(S1, SRV, ObjectId(1)), b"precious");
+    cluster.shutdown();
+}
+
+/// Duplicated and delayed (reordered) datagrams: the commit protocols
+/// must be idempotent against them — every transaction still commits
+/// and both replicas converge.
+#[test]
+fn duplicated_and_reordered_datagrams_are_harmless() {
+    // No drops: 300‰ duplicates + 300‰ delays, generous budget.
+    let fault = Arc::new(FaultPlan::new(
+        0xC0FFEE,
+        0,
+        300,
+        300,
+        StdDuration::from_millis(8),
+        1_000,
+    ));
+    let cluster = Cluster::new_with_faults(2, quick_cfg(), fault.clone());
+    let client = cluster.client(S1);
+    for i in 0..10u64 {
+        let tid = client.begin().unwrap();
+        client
+            .write(&tid, S1, SRV, ObjectId(5), vec![i as u8])
+            .unwrap();
+        client
+            .write(&tid, S2, SRV, ObjectId(5), vec![i as u8])
+            .unwrap();
+        let out = client.commit(&tid, CommitMode::TwoPhase).unwrap();
+        assert_eq!(out, camelot_net::Outcome::Committed, "txn {i}");
+    }
+    let stats = fault.stats();
+    assert!(
+        stats.duplicates + stats.delays > 0,
+        "the fault mix never fired: {stats:?}"
+    );
+    fault.heal();
+    std::thread::sleep(StdDuration::from_millis(200));
+    assert_eq!(cluster.committed_value(S1, SRV, ObjectId(5)), [9]);
+    assert_eq!(cluster.committed_value(S2, SRV, ObjectId(5)), [9]);
+    cluster.shutdown();
+}

@@ -14,7 +14,7 @@ use std::time::Duration as StdDuration;
 use camelot_core::CommitMode;
 use camelot_net::Outcome;
 use camelot_rt::{BatchPolicy, Cluster, RtConfig};
-use camelot_types::{Duration, ObjectId, ServerId, SiteId};
+use camelot_types::{CamelotError, Duration, ObjectId, ServerId, SiteId};
 
 const SRV: ServerId = ServerId(1);
 
@@ -179,6 +179,45 @@ fn window_policy_with_concurrent_checkpoints() {
         );
     }
     let cluster = Arc::try_unwrap(cluster).ok().expect("sole owner");
+    cluster.shutdown();
+}
+
+/// A blocked operation that outlives the call timeout surfaces as the
+/// typed `Timeout` error *naming the blocked transaction* — not a
+/// stringly error, and not `SiteDown` (the site is fine; the outcome
+/// is merely unknown). The application can then abort precisely the
+/// transaction the error names.
+#[test]
+fn blocked_operation_times_out_with_typed_error() {
+    let cfg = RtConfig {
+        call_timeout: StdDuration::from_millis(200),
+        ..quick_cfg()
+    };
+    let cluster = Cluster::new(1, cfg);
+    let holder = cluster.client(SiteId(1));
+    let waiter = cluster.client(SiteId(1));
+    let th = holder.begin().unwrap();
+    holder
+        .write(&th, SiteId(1), SRV, ObjectId(1), b"held".to_vec())
+        .unwrap();
+    // One-way block, no cycle: deadlock avoidance stays out of it and
+    // the waiter rides the lock queue into the call timeout.
+    let tw = waiter.begin().unwrap();
+    let err = waiter
+        .write(&tw, SiteId(1), SRV, ObjectId(1), b"blocked".to_vec())
+        .unwrap_err();
+    match err {
+        CamelotError::Timeout { tid: Some(t) } => assert_eq!(t, tw),
+        other => panic!("want Timeout naming {tw}, got {other}"),
+    }
+    // Recovery guidance encoded in the type: abort the named txn.
+    waiter.abort(&tw).unwrap();
+    holder.commit(&th, CommitMode::TwoPhase).unwrap();
+    std::thread::sleep(StdDuration::from_millis(50));
+    assert_eq!(
+        cluster.committed_value(SiteId(1), SRV, ObjectId(1)),
+        b"held"
+    );
     cluster.shutdown();
 }
 

@@ -18,6 +18,14 @@ pub enum CamelotError {
     BadState { tid: Tid, detail: &'static str },
     /// The named site is unreachable or crashed.
     SiteDown(SiteId),
+    /// A call did not complete within its deadline. Distinct from
+    /// [`CamelotError::SiteDown`]: the peer may be alive but slow, and
+    /// the outcome of the call is unknown (the transaction, if any, may
+    /// still resolve either way).
+    Timeout { tid: Option<Tid> },
+    /// Stable storage returned bytes that fail their checksum mid-log —
+    /// acknowledged data was lost, which recovery cannot paper over.
+    Corruption { offset: u64 },
     /// A lock could not be granted without violating the deadlock-
     /// avoidance policy, or the waiter timed out.
     LockTimeout,
@@ -83,6 +91,16 @@ impl fmt::Display for CamelotError {
                 write!(f, "bad state for {tid}: {detail}")
             }
             CamelotError::SiteDown(s) => write!(f, "{s} is down"),
+            CamelotError::Timeout { tid: Some(t) } => {
+                write!(f, "call for {t} timed out (outcome unknown)")
+            }
+            CamelotError::Timeout { tid: None } => write!(f, "call timed out (outcome unknown)"),
+            CamelotError::Corruption { offset } => {
+                write!(
+                    f,
+                    "stable storage corrupt at offset {offset} (checksum mismatch)"
+                )
+            }
             CamelotError::LockTimeout => write!(f, "lock wait timed out"),
             CamelotError::Log(m) => write!(f, "log error: {m}"),
             CamelotError::Codec(m) => write!(f, "codec error: {m}"),
@@ -119,8 +137,20 @@ mod tests {
             "unknown service \"bank\""
         );
         assert_eq!(
-            CamelotError::Blocked(tid).to_string(),
+            CamelotError::Blocked(tid.clone()).to_string(),
             "commitment of F1.2 is blocked"
+        );
+        assert_eq!(
+            CamelotError::Timeout { tid: Some(tid) }.to_string(),
+            "call for F1.2 timed out (outcome unknown)"
+        );
+        assert_eq!(
+            CamelotError::Timeout { tid: None }.to_string(),
+            "call timed out (outcome unknown)"
+        );
+        assert_eq!(
+            CamelotError::Corruption { offset: 24 }.to_string(),
+            "stable storage corrupt at offset 24 (checksum mismatch)"
         );
     }
 

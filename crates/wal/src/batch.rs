@@ -184,6 +184,27 @@ impl GroupCommitBatcher {
         actions
     }
 
+    /// The site hosting this log crashed: everything above the durable
+    /// watermark is gone, and the engine incarnation that issued the
+    /// uncovered requests has been torn down — no append will ever
+    /// satisfy them. Drops them, returning their ids so the driver can
+    /// discard its own bookkeeping. Without this, a pipelined driver
+    /// would restart the platter write forever against a log that can
+    /// no longer reach the requested watermark.
+    pub fn crash_abandon(&mut self) -> Vec<ReqId> {
+        let durable = self.durable;
+        let mut dropped = Vec::new();
+        self.pending.retain(|&(req, lsn)| {
+            if lsn > durable {
+                dropped.push(req);
+                false
+            } else {
+                true
+            }
+        });
+        dropped
+    }
+
     /// A previously armed timer fired. Stale epochs are ignored.
     pub fn timer_fired(&mut self, epoch: u64, now: Time) -> Vec<BatcherAction> {
         if !self.timer_armed || epoch != self.timer_epoch {

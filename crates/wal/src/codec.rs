@@ -114,9 +114,7 @@ pub fn scan(buf: &[u8]) -> Result<Vec<(u64, Vec<u8>)>> {
             }
             FrameRead::Torn => break,
             FrameRead::Corrupt => {
-                return Err(CamelotError::Log(format!(
-                    "corrupt log frame at offset {off} (checksum mismatch)"
-                )));
+                return Err(CamelotError::Corruption { offset: off as u64 });
             }
         }
     }
@@ -209,7 +207,14 @@ mod tests {
         bad[FRAME_HEADER] ^= 0xFF;
         buf.extend_from_slice(&bad);
         buf.extend_from_slice(&frame(b"after"));
-        assert!(scan(&buf).is_err());
+        let err = scan(&buf).unwrap_err();
+        let expected_off = frame(b"good").len() as u64;
+        assert_eq!(
+            err,
+            CamelotError::Corruption {
+                offset: expected_off
+            }
+        );
     }
 
     #[test]

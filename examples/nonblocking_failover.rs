@@ -82,7 +82,7 @@ fn main() {
 
     // The recovered coordinator learns the outcome from the quorum.
     println!("restarting the coordinator...");
-    cluster.restart(COORD);
+    cluster.restart(COORD).expect("recovery");
     std::thread::sleep(StdDuration::from_millis(500));
     println!("coordinator is back and consistent with the quorum");
 

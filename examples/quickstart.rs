@@ -66,7 +66,7 @@ fn main() {
     println!("crashing the site...");
     cluster.crash(site);
     println!("restarting (log scan, redo committed, undo the rest)...");
-    cluster.restart(site);
+    cluster.restart(site).expect("recovery");
     let survivor = cluster.committed_value(site, srv, ObjectId(1));
     let ghost = cluster.committed_value(site, srv, ObjectId(2));
     let kept = cluster.committed_value(site, srv, ObjectId(3));

@@ -11,16 +11,25 @@
 //!
 //! The modeled costs are paper-scale: a 5 ms platter write, a 100 µs
 //! datagram, 700 µs of TranMan CPU per input (charged under the shard
-//! lock). Run with `cargo bench --bench rt_scaling`; `QUICK=1` shrinks
-//! the sweep for CI smoke runs. Results land in
+//! lock). The sweep runs with the trace ring *enabled* — the bench
+//! doubles as the overhead test for the tracing layer — and each run
+//! reports per-phase latency percentiles (p50/p95/p99/max) off the
+//! always-on phase histograms. After the sweep, a protocol-cost audit
+//! phase runs one clean traced transaction per protocol configuration
+//! and checks its primitive counts against the paper's budget; a
+//! violation fails the bench (exit 1), which is what the CI smoke job
+//! keys off. Run with `cargo bench --bench rt_scaling`; `QUICK=1`
+//! shrinks the sweep for CI smoke runs. Results land in
 //! `BENCH_rt_scaling.json` at the workspace root.
 
 use std::sync::Arc;
 use std::time::{Duration as StdDuration, Instant};
 
-use camelot_core::CommitMode;
+use camelot_core::{CommitMode, EngineConfig, TwoPhaseVariant};
 use camelot_net::Outcome;
-use camelot_rt::{BatchPolicy, Cluster, RtConfig};
+use camelot_rt::{
+    audit_family, budget_for, AuditProtocol, BatchPolicy, Cluster, PhaseSnapshot, RtConfig,
+};
 use camelot_types::{Duration, ObjectId, ServerId, SiteId};
 
 const SITES: u32 = 2;
@@ -36,6 +45,9 @@ struct RunResult {
     platter_writes: u64,
     mean_batch: f64,
     lock_wait_ms: f64,
+    phases: PhaseSnapshot,
+    trace_events: u64,
+    trace_dropped: u64,
 }
 
 fn policy_of(name: &str) -> BatchPolicy {
@@ -58,6 +70,10 @@ fn run(policy: &'static str, tm_threads: usize, txns: u64) -> RunResult {
         lazy_flush: StdDuration::from_millis(10),
         tm_threads,
         tm_service_time: StdDuration::from_micros(700),
+        // Tracing stays ON for the whole sweep: the throughput numbers
+        // are the overhead test for the trace ring's hot path.
+        trace: true,
+        trace_capacity: 64 * 1024,
         ..RtConfig::default()
     };
     let cluster = Arc::new(Cluster::new(SITES, cfg));
@@ -98,6 +114,8 @@ fn run(policy: &'static str, tm_threads: usize, txns: u64) -> RunResult {
     let platter_writes = stats.total_platter_writes();
     let forces: u64 = stats.sites.iter().map(|s| s.forces_satisfied).sum();
     let lock_wait_ms = stats.total_lock_wait().as_secs_f64() * 1e3;
+    let trace_events = cluster.drain_trace().len() as u64;
+    let trace_dropped = cluster.trace_dropped();
     let cluster = Arc::try_unwrap(cluster).ok().expect("sole owner");
     cluster.shutdown();
     RunResult {
@@ -113,7 +131,107 @@ fn run(policy: &'static str, tm_threads: usize, txns: u64) -> RunResult {
             forces as f64 / platter_writes as f64
         },
         lock_wait_ms,
+        phases: stats.phases(),
+        trace_events,
+        trace_dropped,
     }
+}
+
+/// JSON object of p50/p95/p99/max/mean (µs) and count for every
+/// non-empty phase in `s`.
+fn phases_json(s: &PhaseSnapshot) -> String {
+    let mut parts = Vec::new();
+    for (phase, h) in s.non_empty() {
+        parts.push(format!(
+            "\"{}\": {{\"count\": {}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \
+             \"max_us\": {}, \"mean_us\": {}}}",
+            phase.name(),
+            h.count(),
+            h.percentile(50.0),
+            h.percentile(95.0),
+            h.percentile(99.0),
+            h.max_us(),
+            h.mean_us()
+        ));
+    }
+    format!("{{{}}}", parts.join(", "))
+}
+
+/// Post-sweep protocol-cost audit: one clean traced 1-subordinate
+/// transaction per protocol configuration, counts checked against the
+/// paper's budget (exact forces/lazy, datagrams in range). Returns
+/// `(name, result)` per configuration.
+fn audit_sweep() -> Vec<(&'static str, Result<String, String>)> {
+    let configs: [(AuditProtocol, EngineConfig, CommitMode, bool); 4] = [
+        (
+            AuditProtocol::TwoPhaseDelayed,
+            EngineConfig::default(),
+            CommitMode::TwoPhase,
+            true,
+        ),
+        (
+            AuditProtocol::TwoPhaseStandard,
+            EngineConfig::for_variant(TwoPhaseVariant::Unoptimized),
+            CommitMode::TwoPhase,
+            true,
+        ),
+        (
+            AuditProtocol::ReadOnly,
+            EngineConfig::default(),
+            CommitMode::TwoPhase,
+            false,
+        ),
+        (
+            AuditProtocol::NonBlocking,
+            EngineConfig::default(),
+            CommitMode::NonBlocking,
+            true,
+        ),
+    ];
+    let mut out = Vec::new();
+    for (protocol, engine, mode, write) in configs {
+        let cfg = RtConfig {
+            datagram_delay: StdDuration::from_millis(1),
+            platter_delay: StdDuration::from_millis(1),
+            engine,
+            trace: true,
+            ..RtConfig::default()
+        };
+        let cluster = Cluster::new(2, cfg);
+        let client = cluster.client(SiteId(1));
+        let tid = client.begin().expect("audit begin");
+        if write {
+            client
+                .write(&tid, SiteId(1), SRV, ObjectId(1), b"a".to_vec())
+                .expect("audit home write");
+            client
+                .write(&tid, SiteId(2), SRV, ObjectId(2), b"b".to_vec())
+                .expect("audit remote write");
+        } else {
+            client
+                .read(&tid, SiteId(1), SRV, ObjectId(1))
+                .expect("audit home read");
+            client
+                .read(&tid, SiteId(2), SRV, ObjectId(2))
+                .expect("audit remote read");
+        }
+        let outcome = client.commit(&tid, mode).expect("audit commit");
+        assert_eq!(outcome, Outcome::Committed);
+        // Let cleanup traffic (ack flush, lazy record flush) land —
+        // it is part of the audited budget.
+        std::thread::sleep(StdDuration::from_millis(400));
+        let events = cluster.drain_trace();
+        cluster.shutdown();
+        let budget = budget_for(protocol);
+        let result = audit_family(tid.family, &events, &budget).map(|c| {
+            format!(
+                "{} force(s) + {} lazy + {} datagram(s)",
+                c.forces, c.lazy_appends, c.datagrams
+            )
+        });
+        out.push((protocol.name(), result));
+    }
+    out
 }
 
 fn main() {
@@ -176,7 +294,8 @@ fn main() {
         json.push_str(&format!(
             "    {{\"policy\": \"{}\", \"tm_threads\": {}, \"commits\": {}, \"elapsed_s\": {:.3}, \
              \"commits_per_sec\": {:.1}, \"platter_writes\": {}, \"mean_batch\": {:.2}, \
-             \"lock_wait_ms\": {:.1}}}{}\n",
+             \"lock_wait_ms\": {:.1}, \"trace_events\": {}, \"trace_dropped\": {}, \
+             \"phases\": {}}}{}\n",
             r.policy,
             r.tm_threads,
             r.commits,
@@ -185,6 +304,9 @@ fn main() {
             r.platter_writes,
             r.mean_batch,
             r.lock_wait_ms,
+            r.trace_events,
+            r.trace_dropped,
+            phases_json(&r.phases),
             if i + 1 == results.len() { "" } else { "," }
         ));
     }
@@ -197,6 +319,58 @@ fn main() {
             if i + 1 == ratios.len() { "" } else { ", " }
         ));
     }
+    json.push_str("},\n");
+
+    // Cluster-wide per-phase percentiles over the whole sweep (the
+    // per-run snapshots merge associatively).
+    let mut all_phases = PhaseSnapshot::default();
+    for r in &results {
+        all_phases.merge(&r.phases);
+    }
+    json.push_str(&format!(
+        "  \"phases_overall\": {},\n",
+        phases_json(&all_phases)
+    ));
+    println!("\nper-phase latency over the whole sweep (µs):");
+    println!(
+        "{:<16} {:>8} {:>9} {:>9} {:>9} {:>10}",
+        "phase", "count", "p50", "p95", "p99", "max"
+    );
+    for (phase, h) in all_phases.non_empty() {
+        println!(
+            "{:<16} {:>8} {:>9} {:>9} {:>9} {:>10}",
+            phase.name(),
+            h.count(),
+            h.percentile(50.0),
+            h.percentile(95.0),
+            h.percentile(99.0),
+            h.max_us()
+        );
+    }
+
+    // Protocol-cost audit: the paper's force/datagram budgets, checked
+    // against a clean traced run of each configuration. A violation
+    // fails the bench so CI smoke runs catch budget drift.
+    println!("\nprotocol-cost audit (paper budgets, Tables 1-2):");
+    let audits = audit_sweep();
+    let mut violated = false;
+    json.push_str("  \"audit\": {");
+    for (i, (name, result)) in audits.iter().enumerate() {
+        match result {
+            Ok(counts) => {
+                println!("  {name}: ok ({counts})");
+                json.push_str(&format!("\"{name}\": \"ok\""));
+            }
+            Err(e) => {
+                println!("  {name}: VIOLATION: {e}");
+                json.push_str(&format!("\"{name}\": \"violation\""));
+                violated = true;
+            }
+        }
+        if i + 1 != audits.len() {
+            json.push_str(", ");
+        }
+    }
     json.push_str("}\n}\n");
 
     let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -204,4 +378,8 @@ fn main() {
         .join("BENCH_rt_scaling.json");
     std::fs::write(&out, json).expect("write BENCH_rt_scaling.json");
     println!("wrote {}", out.display());
+    if violated {
+        eprintln!("protocol-cost audit failed: see violations above");
+        std::process::exit(1);
+    }
 }

@@ -14,6 +14,12 @@
 //! pipeline, and WAL corruption across restarts. Expect roughly a
 //! couple of seconds per schedule.
 //!
+//! `--trace` (with `--rt`) writes each failing schedule's culprit
+//! timeline — the JSONL trace of the transaction families blamed by
+//! the violation, drained from the runtime's per-site trace rings —
+//! to `rt_trace_<index>.jsonl` in the working directory. CI uploads
+//! these as artifacts.
+//!
 //! Exit status is nonzero iff any schedule violated an invariant, so
 //! the binary slots straight into CI.
 
@@ -29,13 +35,14 @@ struct Opts {
     schedules: u64,
     canary: bool,
     rt: bool,
+    trace: bool,
     exhaustive: Option<u64>,
     replay: Option<Vec<u32>>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: camelot-chaos [--seed N] [--schedules K] [--canary] [--rt] \
+        "usage: camelot-chaos [--seed N] [--schedules K] [--canary] [--rt] [--trace] \
          [--exhaustive LIMIT] [--replay T0,T1,...]"
     );
     std::process::exit(2);
@@ -47,6 +54,7 @@ fn parse_args() -> Opts {
         schedules: 1000,
         canary: false,
         rt: false,
+        trace: false,
         exhaustive: None,
         replay: None,
     };
@@ -66,6 +74,7 @@ fn parse_args() -> Opts {
             "--schedules" => opts.schedules = num(&mut args),
             "--canary" => opts.canary = true,
             "--rt" => opts.rt = true,
+            "--trace" => opts.trace = true,
             "--exhaustive" => opts.exhaustive = Some(num(&mut args)),
             "--replay" => {
                 let t = args.next().unwrap_or_else(|| usage());
@@ -107,7 +116,7 @@ fn report_failure(f: &Failure) {
     );
 }
 
-fn report_rt_failure(f: &RtFailure) {
+fn report_rt_failure(f: &RtFailure, trace: bool) {
     println!(
         "rt schedule {} (seed {:#x}): {} violation(s)",
         f.index,
@@ -128,6 +137,24 @@ fn report_rt_failure(f: &RtFailure) {
         "  replay: cargo run -p camelot-chaos -- --rt --replay {}",
         format_trace(&f.shrunk)
     );
+    if trace {
+        write_culprit_trace(&format!("rt_trace_{}.jsonl", f.index), &f.result);
+    }
+}
+
+/// Writes a failing schedule's culprit timeline to `path` (JSONL, one
+/// event per line).
+fn write_culprit_trace(path: &str, result: &camelot_chaos::RtRunResult) {
+    match &result.culprit_trace {
+        Some(jsonl) => match std::fs::write(path, jsonl) {
+            Ok(()) => println!(
+                "  culprit timeline: {path} ({} event(s))",
+                jsonl.lines().count()
+            ),
+            Err(e) => eprintln!("  culprit timeline: failed to write {path}: {e}"),
+        },
+        None => println!("  culprit timeline: none captured"),
+    }
 }
 
 fn rt_main(opts: &Opts) -> ExitCode {
@@ -140,6 +167,9 @@ fn rt_main(opts: &Opts) -> ExitCode {
         }
         for v in &result.violations {
             println!("violation: {v}");
+        }
+        if opts.trace {
+            write_culprit_trace("rt_trace_replay.jsonl", &result);
         }
         return ExitCode::FAILURE;
     }
@@ -155,7 +185,7 @@ fn rt_main(opts: &Opts) -> ExitCode {
     );
     let report = rt_campaign(opts.seed, opts.schedules, opts.canary);
     for f in &report.failures {
-        report_rt_failure(f);
+        report_rt_failure(f, opts.trace);
     }
     if report.clean() {
         println!(

@@ -34,8 +34,11 @@ use std::time::Duration as StdDuration;
 
 use camelot_core::{CommitMode, CrashPoint, EngineConfig};
 use camelot_net::Outcome;
-use camelot_rt::{Cluster, FaultPlan, RtConfig};
-use camelot_types::{CamelotError, ObjectId, ServerId, SiteId, Tid};
+use camelot_rt::{
+    budget_for, count_family, to_jsonl, AuditProtocol, Cluster, FaultPlan, LinkDecision, RtConfig,
+    TraceEvent,
+};
+use camelot_types::{CamelotError, FamilyId, ObjectId, ServerId, SiteId, Tid};
 
 use crate::choice::Chooser;
 use crate::shrink;
@@ -51,6 +54,12 @@ pub struct RtRunResult {
     pub violations: Vec<String>,
     /// Human-readable description of the drawn plan.
     pub plan: String,
+    /// On violation: the JSONL timeline of the culpable transaction
+    /// families (plus site-level events), drained from the cluster's
+    /// trace rings. When no specific family could be blamed (e.g. a
+    /// corruption or progress violation), the whole timeline is
+    /// dumped. `None` on clean runs.
+    pub culprit_trace: Option<String>,
 }
 
 /// One failing real-thread schedule, minimized.
@@ -85,6 +94,9 @@ fn rt_cfg(canary: bool) -> RtConfig {
         lazy_flush: StdDuration::from_millis(20),
         call_timeout: StdDuration::from_secs(2),
         engine: EngineConfig::default(),
+        // Always on for chaos: a violation report without the
+        // timeline that led to it wastes the schedule that found it.
+        trace: true,
         ..RtConfig::default()
     };
     cfg.engine.unsafe_no_commit_force = canary;
@@ -152,10 +164,11 @@ pub fn rt_run_one(ch: &mut Chooser, canary: bool) -> RtRunResult {
     }
     // Link-fault profile. Drops are dosed with a small budget so the
     // protocols' resend machinery can finish inside the call timeout.
-    let (profile, fault) = match ch.choose(3) {
-        0 => ("clean links", FaultPlan::disabled()),
+    let link_choice = ch.choose(4);
+    let (profile, fault) = match link_choice {
+        0 => ("clean links".to_string(), FaultPlan::disabled()),
         1 => (
-            "dup+delay links",
+            "dup+delay links".to_string(),
             FaultPlan::new(
                 0xBAD_5EED ^ ch.choose(1 << 16) as u64,
                 0,
@@ -165,8 +178,8 @@ pub fn rt_run_one(ch: &mut Chooser, canary: bool) -> RtRunResult {
                 40,
             ),
         ),
-        _ => (
-            "lossy links",
+        2 => (
+            "lossy links".to_string(),
             FaultPlan::new(
                 0xD0_D0 ^ ch.choose(1 << 16) as u64,
                 150,
@@ -176,6 +189,17 @@ pub fn rt_run_one(ch: &mut Chooser, canary: bool) -> RtRunResult {
                 5,
             ),
         ),
+        _ => {
+            // Deterministic single-datagram fault: drop exactly the
+            // Nth datagram ever sent on the 1→2 link. Unlike the
+            // seeded profiles, every run of this plan hits the same
+            // logical message, so the schedule reproduces the same
+            // protocol recovery path (resend, inquiry, or abort).
+            let nth = ch.choose(6) as u64;
+            let fault = FaultPlan::disabled();
+            fault.script_fault(SiteId(1), SiteId(2), nth, LinkDecision::Drop);
+            (format!("scripted drop of datagram #{nth} on 1->2"), fault)
+        }
     };
     let victim = ch.choose(n_txns);
     let crash_mode = match ch.choose(5) {
@@ -186,6 +210,13 @@ pub fn rt_run_one(ch: &mut Chooser, canary: bool) -> RtRunResult {
         _ => CrashMode::AfterCommit,
     };
     let corrupt_wal = ch.choose(2) == 1;
+    // A plan with clean links, no crash and no corruption exercises
+    // the protocols' *cost*, not their fault recovery: committed
+    // transactions on such runs are audited against the paper's
+    // primitive budgets below (floor semantics — timer-driven retries
+    // on a loaded machine may add traffic, but a protocol that skips
+    // a budgeted durability step is always broken).
+    let clean_plan = link_choice == 0 && matches!(crash_mode, CrashMode::None) && !corrupt_wal;
     let mut plan = format!(
         "{sites} sites, {n_txns} txns, {profile}, crash={} on txn {victim}, corrupt_wal={corrupt_wal}",
         match crash_mode {
@@ -296,28 +327,46 @@ pub fn rt_run_one(ch: &mut Chooser, canary: bool) -> RtRunResult {
     std::thread::sleep(StdDuration::from_millis(1500));
 
     // ---- Invariants ----
-    for (t, out) in txns.iter().zip(&outcomes) {
+    // Families blamed by a violation; their timelines form the
+    // culprit dump. Violations that name no family dump everything.
+    let mut culprits: Vec<FamilyId> = Vec::new();
+    for (t, (tid, out)) in txns.iter().zip(tids.iter().zip(&outcomes)) {
+        let mut blame = |violation: String, culprits: &mut Vec<FamilyId>| {
+            if let Some(tid) = tid {
+                culprits.push(tid.family);
+            }
+            violations.push(violation);
+        };
         let vh = cluster.committed_value(t.home, SRV, t.obj);
         let vr = cluster.committed_value(t.remote, SRV, t.obj);
         if vh != vr {
-            violations.push(format!(
-                "agreement: {} diverged for {:?} ({vh:?} at {} vs {vr:?} at {})",
-                t.obj, out, t.home, t.remote
-            ));
+            blame(
+                format!(
+                    "agreement: {} diverged for {:?} ({vh:?} at {} vs {vr:?} at {})",
+                    t.obj, out, t.home, t.remote
+                ),
+                &mut culprits,
+            );
         }
         match out {
             Ok(Outcome::Committed) if vh != t.value => {
-                violations.push(format!(
-                    "lost-update: commit of {} returned Committed but {} holds \
-                     {vh:?} after healing",
-                    t.obj, t.home
-                ));
+                blame(
+                    format!(
+                        "lost-update: commit of {} returned Committed but {} holds \
+                         {vh:?} after healing",
+                        t.obj, t.home
+                    ),
+                    &mut culprits,
+                );
             }
             Ok(Outcome::Aborted) if vh == t.value => {
-                violations.push(format!(
-                    "app-outcome: {} returned Aborted but its value is installed",
-                    t.obj
-                ));
+                blame(
+                    format!(
+                        "app-outcome: {} returned Aborted but its value is installed",
+                        t.obj
+                    ),
+                    &mut culprits,
+                );
             }
             _ => {} // Timeout/SiteDown: outcome unknown, agreement was checked.
         }
@@ -349,12 +398,47 @@ pub fn rt_run_one(ch: &mut Chooser, canary: bool) -> RtRunResult {
             ));
         }
     }
+
+    // ---- Protocol-cost audit + culprit timeline dump ----
+    // One drain serves both: the rings are consumed exactly once.
+    let events = cluster.drain_trace();
+    if clean_plan {
+        for (t, (tid, out)) in txns.iter().zip(tids.iter().zip(&outcomes)) {
+            if let (Some(tid), Ok(Outcome::Committed)) = (tid, out) {
+                let protocol = match t.mode {
+                    // rt_cfg runs the default engine config, i.e. the
+                    // delayed-commit (Optimized) 2PC variant.
+                    CommitMode::TwoPhase => AuditProtocol::TwoPhaseDelayed,
+                    CommitMode::NonBlocking => AuditProtocol::NonBlocking,
+                };
+                let counts = count_family(tid.family, &events);
+                if let Err(e) = budget_for(protocol).check_floor(&counts) {
+                    culprits.push(tid.family);
+                    violations.push(format!("audit: {}: {e}", tid.family));
+                }
+            }
+        }
+    }
+    let culprit_trace = if violations.is_empty() {
+        None
+    } else {
+        let filtered: Vec<TraceEvent> = if culprits.is_empty() {
+            events
+        } else {
+            events
+                .into_iter()
+                .filter(|e| e.family.is_none_or(|f| culprits.contains(&f)))
+                .collect()
+        };
+        Some(to_jsonl(&filtered))
+    };
     cluster.shutdown();
 
     RtRunResult {
         trace: ch.trace.clone(),
         violations,
         plan,
+        culprit_trace,
     }
 }
 

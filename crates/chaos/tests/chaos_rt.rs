@@ -32,6 +32,10 @@ fn kill_after_commit_is_harmless_with_forced_commits() {
         result.violations,
         result.plan
     );
+    assert!(
+        result.culprit_trace.is_none(),
+        "clean runs must not dump a culprit timeline"
+    );
 }
 
 /// The same schedule against the `unsafe_no_commit_force` canary
@@ -54,6 +58,46 @@ fn kill_after_commit_catches_the_forceless_canary() {
             .any(|v| v.starts_with("lost-update:") || v.starts_with("agreement:")),
         "expected an atomicity violation, got: {:?}",
         result.violations
+    );
+    // The violation must come with the culpable family's timeline,
+    // as JSONL: the evidence for the bug report.
+    let trace = result
+        .culprit_trace
+        .as_deref()
+        .expect("violation without a culprit timeline");
+    assert!(
+        trace.lines().count() > 0
+            && trace
+                .lines()
+                .all(|l| l.starts_with('{') && l.ends_with('}')),
+        "culprit timeline is not JSONL: {trace:?}"
+    );
+    assert!(
+        trace.contains("\"family\":") && trace.contains("\"ev\":\"commit_call\""),
+        "culprit timeline lacks the victim family's commit events"
+    );
+}
+
+/// Scripted-fault schedule: 2 sites, 2 S1-coordinated 2PC
+/// transactions, and exactly datagram #1 on the 1→2 link dropped
+/// (decision 8 picks the scripted profile, decision 9 the ordinal).
+/// The protocols' resend/timeout machinery must absorb a single
+/// deterministic drop with every invariant intact.
+const SCRIPTED_DROP: &[u32] = &[0, 0, 0, 0, 0, 0, 0, 0, 3, 1, 0, 0, 0];
+
+#[test]
+fn scripted_single_drop_is_absorbed_by_the_honest_protocol() {
+    let result = rt_run_trace(SCRIPTED_DROP, false);
+    assert!(
+        result.plan.contains("scripted drop of datagram #1"),
+        "trace decoded to the wrong plan: {}",
+        result.plan
+    );
+    assert!(
+        result.violations.is_empty(),
+        "scripted drop violated: {:?} (plan: {})",
+        result.violations,
+        result.plan
     );
 }
 

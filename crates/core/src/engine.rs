@@ -8,6 +8,7 @@
 use std::collections::HashMap;
 
 use camelot_net::{Outcome, TmMessage, Vote};
+use camelot_obs::{TraceEventKind, Tracer};
 use camelot_types::{AbortReason, Duration, FamilyId, ServerId, SiteId, Tid, Time};
 use camelot_wal::LogRecord;
 
@@ -30,6 +31,51 @@ pub(crate) enum ForcePurpose {
     NbSubAbortJoin(FamilyId),
     TkCommit(FamilyId),
     TkAbortJoin(FamilyId),
+}
+
+impl ForcePurpose {
+    pub(crate) fn family(&self) -> FamilyId {
+        match self {
+            ForcePurpose::CoordCommit(f)
+            | ForcePurpose::SubPrepared(f)
+            | ForcePurpose::SubCommit(f)
+            | ForcePurpose::SubCommitLazy(f)
+            | ForcePurpose::NbBegin(f)
+            | ForcePurpose::NbSubPrepared(f)
+            | ForcePurpose::NbSubReplicate(f)
+            | ForcePurpose::NbCoordCommit(f)
+            | ForcePurpose::NbSubOutcomeLazy(f)
+            | ForcePurpose::NbSubAbortJoin(f)
+            | ForcePurpose::TkCommit(f)
+            | ForcePurpose::TkAbortJoin(f) => *f,
+        }
+    }
+
+    /// True for append-without-force purposes — the delayed-commit
+    /// optimization's lazy records.
+    pub(crate) fn is_lazy(&self) -> bool {
+        matches!(
+            self,
+            ForcePurpose::SubCommitLazy(_) | ForcePurpose::NbSubOutcomeLazy(_)
+        )
+    }
+
+    pub(crate) fn name(&self) -> &'static str {
+        match self {
+            ForcePurpose::CoordCommit(_) => "CoordCommit",
+            ForcePurpose::SubPrepared(_) => "SubPrepared",
+            ForcePurpose::SubCommit(_) => "SubCommit",
+            ForcePurpose::SubCommitLazy(_) => "SubCommitLazy",
+            ForcePurpose::NbBegin(_) => "NbBegin",
+            ForcePurpose::NbSubPrepared(_) => "NbSubPrepared",
+            ForcePurpose::NbSubReplicate(_) => "NbSubReplicate",
+            ForcePurpose::NbCoordCommit(_) => "NbCoordCommit",
+            ForcePurpose::NbSubOutcomeLazy(_) => "NbSubOutcomeLazy",
+            ForcePurpose::NbSubAbortJoin(_) => "NbSubAbortJoin",
+            ForcePurpose::TkCommit(_) => "TkCommit",
+            ForcePurpose::TkAbortJoin(_) => "TkAbortJoin",
+        }
+    }
 }
 
 /// Why a timer was set; routes the firing input.
@@ -78,6 +124,14 @@ pub struct EngineStats {
     pub takeovers: u64,
     /// Times a takeover found itself blocked.
     pub blocked: u64,
+}
+
+/// Stable outcome name for trace events.
+pub(crate) fn outcome_name(outcome: Outcome) -> &'static str {
+    match outcome {
+        Outcome::Committed => "Committed",
+        Outcome::Aborted => "Aborted",
+    }
 }
 
 /// Which of `of` engine shards owns `family` at `site`.
@@ -139,6 +193,9 @@ pub struct Engine {
     /// real system drop these).
     pub(crate) resolutions: HashMap<FamilyId, Outcome>,
     pub(crate) stats: EngineStats,
+    /// Trace emission handle; disabled (no-op) unless the runtime
+    /// attaches a ring via [`Engine::set_tracer`].
+    pub(crate) tracer: Tracer,
 }
 
 impl Engine {
@@ -168,7 +225,14 @@ impl Engine {
             ack_flush_timer: HashMap::new(),
             resolutions: HashMap::new(),
             stats: EngineStats::default(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches a trace ring: every protocol step this engine takes is
+    /// recorded into it from now on. The default tracer is a no-op.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// This engine's site.
@@ -226,6 +290,13 @@ impl Engine {
     pub(crate) fn alloc_force(&mut self, p: ForcePurpose) -> ForceToken {
         let t = ForceToken(self.next_token);
         self.next_token += self.shard_stride;
+        self.tracer.family(
+            p.family(),
+            TraceEventKind::LogEnqueue {
+                purpose: p.name(),
+                lazy: p.is_lazy(),
+            },
+        );
         self.forces.insert(t, p);
         t
     }
@@ -250,6 +321,23 @@ impl Engine {
         let piggyback = self.pending_acks.remove(&to).unwrap_or_default();
         self.stats.datagrams += 1;
         self.stats.piggybacked += piggyback.len() as u64;
+        self.tracer.family(
+            msg.tid().family,
+            TraceEventKind::DatagramSend {
+                to,
+                msg: msg.kind_name(),
+                piggyback: piggyback.len() as u32,
+            },
+        );
+        for rider in &piggyback {
+            self.tracer.family(
+                rider.tid().family,
+                TraceEventKind::Piggybacked {
+                    to,
+                    msg: rider.kind_name(),
+                },
+            );
+        }
         out.push(Action::Send { to, msg, piggyback });
     }
 
@@ -264,6 +352,16 @@ impl Engine {
             return;
         }
         self.stats.datagrams += to.len() as u64;
+        for dest in &to {
+            self.tracer.family(
+                msg.tid().family,
+                TraceEventKind::DatagramSend {
+                    to: *dest,
+                    msg: msg.kind_name(),
+                    piggyback: 0,
+                },
+            );
+        }
         out.push(Action::Broadcast { to, msg });
     }
 
@@ -334,6 +432,12 @@ impl Engine {
             Outcome::Committed => self.stats.commits += 1,
             Outcome::Aborted => self.stats.aborts += 1,
         }
+        self.tracer.family(
+            id,
+            TraceEventKind::Decision {
+                outcome: outcome_name(outcome),
+            },
+        );
         self.resolutions.insert(id, outcome);
     }
 
@@ -355,10 +459,23 @@ impl Engine {
                 tid,
                 mode,
                 participants,
-            } => match mode {
-                CommitMode::TwoPhase => self.commit_2pc(&mut out, req, tid, participants, now),
-                CommitMode::NonBlocking => self.commit_nb(&mut out, req, tid, participants, now),
-            },
+            } => {
+                self.tracer.family(
+                    tid.family,
+                    TraceEventKind::CommitCall {
+                        mode: match mode {
+                            CommitMode::TwoPhase => "2pc",
+                            CommitMode::NonBlocking => "nb",
+                        },
+                    },
+                );
+                match mode {
+                    CommitMode::TwoPhase => self.commit_2pc(&mut out, req, tid, participants, now),
+                    CommitMode::NonBlocking => {
+                        self.commit_nb(&mut out, req, tid, participants, now)
+                    }
+                }
+            }
             Input::CommitNested {
                 req,
                 tid,
@@ -396,6 +513,7 @@ impl Engine {
         let tid = fam.top_tid();
         self.families.insert(id, fam);
         self.stats.begins += 1;
+        self.tracer.family(id, TraceEventKind::Begin);
         out.push(Action::Began { req, tid });
     }
 
@@ -419,6 +537,8 @@ impl Engine {
         match fam.alloc_child(&parent) {
             Some(tid) => {
                 self.stats.nested_begins += 1;
+                self.tracer
+                    .family(parent.family, TraceEventKind::BeginNested);
                 out.push(Action::Began { req, tid });
             }
             None => out.push(Action::Rejected {
@@ -436,6 +556,8 @@ impl Engine {
             .or_insert_with(|| Family::new(tid.family));
         fam.ensure_txn(&tid);
         if fam.servers.insert(server) {
+            self.tracer
+                .family(tid.family, TraceEventKind::Join { server });
             out.push(Action::Append {
                 rec: LogRecord::ServerJoin {
                     tid: tid.clone(),
@@ -627,6 +749,17 @@ impl Engine {
         let Some(fam) = self.families.get(&tid.family) else {
             return;
         };
+        self.tracer.family(
+            tid.family,
+            TraceEventKind::ServerVote {
+                server,
+                vote: match vote {
+                    Vote::Yes => "Yes",
+                    Vote::No => "No",
+                    Vote::ReadOnly => "ReadOnly",
+                },
+            },
+        );
         match &fam.role {
             Role::Coord2pc(_) => self.coord2pc_server_vote(out, tid, server, vote, now),
             Role::Sub2pc(_) => self.sub2pc_server_vote(out, tid, server, vote, now),
@@ -637,6 +770,13 @@ impl Engine {
     }
 
     fn on_datagram(&mut self, out: &mut Vec<Action>, from: SiteId, msg: TmMessage, now: Time) {
+        self.tracer.family(
+            msg.tid().family,
+            TraceEventKind::DatagramRecv {
+                from,
+                msg: msg.kind_name(),
+            },
+        );
         match msg {
             // Two-phase commit.
             TmMessage::Prepare { tid, coordinator } => {
@@ -743,6 +883,8 @@ impl Engine {
         // Ref [7]: forward the abort along this site's own outgoing
         // calls — the initiator may not know the full participant set.
         out.push(Action::RelayAbort { tid });
+        self.tracer
+            .family(family, TraceEventKind::Decision { outcome: "Aborted" });
         self.resolutions.insert(family, Outcome::Aborted);
         self.forget_family(&family);
     }
@@ -755,6 +897,13 @@ impl Engine {
         let Some(purpose) = self.forces.remove(&token) else {
             return;
         };
+        self.tracer.family(
+            purpose.family(),
+            TraceEventKind::LogDurable {
+                purpose: purpose.name(),
+                lazy: purpose.is_lazy(),
+            },
+        );
         match purpose {
             ForcePurpose::CoordCommit(f) => self.coord2pc_commit_forced(out, f, now),
             ForcePurpose::SubPrepared(f) => self.sub2pc_prepared_forced(out, f, now),
@@ -822,6 +971,23 @@ impl Engine {
                         let first = msgs.remove(0);
                         self.stats.datagrams += 1;
                         self.stats.piggybacked += msgs.len() as u64;
+                        self.tracer.family(
+                            first.tid().family,
+                            TraceEventKind::DatagramSend {
+                                to: site,
+                                msg: first.kind_name(),
+                                piggyback: msgs.len() as u32,
+                            },
+                        );
+                        for rider in &msgs {
+                            self.tracer.family(
+                                rider.tid().family,
+                                TraceEventKind::Piggybacked {
+                                    to: site,
+                                    msg: rider.kind_name(),
+                                },
+                            );
+                        }
                         out.push(Action::Send {
                             to: site,
                             msg: first,

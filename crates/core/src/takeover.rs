@@ -81,6 +81,8 @@ impl Engine {
     /// (Re)starts the status-gathering round of a takeover.
     pub(crate) fn begin_gathering(&mut self, out: &mut Vec<Action>, family: FamilyId, _now: Time) {
         self.stats.takeovers += 1;
+        self.tracer
+            .family(family, camelot_obs::TraceEventKind::TakeoverStart);
         let Some(fam) = self.families.get_mut(&family) else {
             return;
         };
@@ -362,6 +364,8 @@ impl Engine {
     /// long-dead quorum is probed ever more gently.
     fn takeover_blocked(&mut self, out: &mut Vec<Action>, family: FamilyId) {
         self.stats.blocked += 1;
+        self.tracer
+            .family(family, camelot_obs::TraceEventKind::TakeoverBlocked);
         let timer = self.alloc_timer(TimerPurpose::TakeoverRetry(family));
         let Some(fam) = self.families.get_mut(&family) else {
             return;

@@ -162,4 +162,69 @@ mod tests {
             tp.datagrams
         );
     }
+
+    /// Oracle for the protocol-cost auditor: `camelot_obs::budget_for`
+    /// must agree with the deterministic-sim measurement for every
+    /// protocol configuration it knows. If either accounting changes,
+    /// this pins the drift.
+    #[test]
+    fn auditor_budgets_match_the_measured_counts() {
+        use camelot_obs::{budget_for, AuditProtocol};
+        let configs = [
+            (
+                AuditProtocol::TwoPhaseDelayed,
+                CommitMode::TwoPhase,
+                TwoPhaseVariant::Optimized,
+                true,
+            ),
+            (
+                AuditProtocol::TwoPhaseStandard,
+                CommitMode::TwoPhase,
+                TwoPhaseVariant::Unoptimized,
+                true,
+            ),
+            (
+                AuditProtocol::ReadOnly,
+                CommitMode::TwoPhase,
+                TwoPhaseVariant::Optimized,
+                false,
+            ),
+            (
+                AuditProtocol::NonBlocking,
+                CommitMode::NonBlocking,
+                TwoPhaseVariant::Optimized,
+                true,
+            ),
+            (
+                AuditProtocol::NonBlockingRead,
+                CommitMode::NonBlocking,
+                TwoPhaseVariant::Optimized,
+                false,
+            ),
+        ];
+        for (protocol, mode, variant, write) in configs {
+            let budget = budget_for(protocol);
+            let c = measure(mode, variant, write);
+            assert_eq!(
+                c.forces,
+                budget.forces,
+                "[{}] measured forces drifted from the audited budget",
+                protocol.name()
+            );
+            assert_eq!(
+                c.lazy_appends,
+                budget.lazy_appends,
+                "[{}] measured lazy appends drifted from the audited budget",
+                protocol.name()
+            );
+            assert!(
+                (budget.datagrams_min..=budget.datagrams_max).contains(&c.datagrams),
+                "[{}] measured {} datagrams outside the audited budget {}..={}",
+                protocol.name(),
+                c.datagrams,
+                budget.datagrams_min,
+                budget.datagrams_max
+            );
+        }
+    }
 }

@@ -185,6 +185,31 @@ impl TmMessage {
         }
     }
 
+    /// The message's wire-protocol name (trace events, diagnostics).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            TmMessage::Prepare { .. } => "Prepare",
+            TmMessage::VoteMsg { .. } => "VoteMsg",
+            TmMessage::Commit { .. } => "Commit",
+            TmMessage::Abort { .. } => "Abort",
+            TmMessage::CommitAck { .. } => "CommitAck",
+            TmMessage::Inquire { .. } => "Inquire",
+            TmMessage::InquireResp { .. } => "InquireResp",
+            TmMessage::NbPrepare { .. } => "NbPrepare",
+            TmMessage::NbVote { .. } => "NbVote",
+            TmMessage::NbReplicate { .. } => "NbReplicate",
+            TmMessage::NbReplicateAck { .. } => "NbReplicateAck",
+            TmMessage::NbOutcome { .. } => "NbOutcome",
+            TmMessage::NbOutcomeAck { .. } => "NbOutcomeAck",
+            TmMessage::NbStatusReq { .. } => "NbStatusReq",
+            TmMessage::NbStatus { .. } => "NbStatus",
+            TmMessage::NbAbortJoinReq { .. } => "NbAbortJoinReq",
+            TmMessage::NbAbortJoinResp { .. } => "NbAbortJoinResp",
+            TmMessage::NbForget { .. } => "NbForget",
+            TmMessage::SubResolved { .. } => "SubResolved",
+        }
+    }
+
     /// True for acknowledgement-class messages that are off the
     /// critical path and therefore eligible for piggybacking / message
     /// batching (§4.2: "Camelot batches only those messages that are

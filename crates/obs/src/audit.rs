@@ -1,0 +1,317 @@
+//! The protocol-cost auditor.
+//!
+//! The paper states each commitment protocol's cost in critical-path
+//! primitives (Tables 1–2): delayed-commit 2PC resolves an update in
+//! two log forces plus one lazy commit record and three datagrams
+//! (the ack piggybacks); standard 2PC pays the third force back and
+//! sends the ack alone; a read-only transaction writes no log record
+//! at all; non-blocking commitment costs four forces and five
+//! critical-path messages plus acknowledgement/forget traffic. The
+//! auditor replays a completed family's trace timeline, counts those
+//! primitives, and checks them against the predicted [`Budget`] —
+//! turning the tables into a continuously checked invariant.
+//!
+//! Force and lazy-append budgets are exact: the protocols are
+//! deterministic in how many records they write for a fixed topology.
+//! Datagram budgets are a `[min, max]` range because cleanup traffic
+//! off the critical path (piggybacked vs. flushed acknowledgements,
+//! forget notes) legitimately varies with timing.
+//!
+//! Budgets assume the minimal measured topology — one coordinator and
+//! one subordinate site (`harness::counts::measure`'s shape). The
+//! harness tests pin `budget_for` against `measure` so the two
+//! accountings can never drift apart silently.
+
+use camelot_types::FamilyId;
+
+use crate::trace::{TraceEvent, TraceEventKind};
+
+/// The protocol configuration a transaction family committed under,
+/// as the auditor distinguishes them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuditProtocol {
+    /// Two-phase commitment without the delayed-commit optimization
+    /// (`TwoPhaseVariant::Unoptimized`), update transaction.
+    TwoPhaseStandard,
+    /// Two-phase commitment with delayed commit
+    /// (`TwoPhaseVariant::Optimized`), update transaction.
+    TwoPhaseDelayed,
+    /// Read-only transaction under two-phase commitment: the
+    /// read-only optimization elides every log write.
+    ReadOnly,
+    /// Non-blocking commitment, update transaction.
+    NonBlocking,
+    /// Read-only transaction under non-blocking commitment (one
+    /// off-critical-path begin force).
+    NonBlockingRead,
+}
+
+impl AuditProtocol {
+    pub fn name(self) -> &'static str {
+        match self {
+            AuditProtocol::TwoPhaseStandard => "2pc_standard",
+            AuditProtocol::TwoPhaseDelayed => "2pc_delayed",
+            AuditProtocol::ReadOnly => "read_only",
+            AuditProtocol::NonBlocking => "non_blocking",
+            AuditProtocol::NonBlockingRead => "non_blocking_read",
+        }
+    }
+}
+
+/// Predicted primitive counts for one family under a protocol
+/// configuration (1 coordinator + 1 subordinate topology).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Budget {
+    pub protocol: AuditProtocol,
+    /// Synchronous log forces, exact.
+    pub forces: u64,
+    /// Lazy (non-forced) appends, exact — each one a force the
+    /// delayed-commit optimization avoided.
+    pub lazy_appends: u64,
+    /// Datagrams including unavoidable cleanup, `[min, max]`.
+    pub datagrams_min: u64,
+    pub datagrams_max: u64,
+}
+
+/// The paper's cost table as budgets. Values match
+/// `camelot_harness::counts::measure` for the same configuration
+/// (asserted by the harness oracle tests).
+pub fn budget_for(protocol: AuditProtocol) -> Budget {
+    let (forces, lazy_appends, datagrams_min, datagrams_max) = match protocol {
+        // Coordinator commit force + subordinate prepare force; the
+        // subordinate commit record is lazy. Prepare, vote, commit on
+        // the wire; the ack piggybacks when traffic allows, else one
+        // flush datagram.
+        AuditProtocol::TwoPhaseDelayed => (2, 1, 3, 4),
+        // The optimization's saved force comes back as a forced
+        // subordinate commit record, and the ack goes out alone.
+        AuditProtocol::TwoPhaseStandard => (3, 0, 4, 4),
+        // Read-only: no log writes anywhere; prepare + read-only vote.
+        AuditProtocol::ReadOnly => (0, 0, 2, 2),
+        // Begin + subordinate prepared + replicate + coordinator
+        // commit forces; outcome record at the subordinate is lazy.
+        // Prepare, vote, replicate, replicate-ack, outcome on the
+        // critical path, plus outcome-ack and forget cleanup.
+        AuditProtocol::NonBlocking => (4, 1, 5, 7),
+        // Only the coordinator's off-critical-path begin force.
+        AuditProtocol::NonBlockingRead => (1, 0, 2, 3),
+    };
+    Budget {
+        protocol,
+        forces,
+        lazy_appends,
+        datagrams_min,
+        datagrams_max,
+    }
+}
+
+/// Primitive counts extracted from one family's timeline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AuditCounts {
+    pub forces: u64,
+    pub lazy_appends: u64,
+    pub datagrams: u64,
+}
+
+/// Counts the critical-path primitives `family` consumed across a
+/// (cluster-wide) timeline.
+pub fn count_family(family: FamilyId, events: &[TraceEvent]) -> AuditCounts {
+    let mut c = AuditCounts::default();
+    for e in events.iter().filter(|e| e.family == Some(family)) {
+        match e.kind {
+            TraceEventKind::LogEnqueue { lazy: false, .. } => c.forces += 1,
+            TraceEventKind::LogEnqueue { lazy: true, .. } => c.lazy_appends += 1,
+            TraceEventKind::DatagramSend { .. } => c.datagrams += 1,
+            _ => {}
+        }
+    }
+    c
+}
+
+impl Budget {
+    /// Full check: forces and lazy appends exact, datagrams within
+    /// `[min, max]`. For controlled single-transaction runs.
+    pub fn check(&self, c: &AuditCounts) -> Result<(), String> {
+        if c.forces != self.forces {
+            return Err(self.violation("forces", c.forces, &self.forces.to_string()));
+        }
+        if c.lazy_appends != self.lazy_appends {
+            return Err(self.violation(
+                "lazy appends",
+                c.lazy_appends,
+                &self.lazy_appends.to_string(),
+            ));
+        }
+        if c.datagrams < self.datagrams_min || c.datagrams > self.datagrams_max {
+            return Err(self.violation(
+                "datagrams",
+                c.datagrams,
+                &format!("{}..={}", self.datagrams_min, self.datagrams_max),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Floor check: at least the budgeted forces, lazy appends and
+    /// minimum datagrams. For chaos runs on loaded machines, where
+    /// timer-driven retries can legitimately add traffic but a
+    /// protocol that *skips* a budgeted durability or message step is
+    /// always broken (the `unsafe_no_commit_force` canary's exact
+    /// failure shape).
+    pub fn check_floor(&self, c: &AuditCounts) -> Result<(), String> {
+        if c.forces < self.forces {
+            return Err(self.violation("forces", c.forces, &format!(">={}", self.forces)));
+        }
+        if c.lazy_appends < self.lazy_appends {
+            return Err(self.violation(
+                "lazy appends",
+                c.lazy_appends,
+                &format!(">={}", self.lazy_appends),
+            ));
+        }
+        if c.datagrams < self.datagrams_min {
+            return Err(self.violation(
+                "datagrams",
+                c.datagrams,
+                &format!(">={}", self.datagrams_min),
+            ));
+        }
+        Ok(())
+    }
+
+    fn violation(&self, what: &str, got: u64, want: &str) -> String {
+        format!(
+            "protocol-cost audit [{}]: {} = {}, budget {}",
+            self.protocol.name(),
+            what,
+            got,
+            want
+        )
+    }
+}
+
+/// Audits one family's timeline against `budget` (full check),
+/// returning the measured counts on success.
+pub fn audit_family(
+    family: FamilyId,
+    events: &[TraceEvent],
+    budget: &Budget,
+) -> Result<AuditCounts, String> {
+    let c = count_family(family, events);
+    budget
+        .check(&c)
+        .map_err(|e| format!("{family}: {e}"))
+        .map(|()| c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camelot_types::SiteId;
+
+    fn ev(family: FamilyId, kind: TraceEventKind) -> TraceEvent {
+        TraceEvent {
+            seq: 0,
+            site: SiteId(1),
+            at_us: 0,
+            family: Some(family),
+            kind,
+        }
+    }
+
+    fn fam(seq: u64) -> FamilyId {
+        FamilyId {
+            origin: SiteId(1),
+            seq,
+        }
+    }
+
+    #[test]
+    fn counts_only_the_named_family() {
+        let f = fam(1);
+        let other = fam(2);
+        let events = vec![
+            ev(
+                f,
+                TraceEventKind::LogEnqueue {
+                    purpose: "CoordCommit",
+                    lazy: false,
+                },
+            ),
+            ev(
+                f,
+                TraceEventKind::LogEnqueue {
+                    purpose: "SubCommitLazy",
+                    lazy: true,
+                },
+            ),
+            ev(
+                other,
+                TraceEventKind::LogEnqueue {
+                    purpose: "CoordCommit",
+                    lazy: false,
+                },
+            ),
+            ev(
+                f,
+                TraceEventKind::DatagramSend {
+                    to: SiteId(2),
+                    msg: "Prepare",
+                    piggyback: 0,
+                },
+            ),
+            ev(
+                f,
+                TraceEventKind::LogDurable {
+                    purpose: "CoordCommit",
+                    lazy: false,
+                },
+            ),
+        ];
+        let c = count_family(f, &events);
+        assert_eq!(
+            c,
+            AuditCounts {
+                forces: 1,
+                lazy_appends: 1,
+                datagrams: 1
+            }
+        );
+    }
+
+    #[test]
+    fn full_check_rejects_excess_and_missing_primitives() {
+        let b = budget_for(AuditProtocol::TwoPhaseDelayed);
+        let ok = AuditCounts {
+            forces: 2,
+            lazy_appends: 1,
+            datagrams: 4,
+        };
+        assert!(b.check(&ok).is_ok());
+        let missing_force = AuditCounts { forces: 1, ..ok };
+        assert!(b.check(&missing_force).unwrap_err().contains("forces"));
+        let extra_force = AuditCounts { forces: 3, ..ok };
+        assert!(b.check(&extra_force).is_err());
+        let chatty = AuditCounts { datagrams: 5, ..ok };
+        assert!(b.check(&chatty).unwrap_err().contains("datagrams"));
+    }
+
+    #[test]
+    fn floor_check_tolerates_retries_but_not_skipped_steps() {
+        let b = budget_for(AuditProtocol::NonBlocking);
+        let retried = AuditCounts {
+            forces: 4,
+            lazy_appends: 1,
+            datagrams: 11,
+        };
+        assert!(b.check_floor(&retried).is_ok(), "extra traffic tolerated");
+        // The unsafe_no_commit_force canary shape: a budgeted force
+        // never happened.
+        let skipped = AuditCounts {
+            forces: 3,
+            lazy_appends: 1,
+            datagrams: 11,
+        };
+        assert!(b.check_floor(&skipped).is_err());
+    }
+}

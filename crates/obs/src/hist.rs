@@ -1,0 +1,330 @@
+//! Fixed-bucket latency histograms per commit phase.
+//!
+//! Buckets are powers of two of microseconds: bucket 0 holds exact
+//! zeros, bucket `k` (k ≥ 1) holds `[2^(k-1), 2^k)` µs. Because the
+//! bucket layout is fixed and position-indexed, histograms recorded at
+//! different sites (or in different runs) merge by element-wise
+//! addition — merging is associative and commutative, so cluster-wide
+//! percentiles are exact over the merged counts regardless of merge
+//! order. Percentile reads return the upper bound of the bucket the
+//! rank falls in (clamped to the observed maximum), so a reported p99
+//! never understates the true p99 by more than one bucket width.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration as StdDuration;
+
+/// Number of buckets; bucket 39 is open-ended above ~2^38 µs (≈ 76 h).
+pub const BUCKETS: usize = 40;
+
+fn bucket_of(us: u64) -> usize {
+    if us == 0 {
+        0
+    } else {
+        (64 - us.leading_zeros() as usize).min(BUCKETS - 1)
+    }
+}
+
+/// Inclusive-exclusive `[lo, hi)` bounds of bucket `i` in µs (the top
+/// bucket's `hi` is `u64::MAX`).
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    assert!(i < BUCKETS);
+    match i {
+        0 => (0, 1),
+        _ if i == BUCKETS - 1 => (1 << (i - 1), u64::MAX),
+        _ => (1 << (i - 1), 1 << i),
+    }
+}
+
+/// Write side: relaxed atomics only, safe to hammer from every
+/// runtime thread.
+pub struct AtomicHistogram {
+    counts: [AtomicU64; BUCKETS],
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        AtomicHistogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl AtomicHistogram {
+    pub fn record_us(&self, us: u64) {
+        self.counts[bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    pub fn record(&self, d: StdDuration) {
+        self.record_us(d.as_micros() as u64);
+    }
+
+    /// A plain mergeable copy of the current counts.
+    pub fn snapshot(&self) -> Histogram {
+        Histogram {
+            counts: std::array::from_fn(|i| self.counts[i].load(Ordering::Relaxed)),
+            sum_us: self.sum_us.load(Ordering::Relaxed),
+            max_us: self.max_us.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Read side: a plain snapshot. Merge snapshots from many sites, then
+/// read percentiles off the combined counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    sum_us: u64,
+    max_us: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: [0; BUCKETS],
+            sum_us: 0,
+            max_us: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Element-wise addition; associative and commutative.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.sum_us += other.sum_us;
+        self.max_us = self.max_us.max(other.max_us);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    pub fn max_us(&self) -> u64 {
+        self.max_us
+    }
+
+    pub fn mean_us(&self) -> u64 {
+        self.sum_us.checked_div(self.count()).unwrap_or(0)
+    }
+
+    /// Latency at percentile `p` (0 < p ≤ 100) in µs: the upper bound
+    /// of the bucket containing that rank, clamped to the observed
+    /// maximum. Returns 0 for an empty histogram.
+    pub fn percentile(&self, p: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * n as f64).ceil().max(1.0) as u64;
+        let mut cum = 0;
+        for (i, c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                let (_, hi) = bucket_bounds(i);
+                return hi.saturating_sub(1).min(self.max_us);
+            }
+        }
+        self.max_us
+    }
+}
+
+/// The commit phases the runtime times. Client-visible call phases
+/// (begin / operation / commit) reproduce the paper's Table 3 latency
+/// breakdown; the pipeline phases (force wait, platter write, shard
+/// lock wait) attribute where inside the TranMan that time went.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Phase {
+    /// `begin_transaction` call, client-observed.
+    BeginCall,
+    /// One read/write server operation, client-observed (includes lock
+    /// acquisition at the owning server).
+    OpCall,
+    /// Top-level commit under two-phase commitment, client-observed.
+    Commit2pc,
+    /// Top-level commit under non-blocking commitment,
+    /// client-observed.
+    CommitNb,
+    /// Force enqueue → batcher reports it durable (group-commit
+    /// residence, paper §3.5).
+    ForceWait,
+    /// One platter write in the pipelined disk thread.
+    PlatterWrite,
+    /// Wait to acquire an engine shard's lock in a TranMan worker.
+    ShardLockWait,
+}
+
+impl Phase {
+    pub const ALL: [Phase; 7] = [
+        Phase::BeginCall,
+        Phase::OpCall,
+        Phase::Commit2pc,
+        Phase::CommitNb,
+        Phase::ForceWait,
+        Phase::PlatterWrite,
+        Phase::ShardLockWait,
+    ];
+
+    /// Stable snake_case name (JSON keys, bench output).
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::BeginCall => "begin_call",
+            Phase::OpCall => "op_call",
+            Phase::Commit2pc => "commit_2pc",
+            Phase::CommitNb => "commit_nb",
+            Phase::ForceWait => "force_wait",
+            Phase::PlatterWrite => "platter_write",
+            Phase::ShardLockWait => "shard_lock_wait",
+        }
+    }
+
+    fn index(self) -> usize {
+        Phase::ALL.iter().position(|p| *p == self).unwrap()
+    }
+}
+
+/// One atomic histogram per [`Phase`]; lives in each site's shared
+/// state.
+#[derive(Default)]
+pub struct PhaseHistograms {
+    hists: [AtomicHistogram; 7],
+}
+
+impl PhaseHistograms {
+    pub fn record_us(&self, phase: Phase, us: u64) {
+        self.hists[phase.index()].record_us(us);
+    }
+
+    pub fn record(&self, phase: Phase, d: StdDuration) {
+        self.hists[phase.index()].record(d);
+    }
+
+    pub fn snapshot(&self) -> PhaseSnapshot {
+        PhaseSnapshot {
+            hists: std::array::from_fn(|i| self.hists[i].snapshot()),
+        }
+    }
+}
+
+/// Plain per-phase snapshot; merges element-wise like [`Histogram`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseSnapshot {
+    hists: [Histogram; 7],
+}
+
+impl PhaseSnapshot {
+    pub fn get(&self, phase: Phase) -> &Histogram {
+        &self.hists[phase.index()]
+    }
+
+    pub fn merge(&mut self, other: &PhaseSnapshot) {
+        for (a, b) in self.hists.iter_mut().zip(other.hists.iter()) {
+            a.merge(b);
+        }
+    }
+
+    /// Phases with at least one sample, in declaration order.
+    pub fn non_empty(&self) -> impl Iterator<Item = (Phase, &Histogram)> {
+        Phase::ALL
+            .iter()
+            .map(|p| (*p, self.get(*p)))
+            .filter(|(_, h)| !h.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        for i in 1..BUCKETS - 1 {
+            let (lo, hi) = bucket_bounds(i);
+            // Every boundary value lands where the bounds claim.
+            assert_eq!(bucket_of(lo), i);
+            assert_eq!(bucket_of(hi - 1), i);
+            assert_eq!(bucket_of(hi), i + 1);
+        }
+    }
+
+    #[test]
+    fn percentiles_bound_the_true_value() {
+        let h = AtomicHistogram::default();
+        for us in 1..=1000u64 {
+            h.record_us(us);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1000);
+        assert_eq!(s.max_us(), 1000);
+        // True p50 = 500; bucket [512,1024) upper bound clamps to max.
+        let p50 = s.percentile(50.0);
+        assert!((500..=1000).contains(&p50), "p50 {p50}");
+        assert!(s.percentile(99.0) >= 990);
+        assert_eq!(s.percentile(100.0), 1000);
+        assert!(s.mean_us() >= 499 && s.mean_us() <= 501);
+    }
+
+    #[test]
+    fn merge_is_associative_and_order_insensitive() {
+        let mk = |vals: &[u64]| {
+            let h = AtomicHistogram::default();
+            for v in vals {
+                h.record_us(*v);
+            }
+            h.snapshot()
+        };
+        let a = mk(&[1, 5, 9000]);
+        let b = mk(&[2, 2, 700]);
+        let c = mk(&[0, 123_456]);
+        // (a+b)+c == a+(b+c)
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ab_c = ab.clone();
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc);
+        // and equals recording everything into one histogram.
+        let all = mk(&[1, 5, 9000, 2, 2, 700, 0, 123_456]);
+        assert_eq!(ab_c, all);
+        assert_eq!(ab_c.count(), 8);
+        assert_eq!(ab_c.max_us(), 123_456);
+    }
+
+    #[test]
+    fn phase_snapshot_merges_per_phase() {
+        let a = PhaseHistograms::default();
+        a.record_us(Phase::Commit2pc, 100);
+        a.record_us(Phase::ForceWait, 10);
+        let b = PhaseHistograms::default();
+        b.record_us(Phase::Commit2pc, 200);
+        let mut s = a.snapshot();
+        s.merge(&b.snapshot());
+        assert_eq!(s.get(Phase::Commit2pc).count(), 2);
+        assert_eq!(s.get(Phase::ForceWait).count(), 1);
+        assert!(s.get(Phase::CommitNb).is_empty());
+        let names: Vec<&str> = s.non_empty().map(|(p, _)| p.name()).collect();
+        assert_eq!(names, vec!["commit_2pc", "force_wait"]);
+    }
+}

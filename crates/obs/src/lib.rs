@@ -1,0 +1,38 @@
+//! Observability for the Camelot reproduction.
+//!
+//! The paper's entire method is accounting: §4.1 explains commit
+//! latency by attributing every log force, datagram and context switch
+//! on the critical path, and Tables 1–3 state the protocols' costs in
+//! those primitives. This crate turns that accounting into runtime
+//! instrumentation with three layers:
+//!
+//! - [`trace`] — per-transaction-family event timelines. Every
+//!   protocol step (begin, join, prepare send/receive, vote, log
+//!   enqueue → batch force → platter completion, decision, ack,
+//!   takeover/recovery) is recorded as a [`TraceEvent`] into a bounded
+//!   per-site [`TraceRing`] with relaxed-atomic sequencing, so the hot
+//!   path pays one atomic increment and one uncontended slot lock.
+//!   Timelines drain as JSONL for offline inspection and for chaos
+//!   failure repros.
+//! - [`hist`] — fixed-bucket (power-of-two) latency histograms per
+//!   commit [`Phase`]. Buckets are position-indexed so histograms from
+//!   different sites merge associatively; percentiles (p50/p95/p99)
+//!   are read off the cumulative counts.
+//! - [`audit`] — the protocol-cost auditor. It replays a completed
+//!   family's timeline, counts critical-path forces, lazy appends and
+//!   datagrams, and checks them against the paper's predicted
+//!   [`Budget`] for the configuration (2PC standard/delayed,
+//!   read-only, non-blocking). Tables 1–3 become a continuously
+//!   checked invariant instead of a one-shot harness experiment.
+//!
+//! The crate depends only on `camelot-types`, so every other layer
+//! (core engine, WAL batcher, real-thread runtime, chaos, benches) can
+//! emit into it without dependency cycles.
+
+pub mod audit;
+pub mod hist;
+pub mod trace;
+
+pub use audit::{audit_family, budget_for, count_family, AuditCounts, AuditProtocol, Budget};
+pub use hist::{AtomicHistogram, Histogram, Phase, PhaseHistograms, PhaseSnapshot, BUCKETS};
+pub use trace::{to_jsonl, TraceEvent, TraceEventKind, TraceRing, Tracer};

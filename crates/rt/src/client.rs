@@ -2,11 +2,13 @@
 //! Camelot (Figure 1).
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use crossbeam::channel::bounded;
 
 use camelot_core::{Action, CommitMode, Input};
 use camelot_net::Outcome;
+use camelot_obs::Phase;
 use camelot_server::Request;
 use camelot_types::{AbortReason, CamelotError, ObjectId, Result, ServerId, SiteId, Tid};
 
@@ -27,11 +29,22 @@ impl Client {
         self.home
     }
 
+    /// Records a successful application call's latency into the home
+    /// site's phase histograms (§4.1's per-operation breakdown).
+    fn note_phase(&self, phase: Phase, started: Instant) {
+        let site = self.inner.sites.get(&self.home).expect("home exists");
+        site.hist.record(phase, started.elapsed());
+    }
+
     /// `begin-transaction`: returns the new top-level transaction
     /// identifier.
     pub fn begin(&self) -> Result<Tid> {
+        let started = Instant::now();
         match self.tm_call(None, |req| Input::Begin { req })? {
-            Action::Began { tid, .. } => Ok(tid),
+            Action::Began { tid, .. } => {
+                self.note_phase(Phase::BeginCall, started);
+                Ok(tid)
+            }
             Action::Rejected { tid, detail, .. } => Err(CamelotError::BadState { tid, detail }),
             other => Err(CamelotError::Internal(format!(
                 "unexpected reply {other:?}"
@@ -89,6 +102,7 @@ impl Client {
     /// `commit-transaction`. The protocol (two-phase or non-blocking)
     /// is an argument, as in Camelot.
     pub fn commit(&self, tid: &Tid, mode: CommitMode) -> Result<Outcome> {
+        let started = Instant::now();
         let participants = {
             let site = self.inner.sites.get(&self.home).expect("home exists");
             site.comman.lock().participants(&tid.family)
@@ -108,6 +122,13 @@ impl Client {
             ))),
         };
         if out.is_ok() {
+            self.note_phase(
+                match mode {
+                    CommitMode::TwoPhase => Phase::Commit2pc,
+                    CommitMode::NonBlocking => Phase::CommitNb,
+                },
+                started,
+            );
             let site = self.inner.sites.get(&self.home).expect("home exists");
             site.comman.lock().forget(&tid.family);
         }
@@ -197,6 +218,7 @@ impl Client {
         if !self.inner.sites.contains_key(&site_id) {
             return Err(CamelotError::SiteDown(site_id));
         }
+        let started = Instant::now();
         let mut attempt = 0u32;
         loop {
             match self.operation_once(tid, site_id, server, &make) {
@@ -204,7 +226,12 @@ impl Client {
                     attempt += 1;
                     std::thread::sleep(self.retry_pause(s, attempt));
                 }
-                other => return other,
+                other => {
+                    if other.is_ok() {
+                        self.note_phase(Phase::OpCall, started);
+                    }
+                    return other;
+                }
             }
         }
     }

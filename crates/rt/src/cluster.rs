@@ -38,6 +38,8 @@ use camelot_core::{
     TimerToken,
 };
 use camelot_net::comman::{CommMan, ServiceAddr};
+use camelot_obs::trace::merge_timelines;
+use camelot_obs::{Phase, PhaseHistograms, TraceEvent, TraceEventKind, TraceRing, Tracer};
 use camelot_server::{recover as server_recover, DataServer, OpReply};
 use camelot_types::{Lsn, Result, ServerId, SiteId, Time};
 use camelot_wal::{
@@ -98,6 +100,14 @@ pub struct RtConfig {
     /// whole-cluster shutdowns: a new cluster started on the same
     /// directory recovers it.
     pub log_dir: Option<std::path::PathBuf>,
+    /// Record per-family trace timelines into a bounded per-site ring
+    /// ([`Cluster::drain_trace`]). Off by default: the phase latency
+    /// histograms stay on either way; this switches only the
+    /// per-event timeline.
+    pub trace: bool,
+    /// Events each site's trace ring retains (oldest overwritten
+    /// beyond this).
+    pub trace_capacity: usize,
 }
 
 impl Default for RtConfig {
@@ -116,6 +126,8 @@ impl Default for RtConfig {
             op_retry_base: StdDuration::from_millis(10),
             engine: EngineConfig::default(),
             log_dir: None,
+            trace: false,
+            trace_capacity: 16 * 1024,
         }
     }
 }
@@ -127,6 +139,9 @@ pub(crate) enum DiskJob {
     Force {
         token: ForceToken,
         upto: Lsn,
+        /// When the force entered the pipeline; the disk thread
+        /// records enqueue→durable residence as [`Phase::ForceWait`].
+        at: Instant,
     },
     Stop,
 }
@@ -162,9 +177,22 @@ pub(crate) struct SiteShared {
     pub disk_tx: Sender<DiskJob>,
     pub lazy: Mutex<Vec<(ForceToken, Lsn)>>,
     pub counters: SiteCounters,
+    /// Per-phase latency histograms (always on; relaxed atomics).
+    pub hist: Arc<PhaseHistograms>,
+    /// Trace ring when `RtConfig::trace` is set.
+    pub ring: Option<Arc<TraceRing>>,
 }
 
 impl SiteShared {
+    /// An emission handle into this site's ring (no-op when tracing
+    /// is off).
+    pub fn tracer(&self) -> Tracer {
+        match &self.ring {
+            Some(r) => Tracer::attached(r.clone()),
+            None => Tracer::disabled(),
+        }
+    }
+
     /// Which engine shard handles this input. Family-bearing inputs go
     /// to the family's owner; log and timer completions carry tokens
     /// allocated in the owning shard's residue class, so they route
@@ -200,6 +228,7 @@ impl SiteShared {
     /// records discarded, traffic to it dropped by the router. Safe to
     /// call from any runtime thread holding no site locks.
     fn kill(&self) {
+        self.tracer().site_event(TraceEventKind::Crash);
         self.alive.store(false, Ordering::SeqCst);
         let mut wal = self.wal.lock();
         wal.store_mut().lose_volatile();
@@ -246,9 +275,11 @@ impl ClusterInner {
         let contend = Instant::now();
         let actions = {
             let mut engine = site.shards[shard].lock();
+            let waited = contend.elapsed();
+            site.hist.record(Phase::ShardLockWait, waited);
             site.counters
                 .lock_wait_ns
-                .fetch_add(contend.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                .fetch_add(waited.as_nanos() as u64, Ordering::Relaxed);
             let actions = engine.handle(input, now);
             if !self.cfg.tm_service_time.is_zero() {
                 // Modeled TranMan CPU: the shard is owned for the
@@ -326,6 +357,17 @@ impl ClusterInner {
                         | Action::Rejected { req, .. } => *req,
                         _ => unreachable!(),
                     };
+                    if let Action::Resolved { tid, outcome, .. } = &a {
+                        site.tracer().family(
+                            tid.family,
+                            TraceEventKind::Resolved {
+                                outcome: match outcome {
+                                    camelot_net::Outcome::Committed => "Committed",
+                                    camelot_net::Outcome::Aborted => "Aborted",
+                                },
+                            },
+                        );
+                    }
                     if let Some(tx) = self.pending.remove(req) {
                         let _ = tx.send(a);
                     }
@@ -428,7 +470,11 @@ impl ClusterInner {
                     // The worker appends; the disk thread only decides
                     // when the platter write happens.
                     let upto = site.append(&rec);
-                    let _ = site.disk_tx.send(DiskJob::Force { token, upto });
+                    let _ = site.disk_tx.send(DiskJob::Force {
+                        token,
+                        upto,
+                        at: Instant::now(),
+                    });
                 }
                 Action::AppendNotify { rec, token } => {
                     let upto = site.append(&rec);
@@ -472,6 +518,10 @@ impl Cluster {
     pub fn new_with_faults(n: u32, cfg: RtConfig, fault: Arc<FaultPlan>) -> Cluster {
         let (router_tx, router_rx) = unbounded();
         let shards_per_site = cfg.engine_shards.max(1);
+        // One epoch for the whole cluster, taken before any site state
+        // exists: every ring stamps against it, so per-site timelines
+        // interleave on the timestamp alone.
+        let epoch = Instant::now();
         let mut sites = BTreeMap::new();
         let mut site_channels = Vec::new();
         for i in 1..=n {
@@ -500,14 +550,19 @@ impl Cluster {
                 }
                 None => Box::new(MemStore::new()),
             };
+            let ring = cfg
+                .trace
+                .then(|| TraceRing::new(id, cfg.trace_capacity, epoch));
+            let tracer = match &ring {
+                Some(r) => Tracer::attached(r.clone()),
+                None => Tracer::disabled(),
+            };
             let shards = (0..shards_per_site)
                 .map(|k| {
-                    Mutex::new(Engine::sharded(
-                        id,
-                        cfg.engine.clone(),
-                        k as u32,
-                        shards_per_site as u32,
-                    ))
+                    let mut engine =
+                        Engine::sharded(id, cfg.engine.clone(), k as u32, shards_per_site as u32);
+                    engine.set_tracer(tracer.clone());
+                    Mutex::new(engine)
                 })
                 .collect();
             let shared = Arc::new(SiteShared {
@@ -522,6 +577,8 @@ impl Cluster {
                 disk_tx,
                 lazy: Mutex::new(Vec::new()),
                 counters: SiteCounters::default(),
+                hist: Arc::new(PhaseHistograms::default()),
+                ring,
             });
             sites.insert(id, shared);
             site_channels.push((id, tm_rx, disk_rx));
@@ -532,7 +589,7 @@ impl Cluster {
             pending: ShardedMap::new(16),
             pending_ops: ShardedMap::new(16),
             next_req: AtomicU64::new(1),
-            epoch: Instant::now(),
+            epoch,
             cfg: cfg.clone(),
             fault,
         });
@@ -617,6 +674,7 @@ impl Cluster {
     /// [`CamelotError::Corruption`]: camelot_types::CamelotError::Corruption
     pub fn restart(&self, site: SiteId) -> Result<()> {
         let s = self.inner.sites.get(&site).expect("unknown site");
+        s.tracer().site_event(TraceEventKind::Restart);
         let records = s.wal.lock().recover()?;
         let recs_only: Vec<LogRecord> = records.iter().map(|(_, r)| r.clone()).collect();
         // Rebuild servers.
@@ -635,14 +693,21 @@ impl Cluster {
             }
         }
         let mut all_actions = Vec::new();
+        let tracer = s.tracer();
         for (k, part) in parts.into_iter().enumerate() {
-            let (engine, actions) = Engine::recover_sharded(
+            let (mut engine, actions) = Engine::recover_sharded(
                 site,
                 self.inner.cfg.engine.clone(),
                 k as u32,
                 n as u32,
                 &part,
             );
+            engine.set_tracer(tracer.clone());
+            if tracer.is_enabled() {
+                for id in engine.family_ids() {
+                    tracer.family(id, TraceEventKind::Recovered { state: "live" });
+                }
+            }
             *s.shards[k].lock() = engine;
             all_actions.extend(actions);
         }
@@ -671,25 +736,34 @@ impl Cluster {
     /// (with phase and role) and every server family still tracked
     /// (with its lock count). Chaos campaigns attach this to
     /// progress-violation reports so a wedged schedule explains
-    /// itself.
+    /// itself. The output is deterministic — engine lines are sorted
+    /// by family id regardless of which shard owns them, and server
+    /// lines by (server, family) — so two dumps of the same state
+    /// compare equal.
     pub fn debug_state(&self, site: SiteId) -> String {
         let mut out = Vec::new();
         if let Some(s) = self.inner.sites.get(&site) {
+            let mut engine_lines = Vec::new();
             for shard in &s.shards {
                 let e = shard.lock();
                 for id in e.family_ids() {
                     if let Some(v) = e.family_view(&id) {
-                        out.push(format!("{site} engine: {id} {} {:?}", v.role, v.phase));
+                        engine_lines
+                            .push((id, format!("{site} engine: {id} {} {:?}", v.role, v.phase)));
                     }
                 }
             }
+            engine_lines.sort_by_key(|(id, _)| (id.origin, id.seq));
+            out.extend(engine_lines.into_iter().map(|(_, line)| line));
             for (srv, server) in &s.servers {
                 let srv = srv.0;
                 let m = server.lock();
                 for f in m.families() {
                     out.push(format!("{site} server{srv}: active {f}"));
                 }
-                for f in m.in_doubt_families() {
+                let mut in_doubt = m.in_doubt_families();
+                in_doubt.sort_by_key(|f| (f.origin, f.seq));
+                for f in in_doubt {
                     out.push(format!("{site} server{srv}: in-doubt {f}"));
                 }
                 let locked = m.locks().locked_objects();
@@ -699,6 +773,38 @@ impl Cluster {
             }
         }
         out.join("; ")
+    }
+
+    /// Drains and merges every site's trace ring into one
+    /// cluster-wide timeline (ordered by timestamp, then site, then
+    /// per-site sequence). Empty unless the cluster was built with
+    /// [`RtConfig::trace`]. Draining consumes: each event is returned
+    /// once.
+    pub fn drain_trace(&self) -> Vec<TraceEvent> {
+        let mut events = Vec::new();
+        for s in self.inner.sites.values() {
+            if let Some(ring) = &s.ring {
+                events.extend(ring.drain());
+            }
+        }
+        merge_timelines(events)
+    }
+
+    /// [`Cluster::drain_trace`] rendered as JSON Lines.
+    pub fn drain_trace_jsonl(&self) -> String {
+        camelot_obs::to_jsonl(&self.drain_trace())
+    }
+
+    /// Total trace events overwritten before being drained, across
+    /// all sites. Nonzero means timelines have holes: drain more
+    /// often or raise [`RtConfig::trace_capacity`].
+    pub fn trace_dropped(&self) -> u64 {
+        self.inner
+            .sites
+            .values()
+            .filter_map(|s| s.ring.as_ref())
+            .map(|r| r.dropped())
+            .sum()
     }
 
     /// True if the site is up.
@@ -755,6 +861,7 @@ impl Cluster {
                     forces_satisfied: c.forces_satisfied.load(Ordering::Relaxed),
                     max_batch: c.max_batch.load(Ordering::Relaxed),
                     lazy_drained: c.lazy_drained.load(Ordering::Relaxed),
+                    phases: s.hist.snapshot(),
                 }
             })
             .collect();
@@ -808,10 +915,12 @@ fn tm_worker(inner: Arc<ClusterInner>, site: Arc<SiteShared>, rx: Receiver<Optio
 /// accumulating) while the platter turns.
 fn disk_main(inner: Arc<ClusterInner>, site: Arc<SiteShared>, rx: Receiver<DiskJob>) {
     let mut batcher = GroupCommitBatcher::new(inner.cfg.batch);
+    batcher.set_tracer(site.tracer());
     // Batcher requests are anonymous; this maps them back to the
-    // engine force tokens awaiting [`Input::LogForced`]. Background
-    // lazy flushes ride as tokenless requests.
-    let mut tokens: HashMap<u64, ForceToken> = HashMap::new();
+    // engine force tokens awaiting [`Input::LogForced`], along with
+    // each force's pipeline-entry time for the ForceWait histogram.
+    // Background lazy flushes ride as tokenless requests.
+    let mut tokens: HashMap<u64, (ForceToken, Instant)> = HashMap::new();
     let mut next_req: u64 = 1;
     // The batcher's accumulation-window timer, as a wall-clock
     // deadline. Stale epochs are ignored by the batcher, so a newer
@@ -829,15 +938,15 @@ fn disk_main(inner: Arc<ClusterInner>, site: Arc<SiteShared>, rx: Receiver<DiskJ
                 final_flush(&site, &mut tokens);
                 return;
             }
-            Ok(DiskJob::Force { token, upto }) => {
+            Ok(DiskJob::Force { token, upto, at }) => {
                 // Drain whatever else queued up while the disk was
                 // busy, so the batcher decides over the whole backlog
                 // rather than learning of it one request at a time.
-                let mut queue = vec![(token, upto)];
+                let mut queue = vec![(token, upto, at)];
                 let mut stop = false;
                 while let Ok(job) = rx.try_recv() {
                     match job {
-                        DiskJob::Force { token, upto } => queue.push((token, upto)),
+                        DiskJob::Force { token, upto, at } => queue.push((token, upto, at)),
                         DiskJob::Stop => {
                             stop = true;
                             break;
@@ -845,10 +954,10 @@ fn disk_main(inner: Arc<ClusterInner>, site: Arc<SiteShared>, rx: Receiver<DiskJ
                     }
                 }
                 let mut actions = Vec::new();
-                for (token, upto) in queue {
+                for (token, upto, at) in queue {
                     let req = ReqId(next_req);
                     next_req += 1;
-                    tokens.insert(req.0, token);
+                    tokens.insert(req.0, (token, at));
                     actions.extend(batcher.request(req, upto, inner.now()));
                 }
                 drive(
@@ -896,12 +1005,12 @@ fn disk_main(inner: Arc<ClusterInner>, site: Arc<SiteShared>, rx: Receiver<DiskJ
 
 /// Shutdown: one last synchronous force so everything appended is
 /// durable, then release every waiter.
-fn final_flush(site: &SiteShared, tokens: &mut HashMap<u64, ForceToken>) {
+fn final_flush(site: &SiteShared, tokens: &mut HashMap<u64, (ForceToken, Instant)>) {
     if site.alive.load(Ordering::SeqCst) {
         let _ = site.wal.lock().force();
     }
     let durable = site.wal.lock().durable_lsn();
-    for (_, token) in tokens.drain() {
+    for (_, (token, _)) in tokens.drain() {
         let _ = site.tm_tx.send(Some(Input::LogForced { token }));
     }
     drain_lazy(site, durable);
@@ -915,7 +1024,7 @@ fn drive(
     inner: &ClusterInner,
     site: &SiteShared,
     batcher: &mut GroupCommitBatcher,
-    tokens: &mut HashMap<u64, ForceToken>,
+    tokens: &mut HashMap<u64, (ForceToken, Instant)>,
     window: &mut Option<(Instant, u64)>,
     mut actions: Vec<BatcherAction>,
 ) {
@@ -930,8 +1039,9 @@ fn drive(
                 BatcherAction::Satisfied { reqs, durable } => {
                     let mut satisfied = 0u64;
                     for r in reqs {
-                        if let Some(token) = tokens.remove(&r.0) {
+                        if let Some((token, at)) = tokens.remove(&r.0) {
                             satisfied += 1;
+                            site.hist.record(Phase::ForceWait, at.elapsed());
                             let _ = site.tm_tx.send(Some(Input::LogForced { token }));
                         }
                     }
@@ -959,10 +1069,11 @@ fn platter_write(
     inner: &ClusterInner,
     site: &SiteShared,
     batcher: &mut GroupCommitBatcher,
-    tokens: &mut HashMap<u64, ForceToken>,
+    tokens: &mut HashMap<u64, (ForceToken, Instant)>,
     upto: Lsn,
 ) -> Vec<BatcherAction> {
     let mut died = false;
+    let started = Instant::now();
     let actual = if site.alive.load(Ordering::SeqCst) {
         std::thread::sleep(inner.cfg.platter_delay);
         // Crash point: power fails while the platter write is in
@@ -987,6 +1098,9 @@ fn platter_write(
         died = true;
         site.wal.lock().durable_lsn()
     };
+    if !died {
+        site.hist.record(Phase::PlatterWrite, started.elapsed());
+    }
     let actions = batcher.write_complete_to(actual, inner.now());
     if died {
         // Requests left uncovered came from the incarnation that just
@@ -1009,7 +1123,7 @@ fn lazy_tick(
     inner: &ClusterInner,
     site: &SiteShared,
     batcher: &mut GroupCommitBatcher,
-    tokens: &mut HashMap<u64, ForceToken>,
+    tokens: &mut HashMap<u64, (ForceToken, Instant)>,
     window: &mut Option<(Instant, u64)>,
     next_req: &mut u64,
 ) {

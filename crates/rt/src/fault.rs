@@ -16,6 +16,12 @@
 //!   the commit-record force is appended, after the force completed
 //!   but before the decision datagrams go out, or mid platter write in
 //!   the pipelined disk thread.
+//! - **Scripted link faults** — [`FaultPlan::script_fault`] targets
+//!   one exact datagram: "the Nth datagram on link A→B suffers this
+//!   fault". Unlike the seeded stream, which is statistically
+//!   replayable, a script keys off a per-link ordinal counter, so the
+//!   *same logical message* is hit on every run of a deterministic
+//!   workload regardless of thread interleaving elsewhere.
 //!
 //! WAL corruption faults do not live here: the store-level image hooks
 //! ([`StableStore::durable_bytes`](camelot_wal::StableStore) /
@@ -60,6 +66,9 @@ pub struct FaultStats {
     pub crashes: u64,
 }
 
+/// One link's pending scripted faults, as `(ordinal, fault)` pairs.
+type LinkScript = Vec<(u64, LinkDecision)>;
+
 /// A fault-injection plan shared by every runtime thread.
 pub struct FaultPlan {
     /// Master switch; [`FaultPlan::heal`] clears it.
@@ -77,6 +86,16 @@ pub struct FaultPlan {
     budget: AtomicI64,
     /// One-shot crash points, armed per site.
     crash_points: Mutex<HashMap<SiteId, CrashPoint>>,
+    /// Scripted per-link faults: `(from, to) -> [(ordinal, fault)]`,
+    /// consulted before the random stream. Ordinals are 0-based over
+    /// the link's own datagram count.
+    scripts: Mutex<HashMap<(SiteId, SiteId), LinkScript>>,
+    /// Datagrams seen per link, feeding the scripts' ordinals.
+    link_seen: Mutex<HashMap<(SiteId, SiteId), u64>>,
+    /// Cheap flag sparing clean runs the `link_seen` lock: set once
+    /// the first script is installed, never cleared (ordinals keep
+    /// counting after heal so re-armed scripts stay meaningful).
+    scripted: AtomicBool,
     drops: AtomicU64,
     delays: AtomicU64,
     duplicates: AtomicU64,
@@ -111,6 +130,9 @@ impl FaultPlan {
             extra_delay,
             budget: AtomicI64::new(budget.min(i64::MAX as u64) as i64),
             crash_points: Mutex::new(HashMap::new()),
+            scripts: Mutex::new(HashMap::new()),
+            link_seen: Mutex::new(HashMap::new()),
+            scripted: AtomicBool::new(false),
             drops: AtomicU64::new(0),
             delays: AtomicU64::new(0),
             duplicates: AtomicU64::new(0),
@@ -129,12 +151,32 @@ impl FaultPlan {
         self.crash_points.lock().remove(&site);
     }
 
+    /// Scripts `fault` for the `nth` datagram (0-based) ever sent on
+    /// the link `from -> to`. Scripts fire exactly once, are consulted
+    /// before the random stream, ignore the fault budget (the caller
+    /// asked for precisely this fault), and work even when every
+    /// random rate is zero — so a test can say "drop the second
+    /// Prepare on 1→2" and nothing else. Ordinals count from the
+    /// moment the first script is installed on the plan (install
+    /// before traffic starts for "Nth datagram ever"). Scripting the
+    /// same ordinal twice replaces the earlier fault.
+    pub fn script_fault(&self, from: SiteId, to: SiteId, nth: u64, fault: LinkDecision) {
+        self.scripted.store(true, Ordering::SeqCst);
+        let mut scripts = self.scripts.lock();
+        let entry = scripts.entry((from, to)).or_default();
+        match entry.iter_mut().find(|(n, _)| *n == nth) {
+            Some(slot) => slot.1 = fault,
+            None => entry.push((nth, fault)),
+        }
+    }
+
     /// Stops all further injection: links run clean and pending crash
     /// points are dropped. Already-dead sites stay dead — restart them
     /// explicitly.
     pub fn heal(&self) {
         self.enabled.store(false, Ordering::SeqCst);
         self.crash_points.lock().clear();
+        self.scripts.lock().clear();
     }
 
     /// True until [`FaultPlan::heal`].
@@ -169,8 +211,41 @@ impl FaultPlan {
         }
     }
 
-    /// Decides the fate of one datagram on `from -> to`.
+    /// Decides the fate of one datagram on `from -> to`. Scripted
+    /// faults for the link's current ordinal fire first (once each,
+    /// exempt from the budget); otherwise the seeded stream rolls.
     pub(crate) fn link_decision(&self, from: SiteId, to: SiteId) -> LinkDecision {
+        if self.scripted.load(Ordering::SeqCst) {
+            let ordinal = {
+                let mut seen = self.link_seen.lock();
+                let c = seen.entry((from, to)).or_insert(0);
+                let ordinal = *c;
+                *c += 1;
+                ordinal
+            };
+            if self.enabled.load(Ordering::SeqCst) {
+                let scripted = {
+                    let mut scripts = self.scripts.lock();
+                    scripts.get_mut(&(from, to)).and_then(|entry| {
+                        entry
+                            .iter()
+                            .position(|(n, _)| *n == ordinal)
+                            .map(|i| entry.swap_remove(i).1)
+                    })
+                };
+                if let Some(fault) = scripted {
+                    match fault {
+                        LinkDecision::Drop => self.drops.fetch_add(1, Ordering::Relaxed),
+                        LinkDecision::Delay(_) => self.delays.fetch_add(1, Ordering::Relaxed),
+                        LinkDecision::Duplicate(_) => {
+                            self.duplicates.fetch_add(1, Ordering::Relaxed)
+                        }
+                        LinkDecision::Deliver => 0,
+                    };
+                    return fault;
+                }
+            }
+        }
         if !self.enabled.load(Ordering::SeqCst)
             || (self.drop_per_mille == 0 && self.delay_per_mille == 0 && self.dup_per_mille == 0)
         {
@@ -267,5 +342,69 @@ mod tests {
         p.arm_crash(SiteId(3), CrashPoint::PostForcePreSend);
         p.heal();
         assert!(!p.should_crash(SiteId(3), CrashPoint::PostForcePreSend));
+    }
+
+    #[test]
+    fn scripted_fault_hits_exactly_the_nth_datagram_on_its_link() {
+        // All random rates zero: only the script can inject.
+        let p = FaultPlan::disabled();
+        p.script_fault(SiteId(1), SiteId(2), 2, LinkDecision::Drop);
+        p.script_fault(
+            SiteId(1),
+            SiteId(2),
+            4,
+            LinkDecision::Delay(StdDuration::from_millis(7)),
+        );
+        let fates: Vec<LinkDecision> = (0..6)
+            .map(|_| p.link_decision(SiteId(1), SiteId(2)))
+            .collect();
+        assert_eq!(
+            fates,
+            vec![
+                LinkDecision::Deliver,
+                LinkDecision::Deliver,
+                LinkDecision::Drop,
+                LinkDecision::Deliver,
+                LinkDecision::Delay(StdDuration::from_millis(7)),
+                LinkDecision::Deliver,
+            ]
+        );
+        assert_eq!(p.stats().drops, 1);
+        assert_eq!(p.stats().delays, 1);
+    }
+
+    #[test]
+    fn scripted_faults_are_per_link_and_one_shot() {
+        let p = FaultPlan::disabled();
+        p.script_fault(SiteId(1), SiteId(2), 0, LinkDecision::Drop);
+        // The reverse link is a different link: its datagrams never
+        // consume the 1→2 script.
+        assert_eq!(p.link_decision(SiteId(2), SiteId(1)), LinkDecision::Deliver);
+        assert_eq!(p.link_decision(SiteId(1), SiteId(2)), LinkDecision::Drop);
+        // One-shot: ordinal 0 already fired; later traffic runs clean.
+        for _ in 0..20 {
+            assert_eq!(p.link_decision(SiteId(1), SiteId(2)), LinkDecision::Deliver);
+        }
+        // Re-scripting an ordinal before it fires replaces the fault.
+        p.script_fault(SiteId(3), SiteId(4), 1, LinkDecision::Drop);
+        p.script_fault(
+            SiteId(3),
+            SiteId(4),
+            1,
+            LinkDecision::Duplicate(StdDuration::from_millis(3)),
+        );
+        assert_eq!(p.link_decision(SiteId(3), SiteId(4)), LinkDecision::Deliver);
+        assert_eq!(
+            p.link_decision(SiteId(3), SiteId(4)),
+            LinkDecision::Duplicate(StdDuration::from_millis(3))
+        );
+    }
+
+    #[test]
+    fn heal_clears_pending_scripts() {
+        let p = FaultPlan::disabled();
+        p.script_fault(SiteId(1), SiteId(2), 0, LinkDecision::Drop);
+        p.heal();
+        assert_eq!(p.link_decision(SiteId(1), SiteId(2)), LinkDecision::Deliver);
     }
 }

@@ -42,6 +42,10 @@ mod shardmap;
 pub mod stats;
 
 pub use camelot_core::CrashPoint;
+pub use camelot_obs::{
+    audit_family, budget_for, count_family, to_jsonl, AuditCounts, AuditProtocol, Budget,
+    Histogram, Phase, PhaseSnapshot, TraceEvent, TraceEventKind,
+};
 pub use camelot_wal::BatchPolicy;
 pub use client::Client;
 pub use cluster::{Cluster, RtConfig};

@@ -13,6 +13,7 @@ use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::time::Duration as StdDuration;
 
 use camelot_core::EngineStats;
+use camelot_obs::PhaseSnapshot;
 use camelot_types::SiteId;
 use camelot_wal::WalStats;
 
@@ -65,6 +66,9 @@ pub struct SiteStats {
     pub max_batch: u64,
     /// Lazy appends whose durability notice was delivered.
     pub lazy_drained: u64,
+    /// Per-phase latency histograms (client calls, force waits,
+    /// platter writes, shard-lock waits) — the §4.1 latency breakdown.
+    pub phases: PhaseSnapshot,
 }
 
 impl SiteStats {
@@ -99,6 +103,17 @@ impl ClusterStats {
     /// Total worker lock-wait across sites.
     pub fn total_lock_wait(&self) -> StdDuration {
         self.sites.iter().map(|s| s.lock_wait).sum()
+    }
+
+    /// Cluster-wide per-phase latency histograms: the element-wise
+    /// merge of every site's snapshot (merge is associative and
+    /// commutative, so the order of sites does not matter).
+    pub fn phases(&self) -> PhaseSnapshot {
+        let mut acc = PhaseSnapshot::default();
+        for s in &self.sites {
+            acc.merge(&s.phases);
+        }
+        acc
     }
 }
 

@@ -17,6 +17,7 @@
 //! batching behaviour measured in Figure 4 is the behaviour the real
 //! runtime executes.
 
+use camelot_obs::{TraceEventKind, Tracer};
 use camelot_types::{Duration, Lsn, Time};
 
 /// Identifies one force request (assigned by the caller).
@@ -74,6 +75,9 @@ pub struct GroupCommitBatcher {
     satisfied: u64,
     /// Largest number of requests one write satisfied.
     max_batch: u64,
+    /// Site-level trace emission (batch start/durable); no-op unless
+    /// attached via [`GroupCommitBatcher::set_tracer`].
+    tracer: Tracer,
 }
 
 impl GroupCommitBatcher {
@@ -88,7 +92,14 @@ impl GroupCommitBatcher {
             writes: 0,
             satisfied: 0,
             max_batch: 0,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches a trace ring; batch starts and completions are
+    /// recorded as site-level events from now on.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     pub fn policy(&self) -> BatchPolicy {
@@ -162,6 +173,8 @@ impl GroupCommitBatcher {
             .take()
             .expect("write_complete without StartWrite");
         self.durable = self.durable.max(actual);
+        self.tracer
+            .site_event(TraceEventKind::BatchDurable { upto: actual.0 });
         let mut done = Vec::new();
         self.pending.retain(|&(req, lsn)| {
             if lsn <= self.durable {
@@ -218,6 +231,8 @@ impl GroupCommitBatcher {
         debug_assert!(self.in_flight.is_none());
         self.in_flight = Some(upto);
         self.writes += 1;
+        self.tracer
+            .site_event(TraceEventKind::BatchStart { upto: upto.0 });
         vec![BatcherAction::StartWrite { upto }]
     }
 

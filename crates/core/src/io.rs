@@ -20,32 +20,10 @@ pub struct ForceToken(pub u64);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TimerToken(pub u64);
 
-/// Named instants in the runtime's execution of log actions where a
-/// fault injector may kill a site. Each sits on a different side of a
-/// durability edge, so a crash there exercises a distinct recovery
-/// path.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum CrashPoint {
-    /// After the engine requested a force but before any bytes reach
-    /// the platter: the record is lost entirely.
-    PreForce,
-    /// After the force completed but before the engine processes the
-    /// resulting `LogForced` (so before any decision datagrams go
-    /// out): the record is durable but nobody was told.
-    PostForcePreSend,
-    /// Inside the pipelined disk thread's platter write: the write is
-    /// abandoned and the batch never reports durable.
-    MidPlatterWrite,
-}
-
-impl CrashPoint {
-    /// All crash points, for parameterized test matrices.
-    pub const ALL: [CrashPoint; 3] = [
-        CrashPoint::PreForce,
-        CrashPoint::PostForcePreSend,
-        CrashPoint::MidPlatterWrite,
-    ];
-}
+// `CrashPoint` moved to camelot-types so fault plans can travel over
+// the control socket without depending on the engine; re-exported here
+// to keep `camelot_core::CrashPoint` paths working.
+pub use camelot_types::CrashPoint;
 
 /// One event consumed by the transaction manager.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -80,9 +80,24 @@ fn decode_ack(bytes: &[u8]) -> Option<(SiteId, u64)> {
 
 impl ReliableChannel {
     pub fn new(site: SiteId, retry: Duration, max_retry: Duration, attempts: u32) -> Self {
+        ReliableChannel::with_seq_base(site, retry, max_retry, attempts, 0)
+    }
+
+    /// Like [`ReliableChannel::new`] but with outgoing sequence
+    /// numbers starting at `seq_base`. Real (restartable) endpoints
+    /// must pass a base past anything their previous incarnation may
+    /// have sent, or peers' duplicate filters will swallow their first
+    /// messages — see [`SeqAlloc::starting_at`].
+    pub fn with_seq_base(
+        site: SiteId,
+        retry: Duration,
+        max_retry: Duration,
+        attempts: u32,
+        seq_base: u64,
+    ) -> Self {
         ReliableChannel {
             site,
-            seqs: SeqAlloc::new(),
+            seqs: SeqAlloc::starting_at(seq_base),
             dups: DupFilter::new(64),
             retx: Retransmitter::new(retry, max_retry, attempts),
             next_key: 1,

@@ -1,0 +1,345 @@
+//! Socket frame codec: the on-the-wire envelope around encoded
+//! [`Envelope`](crate::Envelope) bytes.
+//!
+//! Every datagram or stream segment between site *processes* is one
+//! frame:
+//!
+//! ```text
+//! [u32 magic "CMLT"][u8 version][u8 flags][u32 payload_len][u32 crc32(payload)][payload]
+//! ```
+//!
+//! (little-endian). The WAL's log frames carry only length+CRC because
+//! a log is private to its site; wire frames add a magic and a version
+//! byte because the peer is another process, possibly running another
+//! build — a version skew must be a typed error, not a misparse.
+//!
+//! Decoding never panics and never over-reads: a corrupt length is
+//! rejected against [`MAX_FRAME`] *before* any allocation, truncation
+//! is reported as [`FrameError::Truncated`], and checksum mismatches
+//! as [`FrameError::Crc`]. [`FrameDecoder`] incrementally reassembles
+//! frames from a TCP stream where reads may split anywhere, including
+//! mid-header.
+
+use camelot_types::wire::crc32;
+use camelot_types::CamelotError;
+
+/// First four bytes of every frame ("CMLT", little-endian on the wire).
+pub const FRAME_MAGIC: u32 = 0x544C_4D43;
+
+/// Codec version this build speaks.
+pub const FRAME_VERSION: u8 = 1;
+
+/// Header size in bytes: magic + version + flags + len + crc.
+pub const FRAME_HEADER: usize = 14;
+
+/// Upper bound on a frame payload. Protocol datagrams are tiny (an
+/// [`Envelope`](crate::Envelope) with piggybacks is well under 4 KiB);
+/// the cap exists so a corrupt or hostile length prefix can never make
+/// the decoder allocate or wait for gigabytes.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Typed decode failures. `Truncated` doubles as "need more bytes" for
+/// stream reassembly; every other variant is unrecoverable for the
+/// frame (and for the whole stream, since resynchronization is not
+/// attempted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// Input ends before the frame does.
+    Truncated,
+    /// First four bytes are not [`FRAME_MAGIC`].
+    BadMagic(u32),
+    /// Version byte this build does not speak.
+    BadVersion(u8),
+    /// Length prefix exceeds [`MAX_FRAME`].
+    Oversize(u32),
+    /// Payload checksum mismatch.
+    Crc { expected: u32, actual: u32 },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated => write!(f, "truncated frame"),
+            FrameError::BadMagic(m) => write!(f, "bad frame magic {m:#010x}"),
+            FrameError::BadVersion(v) => write!(f, "unsupported frame version {v}"),
+            FrameError::Oversize(n) => write!(f, "frame length {n} exceeds cap {MAX_FRAME}"),
+            FrameError::Crc { expected, actual } => {
+                write!(f, "frame crc mismatch: header says {expected:#010x}, payload hashes to {actual:#010x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<FrameError> for CamelotError {
+    fn from(e: FrameError) -> CamelotError {
+        CamelotError::Codec(e.to_string())
+    }
+}
+
+/// Wraps `payload` in a wire frame.
+///
+/// Panics if `payload` exceeds [`MAX_FRAME`] — senders produce only
+/// protocol messages, which are orders of magnitude smaller, so an
+/// oversized send is a program error rather than a wire condition.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    assert!(
+        payload.len() <= MAX_FRAME,
+        "frame payload {} exceeds MAX_FRAME",
+        payload.len()
+    );
+    let mut out = Vec::with_capacity(FRAME_HEADER + payload.len());
+    out.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+    out.push(FRAME_VERSION);
+    out.push(0); // flags, reserved
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+fn read_u32_le(buf: &[u8]) -> u32 {
+    u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]])
+}
+
+/// Validated frame header fields.
+struct Header {
+    len: usize,
+    crc: u32,
+}
+
+/// Checks the fixed header. Returns `Truncated` when fewer than
+/// [`FRAME_HEADER`] bytes are available; magic/version/length are
+/// validated in that order so the most diagnostic error wins.
+fn decode_header(buf: &[u8]) -> Result<Header, FrameError> {
+    if buf.len() < FRAME_HEADER {
+        return Err(FrameError::Truncated);
+    }
+    let magic = read_u32_le(&buf[0..4]);
+    if magic != FRAME_MAGIC {
+        return Err(FrameError::BadMagic(magic));
+    }
+    let version = buf[4];
+    if version != FRAME_VERSION {
+        return Err(FrameError::BadVersion(version));
+    }
+    let len = read_u32_le(&buf[6..10]);
+    if len as usize > MAX_FRAME {
+        return Err(FrameError::Oversize(len));
+    }
+    let crc = read_u32_le(&buf[10..14]);
+    Ok(Header {
+        len: len as usize,
+        crc,
+    })
+}
+
+/// Decodes one complete frame from the front of `buf` (datagram mode:
+/// the whole frame must be present). Returns `(payload, consumed)`.
+pub fn decode_frame(buf: &[u8]) -> Result<(Vec<u8>, usize), FrameError> {
+    let hdr = decode_header(buf)?;
+    let total = FRAME_HEADER + hdr.len;
+    if buf.len() < total {
+        return Err(FrameError::Truncated);
+    }
+    let payload = &buf[FRAME_HEADER..total];
+    let actual = crc32(payload);
+    if actual != hdr.crc {
+        return Err(FrameError::Crc {
+            expected: hdr.crc,
+            actual,
+        });
+    }
+    Ok((payload.to_vec(), total))
+}
+
+/// Incremental frame reassembly for stream transports, where one
+/// `read` may deliver half a header or three frames at once.
+///
+/// Feed bytes with [`FrameDecoder::extend`], then drain frames with
+/// [`FrameDecoder::next_frame`] until it returns `Ok(None)` (needs
+/// more input). Errors are sticky: a stream that produced garbage
+/// cannot be resynchronized, so every later call returns the same
+/// error.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    poisoned: Option<FrameError>,
+}
+
+impl FrameDecoder {
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Appends raw stream bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        if self.poisoned.is_none() {
+            self.buf.extend_from_slice(bytes);
+        }
+    }
+
+    /// Bytes buffered but not yet consumed by a complete frame.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Takes the next complete frame payload, `Ok(None)` if more input
+    /// is needed.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+        if let Some(e) = self.poisoned {
+            return Err(e);
+        }
+        // Validate the header as soon as it is complete: a bad magic
+        // or oversized length fails now, not after waiting for
+        // payload bytes that will never come.
+        match decode_frame(&self.buf) {
+            Ok((payload, consumed)) => {
+                self.buf.drain(..consumed);
+                Ok(Some(payload))
+            }
+            Err(FrameError::Truncated) => {
+                // Header may still be present and corrupt even though
+                // the payload is incomplete.
+                match decode_header(&self.buf) {
+                    Err(FrameError::Truncated) | Ok(_) => Ok(None),
+                    Err(e) => {
+                        self.poisoned = Some(e);
+                        Err(e)
+                    }
+                }
+            }
+            Err(e) => {
+                self.poisoned = Some(e);
+                Err(e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let f = encode_frame(b"hello sockets");
+        let (payload, consumed) = decode_frame(&f).unwrap();
+        assert_eq!(payload, b"hello sockets");
+        assert_eq!(consumed, f.len());
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        let f = encode_frame(b"");
+        assert_eq!(f.len(), FRAME_HEADER);
+        assert_eq!(decode_frame(&f).unwrap(), (vec![], FRAME_HEADER));
+    }
+
+    #[test]
+    fn every_truncation_is_truncated() {
+        let f = encode_frame(b"abcdef");
+        for cut in 0..f.len() {
+            assert_eq!(
+                decode_frame(&f[..cut]),
+                Err(FrameError::Truncated),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let mut f = encode_frame(b"x");
+        f[0] ^= 0xFF;
+        assert!(matches!(decode_frame(&f), Err(FrameError::BadMagic(_))));
+    }
+
+    #[test]
+    fn bad_version_detected() {
+        let mut f = encode_frame(b"x");
+        f[4] = 99;
+        assert_eq!(decode_frame(&f), Err(FrameError::BadVersion(99)));
+    }
+
+    #[test]
+    fn oversize_length_rejected_without_allocation() {
+        let mut f = encode_frame(b"x");
+        f[6..10].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode_frame(&f), Err(FrameError::Oversize(u32::MAX)));
+    }
+
+    #[test]
+    fn crc_flip_detected() {
+        // Flip each payload byte in turn.
+        let clean = encode_frame(b"abcdef");
+        for i in FRAME_HEADER..clean.len() {
+            let mut f = clean.clone();
+            f[i] ^= 0x01;
+            assert!(
+                matches!(decode_frame(&f), Err(FrameError::Crc { .. })),
+                "payload flip at {i}"
+            );
+        }
+        // Flip each CRC byte in turn.
+        for i in 10..14 {
+            let mut f = clean.clone();
+            f[i] ^= 0x80;
+            assert!(
+                matches!(decode_frame(&f), Err(FrameError::Crc { .. })),
+                "crc flip at {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_not_consumed() {
+        let mut buf = encode_frame(b"one");
+        buf.extend_from_slice(&encode_frame(b"two"));
+        let (p, consumed) = decode_frame(&buf).unwrap();
+        assert_eq!(p, b"one");
+        let (p2, _) = decode_frame(&buf[consumed..]).unwrap();
+        assert_eq!(p2, b"two");
+    }
+
+    #[test]
+    fn decoder_reassembles_byte_by_byte() {
+        let mut stream = encode_frame(b"first");
+        stream.extend_from_slice(&encode_frame(b"second payload"));
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for &b in &stream {
+            dec.extend(&[b]);
+            while let Some(p) = dec.next_frame().unwrap() {
+                got.push(p);
+            }
+        }
+        assert_eq!(got, vec![b"first".to_vec(), b"second payload".to_vec()]);
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn decoder_poisons_on_bad_header_before_payload_arrives() {
+        let mut f = encode_frame(b"payload never sent");
+        f[6..10].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut dec = FrameDecoder::new();
+        // Feed only the header: the oversize length must fail now.
+        dec.extend(&f[..FRAME_HEADER]);
+        assert_eq!(dec.next_frame(), Err(FrameError::Oversize(u32::MAX)));
+        // Sticky: more input does not resurrect the stream.
+        dec.extend(&encode_frame(b"ok"));
+        assert_eq!(dec.next_frame(), Err(FrameError::Oversize(u32::MAX)));
+    }
+
+    #[test]
+    fn decoder_needs_more_is_not_an_error() {
+        let f = encode_frame(b"slow");
+        let mut dec = FrameDecoder::new();
+        dec.extend(&f[..3]);
+        assert_eq!(dec.next_frame(), Ok(None));
+        dec.extend(&f[3..]);
+        assert_eq!(dec.next_frame(), Ok(Some(b"slow".to_vec())));
+        assert_eq!(dec.next_frame(), Ok(None));
+    }
+}

@@ -24,10 +24,16 @@
 
 pub mod channel;
 pub mod comman;
+pub mod fault;
+pub mod frame;
 pub mod msg;
+pub mod socket;
 pub mod transport;
 
 pub use channel::{ChannelEvent, ReliableChannel};
 pub use comman::CommMan;
+pub use fault::{FaultPlan, FaultStats, LinkDecision};
+pub use frame::{decode_frame, encode_frame, FrameDecoder, FrameError, FRAME_HEADER, MAX_FRAME};
 pub use msg::{Envelope, NbSiteState, Outcome, TmMessage, Vote};
+pub use socket::{SocketConfig, SocketMode, SocketTransport};
 pub use transport::{DupFilter, Retransmitter};

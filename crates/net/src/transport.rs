@@ -199,6 +199,7 @@ impl DupFilter {
 /// Per-destination sequence number allocator for outgoing envelopes.
 #[derive(Debug, Default)]
 pub struct SeqAlloc {
+    base: u64,
     next: HashMap<SiteId, u64>,
 }
 
@@ -207,9 +208,27 @@ impl SeqAlloc {
         SeqAlloc::default()
     }
 
+    /// An allocator whose per-destination counters start at `base`
+    /// instead of 0.
+    ///
+    /// Sequence numbers never wrap (u64), but they *restart*: a site
+    /// process that crashes and comes back would allocate from 0
+    /// again, and its first `window` datagrams would land inside the
+    /// peers' [`DupFilter`] windows — silently swallowed as
+    /// duplicates. Real transports therefore derive `base` from a
+    /// monotonic incarnation marker (e.g. wall-clock time at boot,
+    /// shifted well past any per-incarnation send volume), the same
+    /// trick TCP's initial sequence numbers use.
+    pub fn starting_at(base: u64) -> Self {
+        SeqAlloc {
+            base,
+            next: HashMap::new(),
+        }
+    }
+
     /// Allocates the next sequence number for messages to `dst`.
     pub fn next(&mut self, dst: SiteId) -> u64 {
-        let n = self.next.entry(dst).or_insert(0);
+        let n = self.next.entry(dst).or_insert(self.base);
         let v = *n;
         *n += 1;
         v
@@ -365,5 +384,31 @@ mod tests {
         assert_eq!(a.next(SiteId(1)), 0);
         assert_eq!(a.next(SiteId(1)), 1);
         assert_eq!(a.next(SiteId(2)), 0);
+    }
+
+    #[test]
+    fn seq_alloc_base_applies_to_every_destination() {
+        let mut a = SeqAlloc::starting_at(1 << 32);
+        assert_eq!(a.next(SiteId(1)), 1 << 32);
+        assert_eq!(a.next(SiteId(1)), (1 << 32) + 1);
+        assert_eq!(a.next(SiteId(2)), 1 << 32);
+    }
+
+    /// The restart hazard `starting_at` exists for: a sender that
+    /// comes back allocating from 0 is mistaken for its own past self
+    /// and filtered; one that comes back past the old window is heard.
+    #[test]
+    fn restarted_sender_with_fresh_base_survives_dup_filter() {
+        let mut f = DupFilter::new(64);
+        // First incarnation sent seqs 0..=40.
+        for s in 0..=40 {
+            assert!(f.accept(SiteId(1), s));
+        }
+        // Naive restart from 0: everything inside the window is eaten.
+        assert!(!f.accept(SiteId(1), 0), "restart from 0 is swallowed");
+        // ISN-style restart beyond the old incarnation's numbers.
+        let mut a = SeqAlloc::starting_at(1_000_000);
+        assert!(f.accept(SiteId(1), a.next(SiteId(1))));
+        assert!(f.accept(SiteId(1), a.next(SiteId(1))));
     }
 }

@@ -1,0 +1,307 @@
+//! Launches an N-site localhost Camelot cluster as real OS processes
+//! and runs the banking workload across it.
+//!
+//! Each site is a `camelot-site` child process (found next to this
+//! binary) with its own engine shards, WAL, disk-manager thread and
+//! kernel socket. The launcher reads each child's `ready` handshake,
+//! distributes the data-plane port map, funds a ledger of accounts,
+//! then runs randomized cross-site transfers — begin at a coordinator
+//! site, debit and credit through the involved sites' control
+//! sockets, commit with the participant set declared explicitly (the
+//! multi-process deployment has no home communication manager spying
+//! on remote operations).
+//!
+//! At the end it checks the paper's banking invariant — money is
+//! conserved across every committed state — and exits nonzero if the
+//! cluster disagrees.
+
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{exit, Child, Command, Stdio};
+use std::time::Duration as StdDuration;
+
+use camelot_node::ctrl::{CtrlClient, Handshake, PeerEntry};
+use camelot_types::{ObjectId, ServerId, SiteId, Tid};
+
+const SRV: ServerId = ServerId(1);
+const INITIAL: i64 = 100;
+
+struct Opts {
+    sites: u32,
+    txns: u32,
+    accounts: u64,
+    transport: String,
+    nonblocking: bool,
+    log_dir: Option<PathBuf>,
+    seed: u64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: camelot-launch [--sites N] [--txns M] [--accounts K] \
+         [--transport udp|tcp] [--nonblocking] [--log-dir DIR] [--seed S]"
+    );
+    exit(2);
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        sites: 3,
+        txns: 20,
+        accounts: 4,
+        transport: "udp".into(),
+        nonblocking: false,
+        log_dir: None,
+        seed: 1,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--sites" => opts.sites = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--txns" => opts.txns = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--accounts" => opts.accounts = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--transport" => opts.transport = value(&mut i),
+            "--nonblocking" => opts.nonblocking = true,
+            "--log-dir" => opts.log_dir = Some(PathBuf::from(value(&mut i))),
+            "--seed" => opts.seed = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if opts.sites == 0 || opts.accounts == 0 {
+        usage();
+    }
+    opts
+}
+
+fn balance(raw: &[u8]) -> i64 {
+    if raw.is_empty() {
+        0
+    } else {
+        i64::from_le_bytes(raw.try_into().expect("8-byte balance"))
+    }
+}
+
+struct Site {
+    id: SiteId,
+    child: Child,
+    handshake: Handshake,
+    ctrl: CtrlClient,
+}
+
+/// Spawns one `camelot-site` child and completes its handshake.
+fn spawn_site(bin: &PathBuf, id: SiteId, opts: &Opts) -> Site {
+    let mut cmd = Command::new(bin);
+    cmd.arg("--site")
+        .arg(id.0.to_string())
+        .arg("--transport")
+        .arg(&opts.transport)
+        .arg("--fast")
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit());
+    if let Some(dir) = &opts.log_dir {
+        cmd.arg("--log-dir").arg(dir.join(format!("site-{}", id.0)));
+    }
+    let mut child = cmd.spawn().unwrap_or_else(|e| {
+        eprintln!("camelot-launch: failed to spawn {}: {e}", bin.display());
+        exit(1);
+    });
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let handshake = loop {
+        match lines.next() {
+            Some(Ok(line)) => {
+                if let Some(h) = Handshake::parse(&line) {
+                    break h;
+                }
+            }
+            _ => {
+                eprintln!("camelot-launch: site {} exited before handshake", id.0);
+                exit(1);
+            }
+        }
+    };
+    let ctrl = CtrlClient::connect(handshake.ctrl).unwrap_or_else(|e| {
+        eprintln!("camelot-launch: ctrl connect to site {}: {e}", id.0);
+        exit(1);
+    });
+    Site {
+        id,
+        child,
+        handshake,
+        ctrl,
+    }
+}
+
+/// SplitMix64: cheap deterministic stream for workload choices.
+fn mix(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn main() {
+    let opts = parse_opts();
+    let bin = std::env::current_exe()
+        .expect("current_exe")
+        .parent()
+        .expect("binary dir")
+        .join("camelot-site");
+
+    let mut sites: Vec<Site> = (1..=opts.sites)
+        .map(|i| spawn_site(&bin, SiteId(i), &opts))
+        .collect();
+    let peers: Vec<PeerEntry> = sites
+        .iter()
+        .map(|s| PeerEntry {
+            site: s.id,
+            addr: s.handshake.data.to_string(),
+        })
+        .collect();
+    for s in sites.iter_mut() {
+        s.ctrl.set_peers(peers.clone()).expect("distribute peers");
+    }
+    println!(
+        "camelot-launch: {} sites up ({}), {} accounts each",
+        opts.sites, opts.transport, opts.accounts
+    );
+
+    // Fund every site's ledger with one local transaction.
+    for s in sites.iter_mut() {
+        let tid = s.ctrl.begin().expect("begin funding txn");
+        for a in 0..opts.accounts {
+            s.ctrl
+                .write(&tid, SRV, ObjectId(a), INITIAL.to_le_bytes().to_vec())
+                .expect("fund account");
+        }
+        assert!(
+            s.ctrl
+                .commit(&tid, opts.nonblocking, vec![])
+                .expect("funding commit"),
+            "funding at site {} must commit",
+            s.id.0
+        );
+    }
+
+    let mut rng = opts.seed;
+    let mut committed = 0u32;
+    let mut aborted = 0u32;
+    for t in 0..opts.txns {
+        let coord = (t % opts.sites) as usize;
+        let src = (mix(&mut rng) % opts.sites as u64) as usize;
+        let mut dst = (mix(&mut rng) % opts.sites as u64) as usize;
+        if dst == src {
+            dst = (dst + 1) % opts.sites as usize;
+        }
+        let src_acct = ObjectId(mix(&mut rng) % opts.accounts);
+        let dst_acct = ObjectId(mix(&mut rng) % opts.accounts);
+        let amount = (mix(&mut rng) % 20) as i64 + 1;
+        match transfer(
+            &mut sites,
+            coord,
+            (src, src_acct),
+            (dst, dst_acct),
+            amount,
+            opts.nonblocking,
+        ) {
+            Ok(true) => committed += 1,
+            Ok(false) => aborted += 1,
+            Err(e) => {
+                aborted += 1;
+                eprintln!("camelot-launch: transfer {t} failed: {e}");
+            }
+        }
+    }
+    println!("camelot-launch: {committed} committed, {aborted} aborted");
+
+    // A non-blocking commit returns at quorum; subordinates apply the
+    // outcome in phase three. Audit only after the protocol quiesces.
+    if !wait_quiesce(&mut sites, StdDuration::from_secs(20)) {
+        for s in sites.iter_mut() {
+            let dump = s.ctrl.debug_state().unwrap_or_default();
+            if !dump.is_empty() {
+                eprintln!("camelot-launch: site {} still busy: {dump}", s.id.0);
+            }
+        }
+    }
+
+    // Conservation: committed balances must sum to the funded total.
+    let mut total = 0i64;
+    for s in sites.iter_mut() {
+        for a in 0..opts.accounts {
+            total += balance(
+                &s.ctrl
+                    .committed_value(SRV, ObjectId(a))
+                    .expect("committed value"),
+            );
+        }
+    }
+    let expected = opts.sites as i64 * opts.accounts as i64 * INITIAL;
+    let conserved = total == expected;
+    println!(
+        "camelot-launch: ledger total {total} (expected {expected}) — {}",
+        if conserved { "conserved" } else { "VIOLATION" }
+    );
+
+    for s in sites.iter_mut() {
+        s.ctrl.shutdown();
+        let _ = s.child.wait();
+    }
+    if !conserved {
+        exit(1);
+    }
+}
+
+/// Polls every site's protocol state until all are empty (every
+/// transaction resolved, applied, and forgotten everywhere) or the
+/// deadline passes.
+fn wait_quiesce(sites: &mut [Site], deadline: StdDuration) -> bool {
+    let start = std::time::Instant::now();
+    while start.elapsed() < deadline {
+        let busy = sites
+            .iter_mut()
+            .any(|s| s.ctrl.debug_state().map(|d| !d.is_empty()).unwrap_or(false));
+        if !busy {
+            return true;
+        }
+        std::thread::sleep(StdDuration::from_millis(50));
+    }
+    false
+}
+
+/// One cross-site transfer; `Ok(true)` committed, `Ok(false)` aborted.
+fn transfer(
+    sites: &mut [Site],
+    coord: usize,
+    (src, src_acct): (usize, ObjectId),
+    (dst, dst_acct): (usize, ObjectId),
+    amount: i64,
+    nonblocking: bool,
+) -> camelot_types::Result<bool> {
+    let tid: Tid = sites[coord].ctrl.begin()?;
+    let participants = vec![sites[src].id, sites[dst].id];
+    let run = |sites: &mut [Site]| -> camelot_types::Result<()> {
+        let from = balance(&sites[src].ctrl.read(&tid, SRV, src_acct)?);
+        sites[src]
+            .ctrl
+            .write(&tid, SRV, src_acct, (from - amount).to_le_bytes().to_vec())?;
+        let to = balance(&sites[dst].ctrl.read(&tid, SRV, dst_acct)?);
+        sites[dst]
+            .ctrl
+            .write(&tid, SRV, dst_acct, (to + amount).to_le_bytes().to_vec())?;
+        Ok(())
+    };
+    if let Err(e) = run(sites) {
+        // Lock conflict or timeout: abort and surface the cause.
+        let _ = sites[coord].ctrl.abort(&tid, participants);
+        return Err(e);
+    }
+    sites[coord].ctrl.commit(&tid, nonblocking, participants)
+}

@@ -1,0 +1,398 @@
+//! One Camelot site as a standalone OS process.
+//!
+//! Runs the real-thread runtime (`camelot-rt`) hosting exactly one
+//! site — engine shards, data servers, WAL (optionally file-backed),
+//! pipelined disk manager, tracer — and moves inter-TranMan traffic
+//! over real kernel sockets via `camelot_net::SocketTransport`.
+//!
+//! On startup the process binds two OS-assigned localhost ports (the
+//! UDP/TCP *data* socket and a TCP *control* socket), then prints one
+//! handshake line on stdout:
+//!
+//! ```text
+//! ready site=2 data=127.0.0.1:41234 ctrl=127.0.0.1:41235
+//! ```
+//!
+//! A launcher (`camelot-launch`) or test harness reads the handshake,
+//! distributes the data addresses with a `Peers` control request, and
+//! drives transactions over the control protocol
+//! (`camelot_node::ctrl`).
+//!
+//! Crash points armed over the control socket kill the site inside
+//! the runtime; a watchdog notices and turns that into a real process
+//! exit (status 3), so "kill a subordinate mid-prepare" in a test is
+//! an actual process death. Restarting means spawning a fresh process
+//! on the same `--log-dir`: recovery rebuilds the site from the log,
+//! and a fresh sequence base keeps peers from mistaking the new
+//! incarnation's datagrams for replays.
+
+use std::io::Write as IoWrite;
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::process::exit;
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration as StdDuration;
+
+use camelot_core::CommitMode;
+use camelot_net::{FaultPlan, FrameDecoder, SocketConfig, SocketMode, SocketTransport};
+use camelot_node::ctrl::{read_framed, write_framed, CtrlReply, CtrlRequest, Handshake};
+use camelot_rt::{Client, Cluster, RemoteNet, RtConfig};
+use camelot_types::Duration;
+use camelot_types::{CamelotError, SiteId};
+
+struct Opts {
+    site: SiteId,
+    mode: SocketMode,
+    log_dir: Option<PathBuf>,
+    servers: u32,
+    fast: bool,
+    call_timeout: StdDuration,
+    trace_out: Option<PathBuf>,
+    fault_seed: u64,
+    drop_pm: u32,
+    delay_pm: u32,
+    dup_pm: u32,
+    fault_delay: StdDuration,
+    fault_budget: u64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: camelot-site --site N [--transport udp|tcp] [--log-dir DIR] \
+         [--servers N] [--fast] [--call-timeout-ms MS] [--trace-out FILE] \
+         [--fault-seed S] [--drop PM] [--delay PM] [--dup PM] \
+         [--fault-delay-ms MS] [--fault-budget N]"
+    );
+    exit(2);
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        site: SiteId(0),
+        mode: SocketMode::Udp,
+        log_dir: None,
+        servers: 1,
+        fast: false,
+        call_timeout: StdDuration::from_secs(30),
+        trace_out: None,
+        fault_seed: 1,
+        drop_pm: 0,
+        delay_pm: 0,
+        dup_pm: 0,
+        fault_delay: StdDuration::from_millis(30),
+        fault_budget: 64,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--site" => opts.site = SiteId(value(&mut i).parse().unwrap_or_else(|_| usage())),
+            "--transport" => {
+                opts.mode = SocketMode::parse(&value(&mut i)).unwrap_or_else(|| usage())
+            }
+            "--log-dir" => opts.log_dir = Some(PathBuf::from(value(&mut i))),
+            "--servers" => opts.servers = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--fast" => opts.fast = true,
+            "--call-timeout-ms" => {
+                opts.call_timeout =
+                    StdDuration::from_millis(value(&mut i).parse().unwrap_or_else(|_| usage()))
+            }
+            "--trace-out" => opts.trace_out = Some(PathBuf::from(value(&mut i))),
+            "--fault-seed" => opts.fault_seed = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--drop" => opts.drop_pm = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--delay" => opts.delay_pm = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--dup" => opts.dup_pm = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--fault-delay-ms" => {
+                opts.fault_delay =
+                    StdDuration::from_millis(value(&mut i).parse().unwrap_or_else(|_| usage()))
+            }
+            "--fault-budget" => {
+                opts.fault_budget = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if opts.site.0 == 0 {
+        usage();
+    }
+    opts
+}
+
+/// Engine timeouts scaled for localhost tests: protocol recovery
+/// (vote timeouts, inquiries, takeovers) in hundreds of milliseconds
+/// instead of the paper-scale seconds, so an end-to-end test that
+/// kills a site converges quickly.
+fn fast_engine() -> camelot_core::EngineConfig {
+    camelot_core::EngineConfig {
+        vote_timeout: Duration::from_millis(800),
+        inquiry_interval: Duration::from_millis(500),
+        notify_resend_interval: Duration::from_millis(400),
+        nb_outcome_timeout: Duration::from_millis(700),
+        takeover_window: Duration::from_millis(300),
+        recruit_window: Duration::from_millis(300),
+        takeover_retry: Duration::from_millis(600),
+        retry_cap: Duration::from_secs(5),
+        orphan_check_interval: Duration::from_secs(1),
+        ..camelot_core::EngineConfig::default()
+    }
+}
+
+/// Bridges the partial cluster's non-local datagrams onto the socket
+/// transport. Installed after the transport exists; the brief window
+/// where sends find no transport is indistinguishable from loss, which
+/// the protocol already tolerates.
+#[derive(Default)]
+struct RemoteBridge {
+    transport: Mutex<Option<Arc<SocketTransport>>>,
+}
+
+impl RemoteBridge {
+    fn install(&self, t: Arc<SocketTransport>) {
+        *self.transport.lock().unwrap() = Some(t);
+    }
+}
+
+impl RemoteNet for RemoteBridge {
+    fn send_remote(&self, _from: SiteId, to: SiteId, msg: camelot_net::TmMessage) {
+        if let Some(t) = self.transport.lock().unwrap().as_ref() {
+            // An unknown peer is a lost datagram; protocol timers
+            // (inquiry, resend) recover once the peer map arrives.
+            let _ = t.send(to, msg, vec![]);
+        }
+    }
+}
+
+fn main() {
+    let opts = parse_opts();
+    let site = opts.site;
+    let fault = Arc::new(if opts.drop_pm + opts.delay_pm + opts.dup_pm > 0 {
+        FaultPlan::new(
+            opts.fault_seed,
+            opts.drop_pm,
+            opts.delay_pm,
+            opts.dup_pm,
+            opts.fault_delay,
+            opts.fault_budget,
+        )
+    } else {
+        FaultPlan::disabled()
+    });
+    let cfg = RtConfig {
+        servers_per_site: opts.servers,
+        call_timeout: opts.call_timeout,
+        log_dir: opts.log_dir.clone(),
+        trace: true,
+        engine: if opts.fast {
+            fast_engine()
+        } else {
+            camelot_core::EngineConfig::default()
+        },
+        ..RtConfig::default()
+    };
+    let bridge = Arc::new(RemoteBridge::default());
+    let cluster = Arc::new(Cluster::new_site(
+        site,
+        cfg,
+        Arc::clone(&fault),
+        bridge.clone() as Arc<dyn RemoteNet>,
+    ));
+    let transport = Arc::new(
+        SocketTransport::bind(
+            SocketConfig::new(site, opts.mode),
+            Arc::clone(&fault),
+            cluster.site_tracer(site),
+        )
+        .expect("bind data socket"),
+    );
+    bridge.install(Arc::clone(&transport));
+
+    // Inbound data plane: deduplicated deliveries feed the TranMan
+    // exactly as the in-process router would.
+    {
+        let cluster = Arc::clone(&cluster);
+        let transport = Arc::clone(&transport);
+        thread::spawn(move || loop {
+            match transport.recv() {
+                Ok(Some(delivery)) => {
+                    for msg in delivery.messages {
+                        cluster.inject_datagram(delivery.from, site, msg);
+                    }
+                }
+                Ok(None) => {}
+                Err(e) => eprintln!("site {}: data recv error: {e}", site.0),
+            }
+        });
+    }
+
+    // Watchdog: an armed crash point kills the site inside the
+    // runtime; make that a real process death so multi-process tests
+    // observe an actual exit.
+    {
+        let cluster = Arc::clone(&cluster);
+        let trace_out = opts.trace_out.clone();
+        thread::spawn(move || loop {
+            thread::sleep(StdDuration::from_millis(20));
+            if !cluster.is_alive(site) {
+                if let Some(path) = &trace_out {
+                    let _ = std::fs::write(path, cluster.drain_trace_jsonl());
+                }
+                eprintln!("site {}: crashed at armed crash point; exiting", site.0);
+                exit(3);
+            }
+        });
+    }
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ctrl socket");
+    let handshake = Handshake {
+        site,
+        data: transport.local_addr(),
+        ctrl: listener.local_addr().expect("ctrl addr"),
+    };
+    println!("{}", handshake.render());
+    std::io::stdout().flush().expect("flush handshake");
+
+    for conn in listener.incoming() {
+        let Ok(stream) = conn else { continue };
+        let cluster = Arc::clone(&cluster);
+        let transport = Arc::clone(&transport);
+        let fault = Arc::clone(&fault);
+        let trace_out = opts.trace_out.clone();
+        thread::spawn(move || serve_ctrl(stream, site, cluster, transport, fault, trace_out));
+    }
+}
+
+fn serve_ctrl(
+    mut stream: TcpStream,
+    site: SiteId,
+    cluster: Arc<Cluster>,
+    transport: Arc<SocketTransport>,
+    fault: Arc<FaultPlan>,
+    trace_out: Option<PathBuf>,
+) {
+    let _ = stream.set_nodelay(true);
+    let client = cluster.client(site);
+    let mut dec = FrameDecoder::new();
+    loop {
+        let req = match read_framed::<CtrlRequest>(&mut stream, &mut dec) {
+            Ok(Some(req)) => req,
+            Ok(None) => return,
+            Err(e) => {
+                eprintln!("site {}: ctrl decode error: {e}", site.0);
+                return;
+            }
+        };
+        let shutdown = matches!(req, CtrlRequest::Shutdown);
+        let reply = handle(req, site, &client, &cluster, &transport, &fault);
+        if write_framed(&mut stream, &reply).is_err() {
+            return;
+        }
+        if shutdown {
+            let _ = stream.flush();
+            if let Some(path) = &trace_out {
+                let _ = std::fs::write(path, cluster.drain_trace_jsonl());
+            }
+            exit(0);
+        }
+    }
+}
+
+fn handle(
+    req: CtrlRequest,
+    site: SiteId,
+    client: &Client,
+    cluster: &Cluster,
+    transport: &SocketTransport,
+    fault: &FaultPlan,
+) -> CtrlReply {
+    match req {
+        CtrlRequest::Ping => CtrlReply::Pong { site },
+        CtrlRequest::Peers { peers } => {
+            for p in peers {
+                if p.site == site {
+                    continue;
+                }
+                match p.addr.parse() {
+                    Ok(addr) => transport.set_peer(p.site, addr),
+                    Err(e) => {
+                        return CtrlReply::Err {
+                            detail: format!("bad peer address {}: {e}", p.addr),
+                        }
+                    }
+                }
+            }
+            CtrlReply::Ok
+        }
+        CtrlRequest::Begin => match client.begin() {
+            Ok(tid) => CtrlReply::Began { tid },
+            Err(e) => err(e),
+        },
+        CtrlRequest::Read {
+            tid,
+            server,
+            object,
+        } => match client.read(&tid, site, server, object) {
+            Ok(value) => CtrlReply::Value { value },
+            Err(e) => err(e),
+        },
+        CtrlRequest::Write {
+            tid,
+            server,
+            object,
+            value,
+        } => match client.write(&tid, site, server, object, value) {
+            Ok(value) => CtrlReply::Value { value },
+            Err(e) => err(e),
+        },
+        CtrlRequest::Commit {
+            tid,
+            nonblocking,
+            participants,
+        } => {
+            let mode = if nonblocking {
+                CommitMode::NonBlocking
+            } else {
+                CommitMode::TwoPhase
+            };
+            match client.commit_with(&tid, mode, participants) {
+                Ok(outcome) => CtrlReply::Outcome {
+                    committed: outcome == camelot_net::Outcome::Committed,
+                },
+                Err(e) => err(e),
+            }
+        }
+        CtrlRequest::Abort { tid, participants } => match client.abort_with(&tid, participants) {
+            Ok(()) => CtrlReply::Ok,
+            Err(e) => err(e),
+        },
+        CtrlRequest::CommittedValue { server, object } => CtrlReply::Value {
+            value: cluster.committed_value(site, server, object),
+        },
+        CtrlRequest::DebugState => CtrlReply::State {
+            dump: cluster.debug_state(site),
+        },
+        CtrlRequest::ArmCrash { point } => {
+            fault.arm_crash(site, point);
+            CtrlReply::Ok
+        }
+        CtrlRequest::Heal => {
+            fault.heal();
+            CtrlReply::Ok
+        }
+        CtrlRequest::DrainTrace => CtrlReply::Trace {
+            jsonl: cluster.drain_trace_jsonl(),
+        },
+        CtrlRequest::Shutdown => CtrlReply::Ok,
+    }
+}
+
+fn err(e: CamelotError) -> CtrlReply {
+    CtrlReply::Err {
+        detail: format!("{e}"),
+    }
+}

@@ -1,0 +1,679 @@
+//! Control-plane protocol for `camelot-site` processes.
+//!
+//! A site process exposes two sockets: the *data* socket carrying
+//! inter-TranMan traffic (see `camelot_net::SocketTransport`) and a
+//! *control* TCP socket carrying this protocol. The control plane is
+//! the multi-process stand-in for the in-process [`Client`] handle and
+//! the test harness hooks — beginning transactions, issuing
+//! operations, committing with an explicit participant list, arming
+//! crash points, and draining the trace ring.
+//!
+//! Requests and replies use the repo's wire format, carried in the
+//! same length-prefixed CRC-guarded frames as the data plane, so one
+//! `FrameDecoder` per connection reassembles them from the stream.
+//!
+//! [`Client`]: ../../camelot_rt/client/struct.Client.html
+
+use std::io::{Read as IoRead, Write as IoWrite};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration as StdDuration;
+
+use camelot_net::{encode_frame, FrameDecoder};
+use camelot_types::wire::{Reader, Wire, Writer};
+use camelot_types::{CamelotError, CrashPoint, ObjectId, Result, ServerId, SiteId, Tid};
+
+/// One site's data-plane address, as distributed by the launcher.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeerEntry {
+    pub site: SiteId,
+    /// Socket address in its canonical textual form.
+    pub addr: String,
+}
+
+impl Wire for PeerEntry {
+    fn encode(&self, w: &mut Writer) {
+        w.put(&self.site);
+        w.put_str(&self.addr);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(PeerEntry {
+            site: r.get()?,
+            addr: r.get_str()?,
+        })
+    }
+}
+
+/// A request to a site process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CtrlRequest {
+    /// Liveness probe; answered with [`CtrlReply::Pong`].
+    Ping,
+    /// Install the data-plane address of every peer site.
+    Peers { peers: Vec<PeerEntry> },
+    /// `begin-transaction` homed at this site.
+    Begin,
+    /// Read an object at a local server under `tid`.
+    Read {
+        tid: Tid,
+        server: ServerId,
+        object: ObjectId,
+    },
+    /// Write an object at a local server under `tid`.
+    Write {
+        tid: Tid,
+        server: ServerId,
+        object: ObjectId,
+        value: Vec<u8>,
+    },
+    /// Commit `tid` with this site as coordinator. `participants`
+    /// declares the remote spread — in a multi-process deployment the
+    /// driving application talks to each site directly, so the home
+    /// communication manager never spies the remote operations.
+    Commit {
+        tid: Tid,
+        nonblocking: bool,
+        participants: Vec<SiteId>,
+    },
+    /// Abort `tid`, with the same explicit participant list.
+    Abort { tid: Tid, participants: Vec<SiteId> },
+    /// The committed (post-recovery-visible) value of an object.
+    CommittedValue { server: ServerId, object: ObjectId },
+    /// One-line-per-entity dump of live protocol state.
+    DebugState,
+    /// Arm a one-shot crash of this site at the named point. When the
+    /// crash fires, the watchdog turns it into a real process exit.
+    ArmCrash { point: CrashPoint },
+    /// Stop all fault injection on this site's plan.
+    Heal,
+    /// Drain the site's trace ring as JSON Lines.
+    DrainTrace,
+    /// Clean process exit.
+    Shutdown,
+}
+
+const Q_PING: u8 = 1;
+const Q_PEERS: u8 = 2;
+const Q_BEGIN: u8 = 3;
+const Q_READ: u8 = 4;
+const Q_WRITE: u8 = 5;
+const Q_COMMIT: u8 = 6;
+const Q_ABORT: u8 = 7;
+const Q_COMMITTED_VALUE: u8 = 8;
+const Q_DEBUG_STATE: u8 = 9;
+const Q_ARM_CRASH: u8 = 10;
+const Q_HEAL: u8 = 11;
+const Q_DRAIN_TRACE: u8 = 12;
+const Q_SHUTDOWN: u8 = 13;
+
+impl Wire for CtrlRequest {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            CtrlRequest::Ping => w.put_u8(Q_PING),
+            CtrlRequest::Peers { peers } => {
+                w.put_u8(Q_PEERS);
+                w.put_seq(peers);
+            }
+            CtrlRequest::Begin => w.put_u8(Q_BEGIN),
+            CtrlRequest::Read {
+                tid,
+                server,
+                object,
+            } => {
+                w.put_u8(Q_READ);
+                w.put(tid);
+                w.put(server);
+                w.put(object);
+            }
+            CtrlRequest::Write {
+                tid,
+                server,
+                object,
+                value,
+            } => {
+                w.put_u8(Q_WRITE);
+                w.put(tid);
+                w.put(server);
+                w.put(object);
+                w.put_bytes(value);
+            }
+            CtrlRequest::Commit {
+                tid,
+                nonblocking,
+                participants,
+            } => {
+                w.put_u8(Q_COMMIT);
+                w.put(tid);
+                w.put_bool(*nonblocking);
+                w.put_seq(participants);
+            }
+            CtrlRequest::Abort { tid, participants } => {
+                w.put_u8(Q_ABORT);
+                w.put(tid);
+                w.put_seq(participants);
+            }
+            CtrlRequest::CommittedValue { server, object } => {
+                w.put_u8(Q_COMMITTED_VALUE);
+                w.put(server);
+                w.put(object);
+            }
+            CtrlRequest::DebugState => w.put_u8(Q_DEBUG_STATE),
+            CtrlRequest::ArmCrash { point } => {
+                w.put_u8(Q_ARM_CRASH);
+                w.put_u8(point.to_wire());
+            }
+            CtrlRequest::Heal => w.put_u8(Q_HEAL),
+            CtrlRequest::DrainTrace => w.put_u8(Q_DRAIN_TRACE),
+            CtrlRequest::Shutdown => w.put_u8(Q_SHUTDOWN),
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(match r.get_u8()? {
+            Q_PING => CtrlRequest::Ping,
+            Q_PEERS => CtrlRequest::Peers {
+                peers: r.get_seq()?,
+            },
+            Q_BEGIN => CtrlRequest::Begin,
+            Q_READ => CtrlRequest::Read {
+                tid: r.get()?,
+                server: r.get()?,
+                object: r.get()?,
+            },
+            Q_WRITE => CtrlRequest::Write {
+                tid: r.get()?,
+                server: r.get()?,
+                object: r.get()?,
+                value: r.get_bytes()?,
+            },
+            Q_COMMIT => CtrlRequest::Commit {
+                tid: r.get()?,
+                nonblocking: r.get_bool()?,
+                participants: r.get_seq()?,
+            },
+            Q_ABORT => CtrlRequest::Abort {
+                tid: r.get()?,
+                participants: r.get_seq()?,
+            },
+            Q_COMMITTED_VALUE => CtrlRequest::CommittedValue {
+                server: r.get()?,
+                object: r.get()?,
+            },
+            Q_DEBUG_STATE => CtrlRequest::DebugState,
+            Q_ARM_CRASH => {
+                let raw = r.get_u8()?;
+                let point = CrashPoint::from_wire(raw)
+                    .ok_or_else(|| CamelotError::Codec(format!("bad crash point {raw}")))?;
+                CtrlRequest::ArmCrash { point }
+            }
+            Q_HEAL => CtrlRequest::Heal,
+            Q_DRAIN_TRACE => CtrlRequest::DrainTrace,
+            Q_SHUTDOWN => CtrlRequest::Shutdown,
+            v => return Err(CamelotError::Codec(format!("unknown ctrl request {v}"))),
+        })
+    }
+}
+
+/// A site process's reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CtrlReply {
+    Ok,
+    Pong {
+        site: SiteId,
+    },
+    Began {
+        tid: Tid,
+    },
+    Value {
+        value: Vec<u8>,
+    },
+    /// Commit outcome: `true` is committed, `false` aborted.
+    Outcome {
+        committed: bool,
+    },
+    State {
+        dump: String,
+    },
+    Trace {
+        jsonl: String,
+    },
+    /// A typed error rendered for transport; the call provably or
+    /// possibly did not take effect (the detail says which).
+    Err {
+        detail: String,
+    },
+}
+
+const R_OK: u8 = 1;
+const R_PONG: u8 = 2;
+const R_BEGAN: u8 = 3;
+const R_VALUE: u8 = 4;
+const R_OUTCOME: u8 = 5;
+const R_STATE: u8 = 6;
+const R_TRACE: u8 = 7;
+const R_ERR: u8 = 8;
+
+impl Wire for CtrlReply {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            CtrlReply::Ok => w.put_u8(R_OK),
+            CtrlReply::Pong { site } => {
+                w.put_u8(R_PONG);
+                w.put(site);
+            }
+            CtrlReply::Began { tid } => {
+                w.put_u8(R_BEGAN);
+                w.put(tid);
+            }
+            CtrlReply::Value { value } => {
+                w.put_u8(R_VALUE);
+                w.put_bytes(value);
+            }
+            CtrlReply::Outcome { committed } => {
+                w.put_u8(R_OUTCOME);
+                w.put_bool(*committed);
+            }
+            CtrlReply::State { dump } => {
+                w.put_u8(R_STATE);
+                w.put_str(dump);
+            }
+            CtrlReply::Trace { jsonl } => {
+                w.put_u8(R_TRACE);
+                w.put_str(jsonl);
+            }
+            CtrlReply::Err { detail } => {
+                w.put_u8(R_ERR);
+                w.put_str(detail);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(match r.get_u8()? {
+            R_OK => CtrlReply::Ok,
+            R_PONG => CtrlReply::Pong { site: r.get()? },
+            R_BEGAN => CtrlReply::Began { tid: r.get()? },
+            R_VALUE => CtrlReply::Value {
+                value: r.get_bytes()?,
+            },
+            R_OUTCOME => CtrlReply::Outcome {
+                committed: r.get_bool()?,
+            },
+            R_STATE => CtrlReply::State { dump: r.get_str()? },
+            R_TRACE => CtrlReply::Trace {
+                jsonl: r.get_str()?,
+            },
+            R_ERR => CtrlReply::Err {
+                detail: r.get_str()?,
+            },
+            v => return Err(CamelotError::Codec(format!("unknown ctrl reply {v}"))),
+        })
+    }
+}
+
+/// Writes one wire value as a frame on a stream.
+pub fn write_framed<T: Wire>(stream: &mut TcpStream, value: &T) -> std::io::Result<()> {
+    stream.write_all(&encode_frame(&value.to_bytes()))
+}
+
+/// Reads the next framed wire value off a stream, feeding `dec`.
+/// `Ok(None)` means the peer closed the stream cleanly between frames.
+pub fn read_framed<T: Wire>(stream: &mut TcpStream, dec: &mut FrameDecoder) -> Result<Option<T>> {
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        if let Some(payload) = dec.next_frame()? {
+            return T::from_bytes(&payload).map(Some);
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => {
+                if dec.buffered() == 0 {
+                    return Ok(None);
+                }
+                return Err(CamelotError::Codec("ctrl stream ended mid-frame".into()));
+            }
+            Ok(n) => dec.extend(&buf[..n]),
+            Err(e) => return Err(CamelotError::Log(format!("ctrl read: {e}"))),
+        }
+    }
+}
+
+/// A synchronous client of one site process's control socket.
+pub struct CtrlClient {
+    stream: TcpStream,
+    dec: FrameDecoder,
+}
+
+impl CtrlClient {
+    /// Connects, retrying briefly — the site process prints its
+    /// handshake before it starts accepting, so the first connect can
+    /// race the listener.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<CtrlClient> {
+        let mut last = None;
+        for _ in 0..50 {
+            match TcpStream::connect(addr) {
+                Ok(stream) => {
+                    stream.set_nodelay(true).ok();
+                    return Ok(CtrlClient {
+                        stream,
+                        dec: FrameDecoder::new(),
+                    });
+                }
+                Err(e) => {
+                    last = Some(e);
+                    std::thread::sleep(StdDuration::from_millis(20));
+                }
+            }
+        }
+        Err(last.unwrap_or_else(|| std::io::Error::other("connect failed")))
+    }
+
+    /// One request/reply round trip.
+    pub fn call(&mut self, req: &CtrlRequest) -> Result<CtrlReply> {
+        write_framed(&mut self.stream, req)
+            .map_err(|e| CamelotError::Log(format!("ctrl write: {e}")))?;
+        read_framed(&mut self.stream, &mut self.dec)?
+            .ok_or_else(|| CamelotError::Log("ctrl peer closed".into()))
+    }
+
+    /// Calls and converts a [`CtrlReply::Err`] into a typed error.
+    fn call_ok(&mut self, req: &CtrlRequest) -> Result<CtrlReply> {
+        match self.call(req)? {
+            CtrlReply::Err { detail } => Err(CamelotError::Log(detail)),
+            other => Ok(other),
+        }
+    }
+
+    pub fn ping(&mut self) -> Result<SiteId> {
+        match self.call_ok(&CtrlRequest::Ping)? {
+            CtrlReply::Pong { site } => Ok(site),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    pub fn set_peers(&mut self, peers: Vec<PeerEntry>) -> Result<()> {
+        match self.call_ok(&CtrlRequest::Peers { peers })? {
+            CtrlReply::Ok => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    pub fn begin(&mut self) -> Result<Tid> {
+        match self.call_ok(&CtrlRequest::Begin)? {
+            CtrlReply::Began { tid } => Ok(tid),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    pub fn read(&mut self, tid: &Tid, server: ServerId, object: ObjectId) -> Result<Vec<u8>> {
+        match self.call_ok(&CtrlRequest::Read {
+            tid: tid.clone(),
+            server,
+            object,
+        })? {
+            CtrlReply::Value { value } => Ok(value),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    pub fn write(
+        &mut self,
+        tid: &Tid,
+        server: ServerId,
+        object: ObjectId,
+        value: Vec<u8>,
+    ) -> Result<Vec<u8>> {
+        match self.call_ok(&CtrlRequest::Write {
+            tid: tid.clone(),
+            server,
+            object,
+            value,
+        })? {
+            CtrlReply::Value { value } => Ok(value),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Returns true when the transaction committed.
+    pub fn commit(
+        &mut self,
+        tid: &Tid,
+        nonblocking: bool,
+        participants: Vec<SiteId>,
+    ) -> Result<bool> {
+        match self.call_ok(&CtrlRequest::Commit {
+            tid: tid.clone(),
+            nonblocking,
+            participants,
+        })? {
+            CtrlReply::Outcome { committed } => Ok(committed),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    pub fn abort(&mut self, tid: &Tid, participants: Vec<SiteId>) -> Result<()> {
+        match self.call_ok(&CtrlRequest::Abort {
+            tid: tid.clone(),
+            participants,
+        })? {
+            CtrlReply::Ok => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    pub fn committed_value(&mut self, server: ServerId, object: ObjectId) -> Result<Vec<u8>> {
+        match self.call_ok(&CtrlRequest::CommittedValue { server, object })? {
+            CtrlReply::Value { value } => Ok(value),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    pub fn debug_state(&mut self) -> Result<String> {
+        match self.call_ok(&CtrlRequest::DebugState)? {
+            CtrlReply::State { dump } => Ok(dump),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    pub fn arm_crash(&mut self, point: CrashPoint) -> Result<()> {
+        match self.call_ok(&CtrlRequest::ArmCrash { point })? {
+            CtrlReply::Ok => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    pub fn heal(&mut self) -> Result<()> {
+        match self.call_ok(&CtrlRequest::Heal)? {
+            CtrlReply::Ok => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    pub fn drain_trace(&mut self) -> Result<String> {
+        match self.call_ok(&CtrlRequest::DrainTrace)? {
+            CtrlReply::Trace { jsonl } => Ok(jsonl),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Asks the process to exit; the closed stream is the expected
+    /// outcome, so transport errors after the request are swallowed.
+    pub fn shutdown(&mut self) {
+        let _ = self.call(&CtrlRequest::Shutdown);
+    }
+}
+
+fn unexpected(reply: CtrlReply) -> CamelotError {
+    CamelotError::Internal(format!("unexpected ctrl reply {reply:?}"))
+}
+
+/// The `ready` handshake a `camelot-site` process prints on stdout
+/// once both sockets are bound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Handshake {
+    pub site: SiteId,
+    pub data: SocketAddr,
+    pub ctrl: SocketAddr,
+}
+
+impl Handshake {
+    /// Renders the stdout line: `ready site=1 data=ADDR ctrl=ADDR`.
+    pub fn render(&self) -> String {
+        format!(
+            "ready site={} data={} ctrl={}",
+            self.site.0, self.data, self.ctrl
+        )
+    }
+
+    /// Parses a handshake line (ignores unrelated lines by returning
+    /// `None`).
+    pub fn parse(line: &str) -> Option<Handshake> {
+        let line = line.trim();
+        let rest = line.strip_prefix("ready ")?;
+        let mut site = None;
+        let mut data = None;
+        let mut ctrl = None;
+        for tok in rest.split_whitespace() {
+            if let Some(v) = tok.strip_prefix("site=") {
+                site = v.parse::<u32>().ok().map(SiteId);
+            } else if let Some(v) = tok.strip_prefix("data=") {
+                data = v.parse::<SocketAddr>().ok();
+            } else if let Some(v) = tok.strip_prefix("ctrl=") {
+                ctrl = v.parse::<SocketAddr>().ok();
+            }
+        }
+        Some(Handshake {
+            site: site?,
+            data: data?,
+            ctrl: ctrl?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camelot_types::FamilyId;
+
+    fn tid() -> Tid {
+        Tid::top_level(FamilyId {
+            origin: SiteId(2),
+            seq: 7,
+        })
+    }
+
+    fn all_requests() -> Vec<CtrlRequest> {
+        vec![
+            CtrlRequest::Ping,
+            CtrlRequest::Peers {
+                peers: vec![
+                    PeerEntry {
+                        site: SiteId(1),
+                        addr: "127.0.0.1:4001".into(),
+                    },
+                    PeerEntry {
+                        site: SiteId(2),
+                        addr: "127.0.0.1:4002".into(),
+                    },
+                ],
+            },
+            CtrlRequest::Begin,
+            CtrlRequest::Read {
+                tid: tid(),
+                server: ServerId(1),
+                object: ObjectId(9),
+            },
+            CtrlRequest::Write {
+                tid: tid(),
+                server: ServerId(1),
+                object: ObjectId(9),
+                value: vec![1, 2, 3],
+            },
+            CtrlRequest::Commit {
+                tid: tid(),
+                nonblocking: true,
+                participants: vec![SiteId(2), SiteId(3)],
+            },
+            CtrlRequest::Abort {
+                tid: tid(),
+                participants: vec![SiteId(3)],
+            },
+            CtrlRequest::CommittedValue {
+                server: ServerId(1),
+                object: ObjectId(9),
+            },
+            CtrlRequest::DebugState,
+            CtrlRequest::ArmCrash {
+                point: CrashPoint::PostForcePreSend,
+            },
+            CtrlRequest::Heal,
+            CtrlRequest::DrainTrace,
+            CtrlRequest::Shutdown,
+        ]
+    }
+
+    fn all_replies() -> Vec<CtrlReply> {
+        vec![
+            CtrlReply::Ok,
+            CtrlReply::Pong { site: SiteId(3) },
+            CtrlReply::Began { tid: tid() },
+            CtrlReply::Value { value: vec![7; 9] },
+            CtrlReply::Outcome { committed: true },
+            CtrlReply::Outcome { committed: false },
+            CtrlReply::State {
+                dump: "s1 engine: f live".into(),
+            },
+            CtrlReply::Trace {
+                jsonl: "{\"kind\":\"crash\"}\n".into(),
+            },
+            CtrlReply::Err {
+                detail: "timeout".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_request_roundtrips() {
+        for q in all_requests() {
+            let b = q.to_bytes();
+            assert_eq!(CtrlRequest::from_bytes(&b).unwrap(), q, "{q:?}");
+        }
+    }
+
+    #[test]
+    fn every_reply_roundtrips() {
+        for r in all_replies() {
+            let b = r.to_bytes();
+            assert_eq!(CtrlReply::from_bytes(&b).unwrap(), r, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn truncated_requests_fail_cleanly() {
+        for q in all_requests() {
+            let b = q.to_bytes();
+            for cut in 0..b.len() {
+                assert!(CtrlRequest::from_bytes(&b[..cut]).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn bad_tags_rejected() {
+        assert!(CtrlRequest::from_bytes(&[0]).is_err());
+        assert!(CtrlRequest::from_bytes(&[99]).is_err());
+        assert!(CtrlReply::from_bytes(&[99]).is_err());
+        // Bad crash-point byte inside an otherwise valid ArmCrash.
+        assert!(CtrlRequest::from_bytes(&[super::Q_ARM_CRASH, 77]).is_err());
+    }
+
+    #[test]
+    fn handshake_roundtrips_and_rejects_noise() {
+        let h = Handshake {
+            site: SiteId(3),
+            data: "127.0.0.1:5001".parse().unwrap(),
+            ctrl: "127.0.0.1:5002".parse().unwrap(),
+        };
+        assert_eq!(Handshake::parse(&h.render()), Some(h.clone()));
+        assert_eq!(Handshake::parse("starting up..."), None);
+        assert_eq!(Handshake::parse("ready site=x data=y ctrl=z"), None);
+    }
+}

@@ -30,10 +30,20 @@
 //!   single-threaded logger; jitter off; measures transactions per
 //!   second at saturation.
 
+//!
+//! The crate also hosts the *multi-process* deployment pieces: the
+//! `camelot-site` binary (one real site — engine shards, WAL file,
+//! disk manager, socket transport — as a standalone OS process), the
+//! `camelot-launch` binary (an N-site localhost cluster running the
+//! banking workload), and the [`ctrl`] control-plane protocol the two
+//! speak.
+
 pub mod app;
 pub mod config;
+pub mod ctrl;
 pub mod world;
 
 pub use app::{AppSpec, OpSpec, TxnRecord};
 pub use config::{DiskConfig, NetConfig, TmConfig, WorldConfig};
+pub use ctrl::{CtrlClient, CtrlReply, CtrlRequest, Handshake, PeerEntry};
 pub use world::World;

@@ -78,6 +78,18 @@ pub enum TraceEventKind {
     TakeoverStart,
     /// The takeover found itself blocked on an unreachable quorum.
     TakeoverBlocked,
+    /// An envelope was serialized and framed for a real socket
+    /// (site-level event; `bytes` is the framed size — the payload the
+    /// kernel will copy, the cost Mach message passing hid in-process).
+    WireEncode { bytes: u32 },
+    /// A received frame passed magic/version/CRC checks and decoded
+    /// back into an envelope (site-level event).
+    WireDecode { bytes: u32 },
+    /// A frame left this site through a kernel socket (site-level
+    /// event).
+    SocketSend { to: SiteId, bytes: u32 },
+    /// A frame arrived from a kernel socket (site-level event).
+    SocketRecv { from: SiteId, bytes: u32 },
     /// The site was killed (site-level event).
     Crash,
     /// The site restarted and ran recovery (site-level event).
@@ -106,6 +118,10 @@ impl TraceEventKind {
             TraceEventKind::Resolved { .. } => "resolved",
             TraceEventKind::TakeoverStart => "takeover_start",
             TraceEventKind::TakeoverBlocked => "takeover_blocked",
+            TraceEventKind::WireEncode { .. } => "wire_encode",
+            TraceEventKind::WireDecode { .. } => "wire_decode",
+            TraceEventKind::SocketSend { .. } => "socket_send",
+            TraceEventKind::SocketRecv { .. } => "socket_recv",
             TraceEventKind::Crash => "crash",
             TraceEventKind::Restart => "restart",
             TraceEventKind::Recovered { .. } => "recovered",
@@ -183,6 +199,15 @@ impl TraceEvent {
             }
             TraceEventKind::Recovered { state } => {
                 let _ = write!(s, ",\"state\":\"{state}\"");
+            }
+            TraceEventKind::WireEncode { bytes } | TraceEventKind::WireDecode { bytes } => {
+                let _ = write!(s, ",\"bytes\":{bytes}");
+            }
+            TraceEventKind::SocketSend { to, bytes } => {
+                let _ = write!(s, ",\"to\":{},\"bytes\":{bytes}", to.0);
+            }
+            TraceEventKind::SocketRecv { from, bytes } => {
+                let _ = write!(s, ",\"from\":{},\"bytes\":{bytes}", from.0);
             }
             _ => {}
         }

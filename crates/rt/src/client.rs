@@ -102,11 +102,26 @@ impl Client {
     /// `commit-transaction`. The protocol (two-phase or non-blocking)
     /// is an argument, as in Camelot.
     pub fn commit(&self, tid: &Tid, mode: CommitMode) -> Result<Outcome> {
+        self.commit_with(tid, mode, Vec::new())
+    }
+
+    /// [`Client::commit`] with an explicit list of extra participant
+    /// sites, merged with whatever the home communication manager
+    /// spied. In-process clients never need it — every operation flows
+    /// through the home CornMan, which learns the spread itself. In a
+    /// multi-process deployment the driving application talks to each
+    /// site process directly, so the home CornMan never sees the
+    /// remote operations and the application must declare where the
+    /// transaction spread — the paper's "the application knows its
+    /// servers" assumption made explicit.
+    pub fn commit_with(
+        &self,
+        tid: &Tid,
+        mode: CommitMode,
+        extra_participants: Vec<SiteId>,
+    ) -> Result<Outcome> {
         let started = Instant::now();
-        let participants = {
-            let site = self.inner.sites.get(&self.home).expect("home exists");
-            site.comman.lock().participants(&tid.family)
-        };
+        let participants = self.merged_participants(tid, extra_participants);
         let t = tid.clone();
         let reply = self.tm_call(Some(tid.clone()), move |req| Input::CommitTop {
             req,
@@ -157,10 +172,14 @@ impl Client {
 
     /// `abort-transaction` (top-level or nested).
     pub fn abort(&self, tid: &Tid) -> Result<()> {
-        let participants = {
-            let site = self.inner.sites.get(&self.home).expect("home exists");
-            site.comman.lock().participants(&tid.family)
-        };
+        self.abort_with(tid, Vec::new())
+    }
+
+    /// [`Client::abort`] with explicitly declared extra participants —
+    /// the multi-process counterpart, mirroring
+    /// [`Client::commit_with`].
+    pub fn abort_with(&self, tid: &Tid, extra_participants: Vec<SiteId>) -> Result<()> {
+        let participants = self.merged_participants(tid, extra_participants);
         let t = tid.clone();
         match self.tm_call(Some(tid.clone()), move |req| Input::AbortTx {
             req,
@@ -177,6 +196,22 @@ impl Client {
     }
 
     // -----------------------------------------------------------------
+
+    /// Union of the home CornMan's spied participants and the
+    /// caller-declared extras, minus the home site itself (the
+    /// coordinator is never its own subordinate), deduplicated and
+    /// ordered.
+    fn merged_participants(&self, tid: &Tid, extra: Vec<SiteId>) -> Vec<SiteId> {
+        let mut participants = {
+            let site = self.inner.sites.get(&self.home).expect("home exists");
+            site.comman.lock().participants(&tid.family)
+        };
+        participants.extend(extra);
+        participants.retain(|s| *s != self.home);
+        participants.sort();
+        participants.dedup();
+        participants
+    }
 
     /// One synchronous call into the home TranMan. A reply that never
     /// arrives within `call_timeout` surfaces as the typed

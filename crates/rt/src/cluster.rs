@@ -132,6 +132,24 @@ impl Default for RtConfig {
     }
 }
 
+/// Outbound hook for datagrams whose destination is not one of this
+/// cluster's local sites.
+///
+/// An ordinary in-process cluster hosts every site and never needs
+/// one. A *partial* cluster — one site process of a multi-process
+/// deployment, built with [`Cluster::new_site`] — installs a hook that
+/// hands the datagram to a real transport
+/// ([`SocketTransport`](camelot_net::SocketTransport)); inbound
+/// traffic comes back through [`Cluster::inject_datagram`].
+///
+/// The hook is called below the engine but *above* the wire: fault
+/// injection for remote links belongs to the transport (which shares
+/// the [`FaultPlan`]), so remote sends bypass the cluster's own link
+/// fault roll — otherwise a shared plan would roll twice per datagram.
+pub trait RemoteNet: Send + Sync {
+    fn send_remote(&self, from: SiteId, to: SiteId, msg: camelot_net::TmMessage);
+}
+
 pub(crate) enum DiskJob {
     /// A force request: the record is already appended (by the
     /// requesting worker); make the log durable through `upto` and
@@ -252,6 +270,10 @@ pub(crate) struct ClusterInner {
     /// Fault-injection plan consulted on every datagram and at the
     /// named crash points. [`FaultPlan::disabled`] for ordinary runs.
     pub fault: Arc<FaultPlan>,
+    /// Where datagrams for non-local sites go (multi-process
+    /// deployments); `None` drops them, as a fully local cluster has
+    /// no non-local destinations.
+    pub remote: Option<Arc<dyn RemoteNet>>,
 }
 
 impl ClusterInner {
@@ -298,6 +320,14 @@ impl ClusterInner {
     /// link (reordering), or duplicated. Timer firings never come
     /// through here — they are site-local, not network traffic.
     fn post_datagram(&self, from: SiteId, to: SiteId, msg: camelot_net::TmMessage) {
+        if !self.sites.contains_key(&to) {
+            // Not hosted here: hand to the real transport, which rolls
+            // the (shared) fault plan itself at the socket layer.
+            if let Some(remote) = &self.remote {
+                remote.send_remote(from, to, msg);
+            }
+            return;
+        }
         let base = Instant::now() + self.cfg.datagram_delay;
         let deliver = |at: Instant, msg: camelot_net::TmMessage| {
             let _ = self.router_tx.send(RouterJob::Deliver {
@@ -516,6 +546,30 @@ impl Cluster {
     /// shared: the caller keeps its own `Arc` to arm crash points or
     /// heal mid-run.
     pub fn new_with_faults(n: u32, cfg: RtConfig, fault: Arc<FaultPlan>) -> Cluster {
+        Cluster::build((1..=n).map(SiteId).collect(), cfg, fault, None)
+    }
+
+    /// Builds a *partial* cluster hosting exactly one site — the shape
+    /// of a `camelot-site` process. Datagrams for any other site go
+    /// through `remote`; inbound traffic from peers is fed back with
+    /// [`Cluster::inject_datagram`]. Everything else (engine shards,
+    /// WAL file, disk manager, tracer, crash points) is the ordinary
+    /// runtime.
+    pub fn new_site(
+        site: SiteId,
+        cfg: RtConfig,
+        fault: Arc<FaultPlan>,
+        remote: Arc<dyn RemoteNet>,
+    ) -> Cluster {
+        Cluster::build(vec![site], cfg, fault, Some(remote))
+    }
+
+    fn build(
+        site_ids: Vec<SiteId>,
+        cfg: RtConfig,
+        fault: Arc<FaultPlan>,
+        remote: Option<Arc<dyn RemoteNet>>,
+    ) -> Cluster {
         let (router_tx, router_rx) = unbounded();
         let shards_per_site = cfg.engine_shards.max(1);
         // One epoch for the whole cluster, taken before any site state
@@ -524,8 +578,8 @@ impl Cluster {
         let epoch = Instant::now();
         let mut sites = BTreeMap::new();
         let mut site_channels = Vec::new();
-        for i in 1..=n {
-            let id = SiteId(i);
+        for id in site_ids {
+            let i = id.0;
             let (tm_tx, tm_rx) = unbounded();
             let (disk_tx, disk_rx) = unbounded();
             let mut servers = BTreeMap::new();
@@ -592,6 +646,7 @@ impl Cluster {
             epoch,
             cfg: cfg.clone(),
             fault,
+            remote,
         });
         let mut handles = Vec::new();
         // Router.
@@ -629,6 +684,36 @@ impl Cluster {
     /// The installed fault plan.
     pub fn faults(&self) -> &FaultPlan {
         &self.inner.fault
+    }
+
+    /// The sites hosted by this cluster (all of them for an ordinary
+    /// cluster, one for a [`Cluster::new_site`] process).
+    pub fn local_sites(&self) -> Vec<SiteId> {
+        self.inner.sites.keys().copied().collect()
+    }
+
+    /// Feeds one datagram from a remote peer into a local site's
+    /// TranMan, exactly as the router would deliver local traffic.
+    /// The transport has already deduplicated; traffic to dead or
+    /// unknown sites is dropped, as the router drops it.
+    pub fn inject_datagram(&self, from: SiteId, to: SiteId, msg: camelot_net::TmMessage) {
+        if let Some(site) = self.inner.sites.get(&to) {
+            if site.alive.load(Ordering::SeqCst) {
+                let _ = site.tm_tx.send(Some(Input::Datagram { from, msg }));
+            }
+        }
+    }
+
+    /// An emission handle into `site`'s trace ring (no-op when tracing
+    /// is off or the site is not hosted here) — lets the transport a
+    /// site process owns stamp its socket events into the same
+    /// timeline the engine writes.
+    pub fn site_tracer(&self, site: SiteId) -> Tracer {
+        self.inner
+            .sites
+            .get(&site)
+            .map(|s| s.tracer())
+            .unwrap_or_else(Tracer::disabled)
     }
 
     /// A client homed at `site`.

@@ -1,410 +1,17 @@
 //! Fault injection for the real-thread runtime.
 //!
-//! A [`FaultPlan`] is installed into a
-//! [`Cluster`](crate::Cluster) at construction and consulted from the
-//! runtime's hot paths:
+//! The implementation moved to [`camelot_net::fault`] so the same
+//! [`FaultPlan`] drives faults at two layers: the in-process router of
+//! this crate and the socket transport, where a "drop" really discards
+//! a UDP datagram bound for a kernel socket. This module re-exports it
+//! so existing `camelot_rt::{FaultPlan, ...}` paths keep working.
 //!
-//! - **Link faults** — every outgoing datagram asks
-//!   [`FaultPlan::link_decision`], which can drop it, deliver it late
-//!   (later traffic overtakes it, i.e. reordering), or duplicate it.
-//!   Decisions are drawn from a seeded SplitMix64 stream, so a
-//!   campaign seed reproduces the same fault *mix* (exact interleaving
-//!   with real threads is inherently nondeterministic — the chaos
-//!   runner treats a seed as statistically, not bitwise, replayable).
-//! - **Crash points** — [`FaultPlan::arm_crash`] schedules a one-shot
-//!   site kill at a named [`CrashPoint`] in the log pipeline: before
-//!   the commit-record force is appended, after the force completed
-//!   but before the decision datagrams go out, or mid platter write in
-//!   the pipelined disk thread.
-//! - **Scripted link faults** — [`FaultPlan::script_fault`] targets
-//!   one exact datagram: "the Nth datagram on link A→B suffers this
-//!   fault". Unlike the seeded stream, which is statistically
-//!   replayable, a script keys off a per-link ordinal counter, so the
-//!   *same logical message* is hit on every run of a deterministic
-//!   workload regardless of thread interleaving elsewhere.
-//!
-//! WAL corruption faults do not live here: the store-level image hooks
-//! ([`StableStore::durable_bytes`](camelot_wal::StableStore) /
-//! `set_durable_bytes`) are exposed through
+//! WAL corruption faults do not live in the plan: the store-level
+//! image hooks ([`StableStore::durable_bytes`](camelot_wal::StableStore)
+//! / `set_durable_bytes`) are exposed through
 //! [`Cluster::wal_image`](crate::Cluster::wal_image) and
 //! [`Cluster::set_wal_image`](crate::Cluster::set_wal_image), so a
 //! harness snapshots, corrupts, and restores durable bytes while the
 //! site is down.
-//!
-//! [`FaultPlan::heal`] turns every remaining fault off; the chaos heal
-//! phase calls it before asserting invariants.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
-use std::time::Duration as StdDuration;
-
-use parking_lot::Mutex;
-
-use camelot_core::CrashPoint;
-use camelot_types::SiteId;
-
-/// What to do with one outgoing datagram.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum LinkDecision {
-    /// Deliver normally.
-    Deliver,
-    /// Drop silently.
-    Drop,
-    /// Deliver after an extra delay (reordering: later datagrams on
-    /// the link overtake this one).
-    Delay(StdDuration),
-    /// Deliver now *and* again after an extra delay.
-    Duplicate(StdDuration),
-}
-
-/// Counts of injected faults, for reporting.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct FaultStats {
-    pub drops: u64,
-    pub delays: u64,
-    pub duplicates: u64,
-    pub crashes: u64,
-}
-
-/// One link's pending scripted faults, as `(ordinal, fault)` pairs.
-type LinkScript = Vec<(u64, LinkDecision)>;
-
-/// A fault-injection plan shared by every runtime thread.
-pub struct FaultPlan {
-    /// Master switch; [`FaultPlan::heal`] clears it.
-    enabled: AtomicBool,
-    seed: u64,
-    /// Index of the next link decision in the seeded stream.
-    counter: AtomicU64,
-    drop_per_mille: u32,
-    delay_per_mille: u32,
-    dup_per_mille: u32,
-    extra_delay: StdDuration,
-    /// Remaining link faults; once exhausted the links run clean even
-    /// before heal. Keeps a campaign's fault dose bounded so the heal
-    /// phase converges.
-    budget: AtomicI64,
-    /// One-shot crash points, armed per site.
-    crash_points: Mutex<HashMap<SiteId, CrashPoint>>,
-    /// Scripted per-link faults: `(from, to) -> [(ordinal, fault)]`,
-    /// consulted before the random stream. Ordinals are 0-based over
-    /// the link's own datagram count.
-    scripts: Mutex<HashMap<(SiteId, SiteId), LinkScript>>,
-    /// Datagrams seen per link, feeding the scripts' ordinals.
-    link_seen: Mutex<HashMap<(SiteId, SiteId), u64>>,
-    /// Cheap flag sparing clean runs the `link_seen` lock: set once
-    /// the first script is installed, never cleared (ordinals keep
-    /// counting after heal so re-armed scripts stay meaningful).
-    scripted: AtomicBool,
-    drops: AtomicU64,
-    delays: AtomicU64,
-    duplicates: AtomicU64,
-    crashes: AtomicU64,
-}
-
-impl FaultPlan {
-    /// A plan that injects nothing (the default for ordinary
-    /// clusters). Crash points can still be armed on it.
-    pub fn disabled() -> FaultPlan {
-        FaultPlan::new(0, 0, 0, 0, StdDuration::ZERO, 0)
-    }
-
-    /// A plan drawing link faults from `seed`. Rates are per mille per
-    /// datagram; `budget` bounds the total number of injected link
-    /// faults.
-    pub fn new(
-        seed: u64,
-        drop_per_mille: u32,
-        delay_per_mille: u32,
-        dup_per_mille: u32,
-        extra_delay: StdDuration,
-        budget: u64,
-    ) -> FaultPlan {
-        FaultPlan {
-            enabled: AtomicBool::new(true),
-            seed,
-            counter: AtomicU64::new(0),
-            drop_per_mille,
-            delay_per_mille,
-            dup_per_mille,
-            extra_delay,
-            budget: AtomicI64::new(budget.min(i64::MAX as u64) as i64),
-            crash_points: Mutex::new(HashMap::new()),
-            scripts: Mutex::new(HashMap::new()),
-            link_seen: Mutex::new(HashMap::new()),
-            scripted: AtomicBool::new(false),
-            drops: AtomicU64::new(0),
-            delays: AtomicU64::new(0),
-            duplicates: AtomicU64::new(0),
-            crashes: AtomicU64::new(0),
-        }
-    }
-
-    /// Arms a one-shot crash of `site` at `point`. Re-arming replaces
-    /// the previous point.
-    pub fn arm_crash(&self, site: SiteId, point: CrashPoint) {
-        self.crash_points.lock().insert(site, point);
-    }
-
-    /// Disarms any pending crash for `site`.
-    pub fn disarm_crash(&self, site: SiteId) {
-        self.crash_points.lock().remove(&site);
-    }
-
-    /// Scripts `fault` for the `nth` datagram (0-based) ever sent on
-    /// the link `from -> to`. Scripts fire exactly once, are consulted
-    /// before the random stream, ignore the fault budget (the caller
-    /// asked for precisely this fault), and work even when every
-    /// random rate is zero — so a test can say "drop the second
-    /// Prepare on 1→2" and nothing else. Ordinals count from the
-    /// moment the first script is installed on the plan (install
-    /// before traffic starts for "Nth datagram ever"). Scripting the
-    /// same ordinal twice replaces the earlier fault.
-    pub fn script_fault(&self, from: SiteId, to: SiteId, nth: u64, fault: LinkDecision) {
-        self.scripted.store(true, Ordering::SeqCst);
-        let mut scripts = self.scripts.lock();
-        let entry = scripts.entry((from, to)).or_default();
-        match entry.iter_mut().find(|(n, _)| *n == nth) {
-            Some(slot) => slot.1 = fault,
-            None => entry.push((nth, fault)),
-        }
-    }
-
-    /// Stops all further injection: links run clean and pending crash
-    /// points are dropped. Already-dead sites stay dead — restart them
-    /// explicitly.
-    pub fn heal(&self) {
-        self.enabled.store(false, Ordering::SeqCst);
-        self.crash_points.lock().clear();
-        self.scripts.lock().clear();
-    }
-
-    /// True until [`FaultPlan::heal`].
-    pub fn is_active(&self) -> bool {
-        self.enabled.load(Ordering::SeqCst)
-    }
-
-    /// Injection counts so far.
-    pub fn stats(&self) -> FaultStats {
-        FaultStats {
-            drops: self.drops.load(Ordering::Relaxed),
-            delays: self.delays.load(Ordering::Relaxed),
-            duplicates: self.duplicates.load(Ordering::Relaxed),
-            crashes: self.crashes.load(Ordering::Relaxed),
-        }
-    }
-
-    /// Consumes the crash point armed for `(site, point)`, if any.
-    /// The runtime calls this exactly at the named instant and kills
-    /// the site when it returns true.
-    pub(crate) fn should_crash(&self, site: SiteId, point: CrashPoint) -> bool {
-        if !self.enabled.load(Ordering::SeqCst) {
-            return false;
-        }
-        let mut points = self.crash_points.lock();
-        if points.get(&site) == Some(&point) {
-            points.remove(&site);
-            self.crashes.fetch_add(1, Ordering::Relaxed);
-            true
-        } else {
-            false
-        }
-    }
-
-    /// Decides the fate of one datagram on `from -> to`. Scripted
-    /// faults for the link's current ordinal fire first (once each,
-    /// exempt from the budget); otherwise the seeded stream rolls.
-    pub(crate) fn link_decision(&self, from: SiteId, to: SiteId) -> LinkDecision {
-        if self.scripted.load(Ordering::SeqCst) {
-            let ordinal = {
-                let mut seen = self.link_seen.lock();
-                let c = seen.entry((from, to)).or_insert(0);
-                let ordinal = *c;
-                *c += 1;
-                ordinal
-            };
-            if self.enabled.load(Ordering::SeqCst) {
-                let scripted = {
-                    let mut scripts = self.scripts.lock();
-                    scripts.get_mut(&(from, to)).and_then(|entry| {
-                        entry
-                            .iter()
-                            .position(|(n, _)| *n == ordinal)
-                            .map(|i| entry.swap_remove(i).1)
-                    })
-                };
-                if let Some(fault) = scripted {
-                    match fault {
-                        LinkDecision::Drop => self.drops.fetch_add(1, Ordering::Relaxed),
-                        LinkDecision::Delay(_) => self.delays.fetch_add(1, Ordering::Relaxed),
-                        LinkDecision::Duplicate(_) => {
-                            self.duplicates.fetch_add(1, Ordering::Relaxed)
-                        }
-                        LinkDecision::Deliver => 0,
-                    };
-                    return fault;
-                }
-            }
-        }
-        if !self.enabled.load(Ordering::SeqCst)
-            || (self.drop_per_mille == 0 && self.delay_per_mille == 0 && self.dup_per_mille == 0)
-        {
-            return LinkDecision::Deliver;
-        }
-        let n = self.counter.fetch_add(1, Ordering::Relaxed);
-        let mut x = self
-            .seed
-            .wrapping_add(n.wrapping_mul(0x9E37_79B9_7F4A_7C15))
-            .wrapping_add((from.0 as u64) << 32 | to.0 as u64);
-        // SplitMix64 finalizer.
-        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        x ^= x >> 31;
-        let roll = (x % 1000) as u32;
-        let decision = if roll < self.drop_per_mille {
-            LinkDecision::Drop
-        } else if roll < self.drop_per_mille + self.delay_per_mille {
-            LinkDecision::Delay(self.extra_delay)
-        } else if roll < self.drop_per_mille + self.delay_per_mille + self.dup_per_mille {
-            LinkDecision::Duplicate(self.extra_delay)
-        } else {
-            return LinkDecision::Deliver;
-        };
-        // Spend budget only on actual faults.
-        if self.budget.fetch_sub(1, Ordering::Relaxed) <= 0 {
-            return LinkDecision::Deliver;
-        }
-        match decision {
-            LinkDecision::Drop => self.drops.fetch_add(1, Ordering::Relaxed),
-            LinkDecision::Delay(_) => self.delays.fetch_add(1, Ordering::Relaxed),
-            LinkDecision::Duplicate(_) => self.duplicates.fetch_add(1, Ordering::Relaxed),
-            LinkDecision::Deliver => 0,
-        };
-        decision
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn disabled_plan_never_injects() {
-        let p = FaultPlan::disabled();
-        for _ in 0..100 {
-            assert_eq!(p.link_decision(SiteId(1), SiteId(2)), LinkDecision::Deliver);
-        }
-        assert!(!p.should_crash(SiteId(1), CrashPoint::PreForce));
-        assert_eq!(p.stats(), FaultStats::default());
-    }
-
-    #[test]
-    fn seeded_plan_injects_within_budget_and_heals() {
-        let p = FaultPlan::new(42, 500, 200, 100, StdDuration::from_millis(5), 10);
-        let mut injected = 0;
-        for _ in 0..1000 {
-            if p.link_decision(SiteId(1), SiteId(2)) != LinkDecision::Deliver {
-                injected += 1;
-            }
-        }
-        assert!(
-            injected > 0,
-            "an 80% fault rate must fire within 1000 rolls"
-        );
-        assert!(injected <= 10, "budget bounds the dose, got {injected}");
-        let s = p.stats();
-        assert_eq!(s.drops + s.delays + s.duplicates, injected);
-        p.heal();
-        for _ in 0..100 {
-            assert_eq!(p.link_decision(SiteId(1), SiteId(2)), LinkDecision::Deliver);
-        }
-    }
-
-    #[test]
-    fn crash_points_are_one_shot_per_site() {
-        let p = FaultPlan::disabled();
-        p.arm_crash(SiteId(2), CrashPoint::MidPlatterWrite);
-        assert!(
-            !p.should_crash(SiteId(2), CrashPoint::PreForce),
-            "wrong point"
-        );
-        assert!(
-            !p.should_crash(SiteId(1), CrashPoint::MidPlatterWrite),
-            "wrong site"
-        );
-        assert!(p.should_crash(SiteId(2), CrashPoint::MidPlatterWrite));
-        assert!(
-            !p.should_crash(SiteId(2), CrashPoint::MidPlatterWrite),
-            "consumed"
-        );
-        assert_eq!(p.stats().crashes, 1);
-        // heal() drops pending points.
-        p.arm_crash(SiteId(3), CrashPoint::PostForcePreSend);
-        p.heal();
-        assert!(!p.should_crash(SiteId(3), CrashPoint::PostForcePreSend));
-    }
-
-    #[test]
-    fn scripted_fault_hits_exactly_the_nth_datagram_on_its_link() {
-        // All random rates zero: only the script can inject.
-        let p = FaultPlan::disabled();
-        p.script_fault(SiteId(1), SiteId(2), 2, LinkDecision::Drop);
-        p.script_fault(
-            SiteId(1),
-            SiteId(2),
-            4,
-            LinkDecision::Delay(StdDuration::from_millis(7)),
-        );
-        let fates: Vec<LinkDecision> = (0..6)
-            .map(|_| p.link_decision(SiteId(1), SiteId(2)))
-            .collect();
-        assert_eq!(
-            fates,
-            vec![
-                LinkDecision::Deliver,
-                LinkDecision::Deliver,
-                LinkDecision::Drop,
-                LinkDecision::Deliver,
-                LinkDecision::Delay(StdDuration::from_millis(7)),
-                LinkDecision::Deliver,
-            ]
-        );
-        assert_eq!(p.stats().drops, 1);
-        assert_eq!(p.stats().delays, 1);
-    }
-
-    #[test]
-    fn scripted_faults_are_per_link_and_one_shot() {
-        let p = FaultPlan::disabled();
-        p.script_fault(SiteId(1), SiteId(2), 0, LinkDecision::Drop);
-        // The reverse link is a different link: its datagrams never
-        // consume the 1→2 script.
-        assert_eq!(p.link_decision(SiteId(2), SiteId(1)), LinkDecision::Deliver);
-        assert_eq!(p.link_decision(SiteId(1), SiteId(2)), LinkDecision::Drop);
-        // One-shot: ordinal 0 already fired; later traffic runs clean.
-        for _ in 0..20 {
-            assert_eq!(p.link_decision(SiteId(1), SiteId(2)), LinkDecision::Deliver);
-        }
-        // Re-scripting an ordinal before it fires replaces the fault.
-        p.script_fault(SiteId(3), SiteId(4), 1, LinkDecision::Drop);
-        p.script_fault(
-            SiteId(3),
-            SiteId(4),
-            1,
-            LinkDecision::Duplicate(StdDuration::from_millis(3)),
-        );
-        assert_eq!(p.link_decision(SiteId(3), SiteId(4)), LinkDecision::Deliver);
-        assert_eq!(
-            p.link_decision(SiteId(3), SiteId(4)),
-            LinkDecision::Duplicate(StdDuration::from_millis(3))
-        );
-    }
-
-    #[test]
-    fn heal_clears_pending_scripts() {
-        let p = FaultPlan::disabled();
-        p.script_fault(SiteId(1), SiteId(2), 0, LinkDecision::Drop);
-        p.heal();
-        assert_eq!(p.link_decision(SiteId(1), SiteId(2)), LinkDecision::Deliver);
-    }
-}
+pub use camelot_net::fault::{FaultPlan, FaultStats, LinkDecision};

@@ -48,6 +48,6 @@ pub use camelot_obs::{
 };
 pub use camelot_wal::BatchPolicy;
 pub use client::Client;
-pub use cluster::{Cluster, RtConfig};
+pub use cluster::{Cluster, RemoteNet, RtConfig};
 pub use fault::{FaultPlan, FaultStats, LinkDecision};
 pub use stats::{ClusterStats, SiteStats};

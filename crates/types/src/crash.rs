@@ -1,0 +1,65 @@
+//! Named crash instants shared by fault injectors and runtimes.
+
+/// Named instants in the runtime's execution of log actions where a
+/// fault injector may kill a site. Each sits on a different side of a
+/// durability edge, so a crash there exercises a distinct recovery
+/// path.
+///
+/// Defined here (rather than in the engine crate) because fault plans
+/// travel: the in-process runtime consults them around its log
+/// pipeline, and a site *process* arms them over the control socket —
+/// both ends need the names without depending on the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CrashPoint {
+    /// After the engine requested a force but before any bytes reach
+    /// the platter: the record is lost entirely.
+    PreForce,
+    /// After the force completed but before the engine processes the
+    /// resulting `LogForced` (so before any decision datagrams go
+    /// out): the record is durable but nobody was told.
+    PostForcePreSend,
+    /// Inside the pipelined disk thread's platter write: the write is
+    /// abandoned and the batch never reports durable.
+    MidPlatterWrite,
+}
+
+impl CrashPoint {
+    /// All crash points, for parameterized test matrices.
+    pub const ALL: [CrashPoint; 3] = [
+        CrashPoint::PreForce,
+        CrashPoint::PostForcePreSend,
+        CrashPoint::MidPlatterWrite,
+    ];
+
+    /// Stable wire tag for the control protocol.
+    pub fn to_wire(self) -> u8 {
+        match self {
+            CrashPoint::PreForce => 0,
+            CrashPoint::PostForcePreSend => 1,
+            CrashPoint::MidPlatterWrite => 2,
+        }
+    }
+
+    /// Inverse of [`CrashPoint::to_wire`].
+    pub fn from_wire(v: u8) -> Option<CrashPoint> {
+        Some(match v {
+            0 => CrashPoint::PreForce,
+            1 => CrashPoint::PostForcePreSend,
+            2 => CrashPoint::MidPlatterWrite,
+            _ => return None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_tags_roundtrip() {
+        for p in CrashPoint::ALL {
+            assert_eq!(CrashPoint::from_wire(p.to_wire()), Some(p));
+        }
+        assert_eq!(CrashPoint::from_wire(9), None);
+    }
+}

@@ -12,12 +12,14 @@
 //! real-thread runtime.
 
 pub mod cost;
+pub mod crash;
 pub mod error;
 pub mod ids;
 pub mod time;
 pub mod wire;
 
 pub use cost::CostModel;
+pub use crash::CrashPoint;
 pub use error::{AbortReason, CamelotError, Result};
 pub use ids::{FamilyId, Lsn, ObjectId, ServerId, SiteId, Tid};
 pub use time::{Duration, Time};

@@ -13,6 +13,40 @@
 use crate::error::{CamelotError, Result};
 use crate::ids::{FamilyId, Lsn, ObjectId, ServerId, SiteId, Tid};
 
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven.
+///
+/// Shared by the WAL frame codec and the socket frame codec — both
+/// guard length-prefixed payloads with the same checksum.
+pub fn crc32(data: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = build_crc_table();
+    let mut crc = !0u32;
+    for &b in data {
+        let idx = ((crc ^ b as u32) & 0xFF) as usize;
+        crc = (crc >> 8) ^ TABLE[idx];
+    }
+    !crc
+}
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
 /// Append-only encoder.
 #[derive(Debug, Default)]
 pub struct Writer {
@@ -343,6 +377,13 @@ mod tests {
     fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
         let b = v.to_bytes();
         assert_eq!(T::from_bytes(&b).unwrap(), v);
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard test vector: CRC-32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
     }
 
     #[test]

@@ -15,36 +15,10 @@ use bytes::{Buf, BufMut, BytesMut};
 
 use camelot_types::{CamelotError, Result};
 
-/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven.
-pub fn crc32(data: &[u8]) -> u32 {
-    const TABLE: [u32; 256] = build_table();
-    let mut crc = !0u32;
-    for &b in data {
-        let idx = ((crc ^ b as u32) & 0xFF) as usize;
-        crc = (crc >> 8) ^ TABLE[idx];
-    }
-    !crc
-}
-
-const fn build_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut c = i as u32;
-        let mut k = 0;
-        while k < 8 {
-            c = if c & 1 != 0 {
-                0xEDB8_8320 ^ (c >> 1)
-            } else {
-                c >> 1
-            };
-            k += 1;
-        }
-        table[i] = c;
-        i += 1;
-    }
-    table
-}
+// The checksum itself lives in camelot-types (shared with the socket
+// frame codec); re-exported so `camelot_wal::codec::crc32` keeps
+// working.
+pub use camelot_types::wire::crc32;
 
 /// Size of the frame header in bytes.
 pub const FRAME_HEADER: usize = 8;

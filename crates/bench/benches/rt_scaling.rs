@@ -45,6 +45,7 @@ struct RunResult {
     platter_writes: u64,
     mean_batch: f64,
     lock_wait_ms: f64,
+    server_lock_waits: u64,
     phases: PhaseSnapshot,
     trace_events: u64,
     trace_dropped: u64,
@@ -114,6 +115,7 @@ fn run(policy: &'static str, tm_threads: usize, txns: u64) -> RunResult {
     let platter_writes = stats.total_platter_writes();
     let forces: u64 = stats.sites.iter().map(|s| s.forces_satisfied).sum();
     let lock_wait_ms = stats.total_lock_wait().as_secs_f64() * 1e3;
+    let server_lock_waits = stats.total_server_stats().lock_waits;
     let trace_events = cluster.drain_trace().len() as u64;
     let trace_dropped = cluster.trace_dropped();
     let cluster = Arc::try_unwrap(cluster).ok().expect("sole owner");
@@ -131,6 +133,7 @@ fn run(policy: &'static str, tm_threads: usize, txns: u64) -> RunResult {
             forces as f64 / platter_writes as f64
         },
         lock_wait_ms,
+        server_lock_waits,
         phases: stats.phases(),
         trace_events,
         trace_dropped,
@@ -285,6 +288,14 @@ fn main() {
     // Hand-rolled JSON (no serde in the workspace).
     let mut json = String::new();
     json.push_str("{\n  \"bench\": \"rt_scaling\",\n");
+    let config_text = format!(
+        "sites={SITES} clients={CLIENTS} txns={txns} threads={threads:?} \
+         policies={policies:?} tm_service_us=700 platter_ms=5"
+    );
+    json.push_str(&format!(
+        "  \"stamp\": {},\n",
+        camelot_bench::stamp_json(&config_text)
+    ));
     json.push_str(&format!(
         "  \"sites\": {SITES},\n  \"clients\": {CLIENTS},\n  \"txns_per_client\": {txns},\n"
     ));
@@ -294,8 +305,8 @@ fn main() {
         json.push_str(&format!(
             "    {{\"policy\": \"{}\", \"tm_threads\": {}, \"commits\": {}, \"elapsed_s\": {:.3}, \
              \"commits_per_sec\": {:.1}, \"platter_writes\": {}, \"mean_batch\": {:.2}, \
-             \"lock_wait_ms\": {:.1}, \"trace_events\": {}, \"trace_dropped\": {}, \
-             \"phases\": {}}}{}\n",
+             \"lock_wait_ms\": {:.1}, \"server_lock_waits\": {}, \"trace_events\": {}, \
+             \"trace_dropped\": {}, \"phases\": {}}}{}\n",
             r.policy,
             r.tm_threads,
             r.commits,
@@ -304,6 +315,7 @@ fn main() {
             r.platter_writes,
             r.mean_batch,
             r.lock_wait_ms,
+            r.server_lock_waits,
             r.trace_events,
             r.trace_dropped,
             phases_json(&r.phases),
@@ -311,6 +323,32 @@ fn main() {
         ));
     }
     json.push_str("  ],\n");
+
+    // Per-policy contention summary (summed over the thread sweep):
+    // `shard_lock_wait_ms` is time TranMan workers spent blocked on
+    // engine-shard locks, `server_lock_waits` counts data-server lock
+    // queue waits — the two layers where the lock-wait ceiling forms.
+    println!("\nper-policy lock-wait summary (whole sweep):");
+    json.push_str("  \"lock_wait_summary\": {");
+    for (i, &policy) in policies.iter().enumerate() {
+        let shard_ms: f64 = results
+            .iter()
+            .filter(|r| r.policy == policy)
+            .map(|r| r.lock_wait_ms)
+            .sum();
+        let srv_waits: u64 = results
+            .iter()
+            .filter(|r| r.policy == policy)
+            .map(|r| r.server_lock_waits)
+            .sum();
+        println!("  {policy}: shard_lock_wait={shard_ms:.1}ms server_lock_waits={srv_waits}");
+        json.push_str(&format!(
+            "\"{policy}\": {{\"shard_lock_wait_ms\": {shard_ms:.1}, \
+             \"server_lock_waits\": {srv_waits}}}{}",
+            if i + 1 == policies.len() { "" } else { ", " }
+        ));
+    }
+    json.push_str("},\n");
     json.push_str(&format!("  \"ratio_threads\": {hi},\n"));
     json.push_str("  \"throughput_ratio_vs_1_thread\": {");
     for (i, (policy, ratio)) in ratios.iter().enumerate() {

@@ -1,0 +1,683 @@
+//! `camelot-load`: open-loop contention harness for the two execution
+//! modes.
+//!
+//! The closed-loop benches (`fig4`, `rt_scaling`) self-throttle: each
+//! client waits for its transaction before issuing the next, so past
+//! the saturation knee the *offered* load silently drops and the
+//! latency blow-up never shows. This harness drives the real-thread
+//! runtime **open-loop**: transaction `i` of a run at rate λ is due at
+//! `start + i/λ` no matter how the previous ones fared, keys come from
+//! a seeded Zipfian distribution, and latency is measured from the
+//! *scheduled* arrival — backlog in the harness counts against the
+//! system, as it would for real users.
+//!
+//! For each execution mode ([`ExecMode::LockBased`] and
+//! [`ExecMode::Queued`]) the harness sweeps a ladder of offered rates
+//! and reports, per point: achieved commits/s, abort counts,
+//! total-latency and commit-latency percentiles, and the
+//! **commit-overhead %** — the share of a committed transaction's
+//! life spent inside the commit call (the paper's §4.1 accounting,
+//! applied per transaction). Results land in `BENCH_load_curves.json`
+//! at the workspace root, stamped with the git SHA and a config hash.
+//!
+//! After the sweep, the protocol-cost auditor replays one clean traced
+//! transaction per protocol *in queued mode* and checks the paper's
+//! primitive budgets still hold — queueing must change where time
+//! goes, never how many forces and datagrams the protocol costs. A
+//! violation exits 1.
+//!
+//! Usage: `cargo run --release --bin camelot-load -- [--mode
+//! queued|lock|both] [--rates 100,200,400] [--theta 0.99] [--keys 256]
+//! [--duration-ms 3000] [--read-pct 40] [--dist-pct 20] [--nb-pct 10]
+//! [--seed 7] [--out PATH]`. `QUICK=1` shrinks the ladder for CI.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration as StdDuration, Instant};
+
+use camelot_bench::{quick, stamp_json, OpenLoop, SplitMix64, Zipf};
+use camelot_core::{CommitMode, EngineConfig, TwoPhaseVariant};
+use camelot_net::Outcome;
+use camelot_obs::AtomicHistogram;
+use camelot_rt::{
+    audit_family, budget_for, AuditProtocol, Cluster, ExecMode, Histogram, Phase, RtConfig,
+};
+use camelot_types::{ObjectId, ServerId, SiteId};
+
+const SITES: u32 = 2;
+const SRV: ServerId = ServerId(1);
+const TM_THREADS: usize = 4;
+
+#[derive(Debug, Clone)]
+struct Args {
+    modes: Vec<ExecMode>,
+    rates: Vec<f64>,
+    theta: f64,
+    keys: usize,
+    duration_ms: u64,
+    read_pct: u64,
+    dist_pct: u64,
+    nb_pct: u64,
+    seed: u64,
+    out: Option<String>,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let q = quick();
+        let mut args = Args {
+            modes: vec![ExecMode::LockBased, ExecMode::Queued],
+            rates: if q {
+                vec![50.0, 150.0]
+            } else {
+                vec![100.0, 200.0, 400.0, 800.0, 1600.0]
+            },
+            theta: 0.99,
+            keys: 256,
+            duration_ms: if q { 1000 } else { 4000 },
+            read_pct: 40,
+            dist_pct: 20,
+            nb_pct: 10,
+            seed: 7,
+            out: None,
+        };
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < argv.len() {
+            let (flag, val) = (argv[i].as_str(), argv.get(i + 1));
+            let val = || {
+                val.unwrap_or_else(|| panic!("{flag} needs a value"))
+                    .as_str()
+            };
+            match flag {
+                "--mode" => {
+                    args.modes = match val() {
+                        "queued" => vec![ExecMode::Queued],
+                        "lock" | "lock_based" => vec![ExecMode::LockBased],
+                        "both" => vec![ExecMode::LockBased, ExecMode::Queued],
+                        other => panic!("unknown --mode {other}"),
+                    }
+                }
+                "--rates" => {
+                    args.rates = val().split(',').map(|r| r.parse().expect("rate")).collect()
+                }
+                "--theta" => args.theta = val().parse().expect("theta"),
+                "--keys" => args.keys = val().parse().expect("keys"),
+                "--duration-ms" => args.duration_ms = val().parse().expect("duration-ms"),
+                "--read-pct" => args.read_pct = val().parse().expect("read-pct"),
+                "--dist-pct" => args.dist_pct = val().parse().expect("dist-pct"),
+                "--nb-pct" => args.nb_pct = val().parse().expect("nb-pct"),
+                "--seed" => args.seed = val().parse().expect("seed"),
+                "--out" => args.out = Some(val().to_string()),
+                other => panic!("unknown flag {other}"),
+            }
+            i += 2;
+        }
+        args
+    }
+
+    /// Canonical config rendering, hashed into the stamp.
+    fn config_text(&self) -> String {
+        format!(
+            "sites={SITES} tm_threads={TM_THREADS} theta={} keys={} duration_ms={} \
+             read_pct={} dist_pct={} nb_pct={} seed={} rates={:?}",
+            self.theta,
+            self.keys,
+            self.duration_ms,
+            self.read_pct,
+            self.dist_pct,
+            self.nb_pct,
+            self.seed,
+            self.rates
+        )
+    }
+}
+
+/// One scheduled transaction: everything is decided by the seeded
+/// generator before release, so both modes replay the same workload.
+struct TxnSpec {
+    idx: u64,
+    due: Instant,
+    home: SiteId,
+    key: ObjectId,
+    key2: ObjectId,
+    read_only: bool,
+    distributed: bool,
+    mode: CommitMode,
+}
+
+/// Shared measurement sinks for one (mode, rate) point.
+#[derive(Default)]
+struct PointSink {
+    total: AtomicHistogram,
+    commit: AtomicHistogram,
+    commits: AtomicU64,
+    aborts: AtomicU64,
+    errors: AtomicU64,
+    /// Sums over *committed* transactions only, for the overhead
+    /// ratio (commit time / total time).
+    commit_us_sum: AtomicU64,
+    total_us_sum: AtomicU64,
+}
+
+struct PointResult {
+    offered_per_sec: f64,
+    arrivals: u64,
+    commits: u64,
+    aborts: u64,
+    errors: u64,
+    elapsed_s: f64,
+    achieved_commits_per_sec: f64,
+    total_lat: Histogram,
+    commit_lat: Histogram,
+    commit_overhead_pct: f64,
+    lock_wait_ms: f64,
+    server_lock_waits: u64,
+    deadlocks: u64,
+    queue_ops: u64,
+    queue_vote_timeouts: u64,
+    queue_cascades: u64,
+    queue_wait_p95_us: u64,
+    proto_json: String,
+}
+
+fn rt_config(mode: ExecMode) -> RtConfig {
+    RtConfig {
+        datagram_delay: StdDuration::from_micros(100),
+        platter_delay: StdDuration::from_millis(2),
+        lazy_flush: StdDuration::from_millis(10),
+        tm_threads: TM_THREADS,
+        tm_service_time: StdDuration::from_micros(50),
+        call_timeout: StdDuration::from_secs(2),
+        exec_mode: mode,
+        data_shards: 4,
+        queued_vote_timeout: StdDuration::from_millis(500),
+        ..RtConfig::default()
+    }
+}
+
+/// Executes one transaction spec; records into the sink.
+fn run_txn(clients: &[camelot_rt::Client], spec: &TxnSpec, sink: &PointSink) {
+    let client = &clients[(spec.home.0 - 1) as usize];
+    let remote = SiteId(spec.home.0 % SITES + 1);
+    let tid = match client.begin() {
+        Ok(t) => t,
+        Err(_) => {
+            sink.errors.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+    };
+    let body = (|| -> Result<(), ()> {
+        if spec.read_only {
+            client
+                .read(&tid, spec.home, SRV, spec.key)
+                .map_err(|_| ())?;
+            client
+                .read(&tid, spec.home, SRV, spec.key2)
+                .map_err(|_| ())?;
+        } else {
+            // Read-modify-write on a Zipfian hot key: the shape that
+            // makes lock-based servers convoy (S→X upgrade under
+            // contention) and queued mode pipeline.
+            let cur = client
+                .read(&tid, spec.home, SRV, spec.key)
+                .map_err(|_| ())?;
+            let mut next = cur;
+            next.extend_from_slice(&spec.idx.to_le_bytes());
+            next.truncate(8);
+            client
+                .write(&tid, spec.home, SRV, spec.key, next)
+                .map_err(|_| ())?;
+            if spec.distributed {
+                client
+                    .write(
+                        &tid,
+                        remote,
+                        SRV,
+                        spec.key2,
+                        spec.idx.to_le_bytes().to_vec(),
+                    )
+                    .map_err(|_| ())?;
+            }
+        }
+        Ok(())
+    })();
+    if body.is_err() {
+        let _ = client.abort(&tid);
+        sink.aborts.fetch_add(1, Ordering::Relaxed);
+        sink.total.record(spec.due.elapsed());
+        return;
+    }
+    let commit_started = Instant::now();
+    match client.commit(&tid, spec.mode) {
+        Ok(Outcome::Committed) => {
+            let commit_us = commit_started.elapsed().as_micros() as u64;
+            let total_us = spec.due.elapsed().as_micros() as u64;
+            sink.commits.fetch_add(1, Ordering::Relaxed);
+            sink.commit.record_us(commit_us);
+            sink.total.record_us(total_us);
+            sink.commit_us_sum.fetch_add(commit_us, Ordering::Relaxed);
+            sink.total_us_sum.fetch_add(total_us, Ordering::Relaxed);
+        }
+        Ok(Outcome::Aborted) => {
+            sink.aborts.fetch_add(1, Ordering::Relaxed);
+            sink.total.record(spec.due.elapsed());
+        }
+        Err(_) => {
+            let _ = client.abort(&tid);
+            sink.errors.fetch_add(1, Ordering::Relaxed);
+            sink.total.record(spec.due.elapsed());
+        }
+    }
+}
+
+/// JSON for one latency histogram.
+fn hist_json(h: &Histogram) -> String {
+    format!(
+        "{{\"count\": {}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \"mean_us\": {}, \
+         \"max_us\": {}}}",
+        h.count(),
+        h.percentile(50.0),
+        h.percentile(95.0),
+        h.percentile(99.0),
+        h.mean_us(),
+        h.max_us()
+    )
+}
+
+/// Per-protocol commit-latency percentiles from the run's protocol-
+/// keyed phase histograms (one mixed workload, broken out by the
+/// Tables 1–3 protocol actually run).
+fn proto_json(cluster: &Cluster) -> String {
+    let snap = cluster.stats().protocol_phases();
+    let mut parts = Vec::new();
+    for (proto, phases) in snap.non_empty() {
+        let mut merged = Histogram::default();
+        merged.merge(phases.get(Phase::Commit2pc));
+        merged.merge(phases.get(Phase::CommitNb));
+        if merged.is_empty() {
+            continue;
+        }
+        parts.push(format!("\"{}\": {}", proto.name(), hist_json(&merged)));
+    }
+    format!("{{{}}}", parts.join(", "))
+}
+
+/// One (mode, rate) point: build a cluster, pace arrivals open-loop,
+/// execute on a worker pool, snapshot stats.
+fn run_point(args: &Args, mode: ExecMode, rate: f64) -> PointResult {
+    let cluster = Arc::new(Cluster::new(SITES, rt_config(mode)));
+    let zipf = Zipf::new(args.keys, args.theta);
+    let mut rng = SplitMix64::new(args.seed ^ (rate as u64));
+    let total = ((args.duration_ms as f64 / 1e3) * rate).max(1.0) as u64;
+    let workers = ((rate / 4.0) as usize).clamp(16, 128);
+    let (tx, rx) = crossbeam_channel();
+    let sink = Arc::new(PointSink::default());
+    let mut handles = Vec::new();
+    for _ in 0..workers {
+        let cluster = cluster.clone();
+        let sink = sink.clone();
+        let rx: Receiver<TxnSpec> = rx.clone();
+        handles.push(std::thread::spawn(move || {
+            let clients: Vec<_> = (1..=SITES).map(|s| cluster.client(SiteId(s))).collect();
+            while let Ok(spec) = rx.recv() {
+                run_txn(&clients, &spec, &sink);
+            }
+        }));
+    }
+    drop(rx);
+    // The pacer: this thread. Pre-draw each transaction's shape so
+    // the same (seed, rate) replays identically in both modes.
+    let start = Instant::now();
+    let mut ol = OpenLoop::new(start, rate, total);
+    while !ol.done() {
+        if let Some(due) = ol.next_due() {
+            let now = Instant::now();
+            if due > now {
+                // ≤1 ms granularity keeps release bursts tight.
+                std::thread::sleep(due.duration_since(now).min(StdDuration::from_millis(1)));
+                continue;
+            }
+        }
+        let released = ol.released();
+        let fresh = ol.due_now(Instant::now());
+        for j in 0..fresh {
+            let idx = released + j;
+            let roll = rng.next_below(100);
+            let read_only = roll < args.read_pct;
+            let distributed = !read_only && rng.next_below(100) < args.dist_pct;
+            let mode = if rng.next_below(100) < args.nb_pct {
+                CommitMode::NonBlocking
+            } else {
+                CommitMode::TwoPhase
+            };
+            let spec = TxnSpec {
+                idx,
+                due: ol.due_at(idx),
+                home: SiteId((idx % SITES as u64) as u32 + 1),
+                key: ObjectId(zipf.sample(&mut rng) as u64),
+                key2: ObjectId(zipf.sample(&mut rng) as u64),
+                read_only,
+                distributed,
+                mode,
+            };
+            if tx.send(spec).is_err() {
+                break;
+            }
+        }
+    }
+    drop(tx);
+    for h in handles {
+        let _ = h.join();
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let stats = cluster.stats();
+    let commits = sink.commits.load(Ordering::Relaxed);
+    let total_sum = sink.total_us_sum.load(Ordering::Relaxed);
+    let commit_sum = sink.commit_us_sum.load(Ordering::Relaxed);
+    let phases = stats.phases();
+    let servers = stats.total_server_stats();
+    let result = PointResult {
+        offered_per_sec: rate,
+        arrivals: total,
+        commits,
+        aborts: sink.aborts.load(Ordering::Relaxed),
+        errors: sink.errors.load(Ordering::Relaxed),
+        elapsed_s: elapsed,
+        achieved_commits_per_sec: commits as f64 / elapsed,
+        total_lat: sink.total.snapshot(),
+        commit_lat: sink.commit.snapshot(),
+        commit_overhead_pct: if total_sum == 0 {
+            0.0
+        } else {
+            100.0 * commit_sum as f64 / total_sum as f64
+        },
+        lock_wait_ms: stats.total_lock_wait().as_secs_f64() * 1e3,
+        server_lock_waits: servers.lock_waits,
+        deadlocks: servers.deadlocks,
+        queue_ops: stats.sites.iter().map(|s| s.queue_ops).sum(),
+        queue_vote_timeouts: stats.sites.iter().map(|s| s.queue_vote_timeouts).sum(),
+        queue_cascades: stats.sites.iter().map(|s| s.queue_cascades).sum(),
+        queue_wait_p95_us: phases.get(Phase::QueueWait).percentile(95.0),
+        proto_json: proto_json(&cluster),
+    };
+    let cluster = Arc::try_unwrap(cluster).ok().expect("sole owner");
+    cluster.shutdown();
+    result
+}
+
+// The workspace's crossbeam stand-in is not a direct dependency of
+// the bench crate's binary targets through a re-export, so the queue
+// between pacer and workers uses std::sync::mpsc wrapped for multi-
+// consumer use.
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+struct Receiver<T> {
+    inner: Arc<Mutex<mpsc::Receiver<T>>>,
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        Receiver {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    fn recv(&self) -> Result<T, mpsc::RecvError> {
+        self.inner.lock().expect("rx lock").recv()
+    }
+}
+
+fn crossbeam_channel<T>() -> (mpsc::Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::channel();
+    (
+        tx,
+        Receiver {
+            inner: Arc::new(Mutex::new(rx)),
+        },
+    )
+}
+
+/// Protocol-cost audit in *queued* mode: one clean traced transaction
+/// per protocol configuration, primitive counts checked against the
+/// paper's budgets. Queueing must not change protocol cost.
+fn queued_audit() -> Vec<(&'static str, Result<String, String>)> {
+    let configs: [(AuditProtocol, EngineConfig, CommitMode, bool); 4] = [
+        (
+            AuditProtocol::TwoPhaseDelayed,
+            EngineConfig::default(),
+            CommitMode::TwoPhase,
+            true,
+        ),
+        (
+            AuditProtocol::TwoPhaseStandard,
+            EngineConfig::for_variant(TwoPhaseVariant::Unoptimized),
+            CommitMode::TwoPhase,
+            true,
+        ),
+        (
+            AuditProtocol::ReadOnly,
+            EngineConfig::default(),
+            CommitMode::TwoPhase,
+            false,
+        ),
+        (
+            AuditProtocol::NonBlocking,
+            EngineConfig::default(),
+            CommitMode::NonBlocking,
+            true,
+        ),
+    ];
+    let mut out = Vec::new();
+    for (protocol, engine, mode, write) in configs {
+        let cfg = RtConfig {
+            datagram_delay: StdDuration::from_millis(1),
+            platter_delay: StdDuration::from_millis(1),
+            engine,
+            exec_mode: ExecMode::Queued,
+            data_shards: 4,
+            trace: true,
+            ..RtConfig::default()
+        };
+        let cluster = Cluster::new(2, cfg);
+        let client = cluster.client(SiteId(1));
+        let tid = client.begin().expect("audit begin");
+        if write {
+            client
+                .write(&tid, SiteId(1), SRV, ObjectId(1), b"a".to_vec())
+                .expect("audit home write");
+            client
+                .write(&tid, SiteId(2), SRV, ObjectId(2), b"b".to_vec())
+                .expect("audit remote write");
+        } else {
+            client
+                .read(&tid, SiteId(1), SRV, ObjectId(1))
+                .expect("audit home read");
+            client
+                .read(&tid, SiteId(2), SRV, ObjectId(2))
+                .expect("audit remote read");
+        }
+        let outcome = client.commit(&tid, mode).expect("audit commit");
+        assert_eq!(outcome, Outcome::Committed);
+        std::thread::sleep(StdDuration::from_millis(400));
+        let events = cluster.drain_trace();
+        cluster.shutdown();
+        let budget = budget_for(protocol);
+        let result = audit_family(tid.family, &events, &budget).map(|c| {
+            format!(
+                "{} force(s) + {} lazy + {} datagram(s)",
+                c.forces, c.lazy_appends, c.datagrams
+            )
+        });
+        out.push((protocol.name(), result));
+    }
+    out
+}
+
+fn point_json(p: &PointResult) -> String {
+    format!(
+        "    {{\"offered_per_sec\": {:.1}, \"arrivals\": {}, \"commits\": {}, \"aborts\": {}, \
+         \"errors\": {}, \"elapsed_s\": {:.3}, \"achieved_commits_per_sec\": {:.1}, \
+         \"commit_overhead_pct\": {:.1}, \"total_latency\": {}, \"commit_latency\": {}, \
+         \"lock_wait_ms\": {:.1}, \"server_lock_waits\": {}, \"deadlocks\": {}, \
+         \"queue_ops\": {}, \"queue_vote_timeouts\": {}, \"queue_cascades\": {}, \
+         \"queue_wait_p95_us\": {}, \"protocol_phases\": {}}}",
+        p.offered_per_sec,
+        p.arrivals,
+        p.commits,
+        p.aborts,
+        p.errors,
+        p.elapsed_s,
+        p.achieved_commits_per_sec,
+        p.commit_overhead_pct,
+        hist_json(&p.total_lat),
+        hist_json(&p.commit_lat),
+        p.lock_wait_ms,
+        p.server_lock_waits,
+        p.deadlocks,
+        p.queue_ops,
+        p.queue_vote_timeouts,
+        p.queue_cascades,
+        p.queue_wait_p95_us,
+        p.proto_json,
+    )
+}
+
+fn main() {
+    let args = Args::parse();
+    println!(
+        "camelot-load: open-loop, zipf theta={} over {} keys, {} ms per point, \
+         mix {}% read-only / {}% distributed updates / {}% non-blocking",
+        args.theta, args.keys, args.duration_ms, args.read_pct, args.dist_pct, args.nb_pct
+    );
+    let mut mode_sections = Vec::new();
+    let mut saturation: Vec<(ExecMode, f64)> = Vec::new();
+    for &mode in &args.modes {
+        println!("\n== mode: {} ==", mode.name());
+        println!(
+            "{:>9} {:>9} {:>8} {:>7} {:>10} {:>10} {:>10} {:>9}",
+            "offered/s",
+            "commits/s",
+            "aborts",
+            "errors",
+            "p95_tot",
+            "p95_cmt",
+            "overhead%",
+            "lockwait"
+        );
+        let mut points = Vec::new();
+        for &rate in &args.rates {
+            let p = run_point(&args, mode, rate);
+            println!(
+                "{:>9.0} {:>9.1} {:>8} {:>7} {:>8}us {:>8}us {:>9.1}% {:>7.1}ms",
+                p.offered_per_sec,
+                p.achieved_commits_per_sec,
+                p.aborts,
+                p.errors,
+                p.total_lat.percentile(95.0),
+                p.commit_lat.percentile(95.0),
+                p.commit_overhead_pct,
+                p.lock_wait_ms
+            );
+            points.push(p);
+        }
+        let sat = points
+            .iter()
+            .map(|p| p.achieved_commits_per_sec)
+            .fold(0.0f64, f64::max);
+        println!("saturation: {sat:.1} commits/s");
+        saturation.push((mode, sat));
+        let body = points
+            .iter()
+            .map(point_json)
+            .collect::<Vec<_>>()
+            .join(",\n");
+        mode_sections.push(format!(
+            "  {{\"mode\": \"{}\", \"saturation_commits_per_sec\": {:.1}, \"points\": [\n{}\n  ]}}",
+            mode.name(),
+            sat,
+            body
+        ));
+    }
+
+    // The headline ratio: queued vs lock-based saturation throughput.
+    let sat_of = |m: ExecMode| {
+        saturation
+            .iter()
+            .find(|(mode, _)| *mode == m)
+            .map(|(_, s)| *s)
+    };
+    let ratio = match (sat_of(ExecMode::Queued), sat_of(ExecMode::LockBased)) {
+        (Some(q), Some(l)) if l > 0.0 => {
+            let r = q / l;
+            println!("\nqueued/lock_based saturation ratio: {r:.2}x");
+            Some(r)
+        }
+        _ => None,
+    };
+
+    println!("\nprotocol-cost audit on queued-mode traces:");
+    let audits = queued_audit();
+    let mut violated = false;
+    let mut audit_parts = Vec::new();
+    for (name, result) in &audits {
+        match result {
+            Ok(counts) => {
+                println!("  {name}: ok ({counts})");
+                audit_parts.push(format!("\"{name}\": \"ok\""));
+            }
+            Err(e) => {
+                println!("  {name}: VIOLATION: {e}");
+                audit_parts.push(format!("\"{name}\": \"violation\""));
+                violated = true;
+            }
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"load_curves\",\n");
+    json.push_str(&format!(
+        "  \"stamp\": {},\n",
+        stamp_json(&args.config_text())
+    ));
+    json.push_str(&format!(
+        "  \"config\": {{\"sites\": {SITES}, \"tm_threads\": {TM_THREADS}, \"theta\": {}, \
+         \"keys\": {}, \"duration_ms\": {}, \"read_pct\": {}, \"dist_pct\": {}, \
+         \"nb_pct\": {}, \"seed\": {}}},\n",
+        args.theta,
+        args.keys,
+        args.duration_ms,
+        args.read_pct,
+        args.dist_pct,
+        args.nb_pct,
+        args.seed
+    ));
+    json.push_str("  \"modes\": [\n");
+    json.push_str(&mode_sections.join(",\n"));
+    json.push_str("\n  ],\n");
+    match ratio {
+        Some(r) => json.push_str(&format!("  \"queued_over_lock_saturation\": {r:.2},\n")),
+        None => json.push_str("  \"queued_over_lock_saturation\": null,\n"),
+    }
+    json.push_str(&format!(
+        "  \"queued_audit\": {{{}}}\n}}\n",
+        audit_parts.join(", ")
+    ));
+
+    let out = args.out.clone().unwrap_or_else(|| {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("BENCH_load_curves.json")
+            .to_string_lossy()
+            .into_owned()
+    });
+    std::fs::write(&out, json).expect("write BENCH_load_curves.json");
+    println!("wrote {out}");
+    if violated {
+        eprintln!("protocol-cost audit failed on queued-mode traces");
+        std::process::exit(1);
+    }
+}

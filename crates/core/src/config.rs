@@ -11,6 +11,44 @@ pub enum CommitMode {
     NonBlocking,
 }
 
+/// How the runtime executes data operations against server state.
+///
+/// The paper's lock-based path (and `BENCH_rt_scaling.json`) shows
+/// that once group commit relieves the disk, the next scaling ceiling
+/// is lock contention: under skewed access the hot object's exclusive
+/// lock is held across the whole commitment protocol, so waiters
+/// convoy behind it. The queue-oriented mode (after Qadah's
+/// queue-oriented transaction-processing paradigm) removes the lock
+/// table from the hot path entirely: operations are routed to
+/// per-shard FIFO operation queues and executed by single-owner shard
+/// workers against speculative state, with commit *ordering* enforced
+/// by dependency tracking at phase one instead of by blocking at
+/// operation time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecMode {
+    /// Moss-model two-phase locking in the data servers (the paper's
+    /// own execution model): strict serializability, but hot locks
+    /// are held across the commitment protocol.
+    LockBased,
+    /// Per-shard FIFO operation queues with single-owner workers: no
+    /// lock-table acquisition or server-mutex serialization on the
+    /// operation path. Conflicting transactions are ordered at commit
+    /// time (write-write order per object, cascading aborts for
+    /// readers of uncommitted versions); reads of committed state are
+    /// read-committed with per-key repeatable reads.
+    Queued,
+}
+
+impl ExecMode {
+    /// Stable snake_case name (JSON keys, bench output).
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecMode::LockBased => "lock_based",
+            ExecMode::Queued => "queued",
+        }
+    }
+}
+
 /// Subordinate-side behaviour of two-phase commit — the three write
 /// variants measured in §4.2 / Figure 2.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

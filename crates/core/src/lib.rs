@@ -75,7 +75,7 @@ mod tests_twophase;
 pub mod twophase;
 
 pub use camelot_net::{Outcome, Vote};
-pub use config::{CommitMode, EngineConfig, TwoPhaseVariant};
+pub use config::{CommitMode, EngineConfig, ExecMode, TwoPhaseVariant};
 pub use engine::{shard_of_family, shard_of_token, Engine, EngineStats};
 pub use family::{FamilyPhase, FamilyView};
 pub use io::{Action, CrashPoint, ForceToken, Input, TimerToken};

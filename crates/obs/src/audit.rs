@@ -47,6 +47,21 @@ pub enum AuditProtocol {
 }
 
 impl AuditProtocol {
+    /// All variants in declaration order (array indexing for keyed
+    /// histograms and JSON emission).
+    pub const ALL: [AuditProtocol; 5] = [
+        AuditProtocol::TwoPhaseStandard,
+        AuditProtocol::TwoPhaseDelayed,
+        AuditProtocol::ReadOnly,
+        AuditProtocol::NonBlocking,
+        AuditProtocol::NonBlockingRead,
+    ];
+
+    /// Position in [`AuditProtocol::ALL`].
+    pub fn index(self) -> usize {
+        AuditProtocol::ALL.iter().position(|p| *p == self).unwrap()
+    }
+
     pub fn name(self) -> &'static str {
         match self {
             AuditProtocol::TwoPhaseStandard => "2pc_standard",

@@ -13,6 +13,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration as StdDuration;
 
+use crate::audit::AuditProtocol;
+
 /// Number of buckets; bucket 39 is open-ended above ~2^38 µs (≈ 76 h).
 pub const BUCKETS: usize = 40;
 
@@ -163,10 +165,21 @@ pub enum Phase {
     PlatterWrite,
     /// Wait to acquire an engine shard's lock in a TranMan worker.
     ShardLockWait,
+    /// Queued execution mode: residence of a job in its data shard's
+    /// FIFO operation queue (enqueue → dequeue by the shard worker).
+    QueueWait,
+    /// Queued execution mode: *depth* of the target shard queue
+    /// observed at enqueue time. Samples are counts of queued jobs,
+    /// not microseconds — percentiles read as "jobs ahead of this
+    /// one", reusing the power-of-two bucket layout.
+    QueueDepth,
 }
 
+/// Number of [`Phase`] variants (array sizes below).
+const NPHASES: usize = 9;
+
 impl Phase {
-    pub const ALL: [Phase; 7] = [
+    pub const ALL: [Phase; NPHASES] = [
         Phase::BeginCall,
         Phase::OpCall,
         Phase::Commit2pc,
@@ -174,6 +187,8 @@ impl Phase {
         Phase::ForceWait,
         Phase::PlatterWrite,
         Phase::ShardLockWait,
+        Phase::QueueWait,
+        Phase::QueueDepth,
     ];
 
     /// Stable snake_case name (JSON keys, bench output).
@@ -186,6 +201,8 @@ impl Phase {
             Phase::ForceWait => "force_wait",
             Phase::PlatterWrite => "platter_write",
             Phase::ShardLockWait => "shard_lock_wait",
+            Phase::QueueWait => "queue_wait",
+            Phase::QueueDepth => "queue_depth",
         }
     }
 
@@ -198,7 +215,7 @@ impl Phase {
 /// state.
 #[derive(Default)]
 pub struct PhaseHistograms {
-    hists: [AtomicHistogram; 7],
+    hists: [AtomicHistogram; NPHASES],
 }
 
 impl PhaseHistograms {
@@ -220,7 +237,7 @@ impl PhaseHistograms {
 /// Plain per-phase snapshot; merges element-wise like [`Histogram`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PhaseSnapshot {
-    hists: [Histogram; 7],
+    hists: [Histogram; NPHASES],
 }
 
 impl PhaseSnapshot {
@@ -240,6 +257,60 @@ impl PhaseSnapshot {
             .iter()
             .map(|p| (*p, self.get(*p)))
             .filter(|(_, h)| !h.is_empty())
+    }
+}
+
+/// Phase histograms keyed by the [`AuditProtocol`] a transaction
+/// committed under, so one mixed workload yields per-protocol
+/// p50/p95/p99 breakdowns instead of a single blended commit
+/// distribution. Only client-observed commit phases are keyed (the
+/// protocol of a force or platter write is not knowable at record
+/// time).
+#[derive(Default)]
+pub struct ProtocolPhaseHistograms {
+    per: [PhaseHistograms; 5],
+}
+
+impl ProtocolPhaseHistograms {
+    pub fn record(&self, protocol: AuditProtocol, phase: Phase, d: StdDuration) {
+        self.per[protocol.index()].record(phase, d);
+    }
+
+    pub fn record_us(&self, protocol: AuditProtocol, phase: Phase, us: u64) {
+        self.per[protocol.index()].record_us(phase, us);
+    }
+
+    pub fn snapshot(&self) -> ProtocolPhaseSnapshot {
+        ProtocolPhaseSnapshot {
+            per: std::array::from_fn(|i| self.per[i].snapshot()),
+        }
+    }
+}
+
+/// Plain snapshot of [`ProtocolPhaseHistograms`]; merges element-wise.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProtocolPhaseSnapshot {
+    per: [PhaseSnapshot; 5],
+}
+
+impl ProtocolPhaseSnapshot {
+    pub fn get(&self, protocol: AuditProtocol) -> &PhaseSnapshot {
+        &self.per[protocol.index()]
+    }
+
+    pub fn merge(&mut self, other: &ProtocolPhaseSnapshot) {
+        for (a, b) in self.per.iter_mut().zip(other.per.iter()) {
+            a.merge(b);
+        }
+    }
+
+    /// Protocols with at least one sample in any phase, in
+    /// [`AuditProtocol::ALL`] order.
+    pub fn non_empty(&self) -> impl Iterator<Item = (AuditProtocol, &PhaseSnapshot)> {
+        AuditProtocol::ALL
+            .iter()
+            .map(|p| (*p, self.get(*p)))
+            .filter(|(_, s)| s.non_empty().next().is_some())
     }
 }
 
@@ -310,6 +381,33 @@ mod tests {
         assert_eq!(ab_c, all);
         assert_eq!(ab_c.count(), 8);
         assert_eq!(ab_c.max_us(), 123_456);
+    }
+
+    #[test]
+    fn protocol_keyed_histograms_stay_separate_and_merge() {
+        let a = ProtocolPhaseHistograms::default();
+        a.record_us(AuditProtocol::TwoPhaseDelayed, Phase::Commit2pc, 100);
+        a.record_us(AuditProtocol::ReadOnly, Phase::Commit2pc, 10);
+        let b = ProtocolPhaseHistograms::default();
+        b.record_us(AuditProtocol::TwoPhaseDelayed, Phase::Commit2pc, 300);
+        let mut s = a.snapshot();
+        s.merge(&b.snapshot());
+        assert_eq!(
+            s.get(AuditProtocol::TwoPhaseDelayed)
+                .get(Phase::Commit2pc)
+                .count(),
+            2
+        );
+        assert_eq!(
+            s.get(AuditProtocol::ReadOnly).get(Phase::Commit2pc).count(),
+            1
+        );
+        assert!(s
+            .get(AuditProtocol::NonBlocking)
+            .get(Phase::Commit2pc)
+            .is_empty());
+        let names: Vec<&str> = s.non_empty().map(|(p, _)| p.name()).collect();
+        assert_eq!(names, vec!["2pc_delayed", "read_only"]);
     }
 
     #[test]

@@ -34,5 +34,8 @@ pub mod hist;
 pub mod trace;
 
 pub use audit::{audit_family, budget_for, count_family, AuditCounts, AuditProtocol, Budget};
-pub use hist::{AtomicHistogram, Histogram, Phase, PhaseHistograms, PhaseSnapshot, BUCKETS};
+pub use hist::{
+    AtomicHistogram, Histogram, Phase, PhaseHistograms, PhaseSnapshot, ProtocolPhaseHistograms,
+    ProtocolPhaseSnapshot, BUCKETS,
+};
 pub use trace::{to_jsonl, TraceEvent, TraceEventKind, TraceRing, Tracer};

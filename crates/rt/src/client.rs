@@ -1,28 +1,41 @@
 //! Synchronous client handles: the "application process" view of
 //! Camelot (Figure 1).
 
+use std::collections::HashSet;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
 
 use crossbeam::channel::bounded;
+use parking_lot::Mutex;
 
-use camelot_core::{Action, CommitMode, Input};
+use camelot_core::{Action, CommitMode, ExecMode, Input, TwoPhaseVariant};
 use camelot_net::Outcome;
-use camelot_obs::Phase;
+use camelot_obs::{AuditProtocol, Phase};
 use camelot_server::Request;
-use camelot_types::{AbortReason, CamelotError, ObjectId, Result, ServerId, SiteId, Tid};
+use camelot_types::{AbortReason, CamelotError, FamilyId, ObjectId, Result, ServerId, SiteId, Tid};
 
 use crate::cluster::ClusterInner;
+use crate::queue::{queue_shard_of, QueueJob};
 
 /// A client application homed at one site.
 pub struct Client {
     inner: Arc<ClusterInner>,
     home: SiteId,
+    /// Families this client has successfully written under — enough
+    /// to derive, at commit time, which protocol the paper's Tables
+    /// 1–3 would charge (read-only vs update, standard vs delayed),
+    /// keying the per-protocol phase histograms.
+    wrote: Mutex<HashSet<FamilyId>>,
 }
 
 impl Client {
     pub(crate) fn new(inner: Arc<ClusterInner>, home: SiteId) -> Client {
-        Client { inner, home }
+        Client {
+            inner,
+            home,
+            wrote: Mutex::new(HashSet::new()),
+        }
     }
 
     pub fn home(&self) -> SiteId {
@@ -91,12 +104,16 @@ impl Client {
         obj: ObjectId,
         value: Vec<u8>,
     ) -> Result<Vec<u8>> {
-        self.operation(tid, site, server, move |req, tid| Request::Write {
+        let out = self.operation(tid, site, server, move |req, tid| Request::Write {
             req,
             tid,
             object: obj,
             value: value.clone(),
-        })
+        });
+        if out.is_ok() {
+            self.wrote.lock().insert(tid.family);
+        }
+        out
     }
 
     /// `commit-transaction`. The protocol (two-phase or non-blocking)
@@ -121,6 +138,7 @@ impl Client {
         extra_participants: Vec<SiteId>,
     ) -> Result<Outcome> {
         let started = Instant::now();
+        let wrote = self.wrote.lock().remove(&tid.family);
         let participants = self.merged_participants(tid, extra_participants);
         let t = tid.clone();
         let reply = self.tm_call(Some(tid.clone()), move |req| Input::CommitTop {
@@ -137,17 +155,35 @@ impl Client {
             ))),
         };
         if out.is_ok() {
-            self.note_phase(
-                match mode {
-                    CommitMode::TwoPhase => Phase::Commit2pc,
-                    CommitMode::NonBlocking => Phase::CommitNb,
-                },
-                started,
-            );
+            let phase = match mode {
+                CommitMode::TwoPhase => Phase::Commit2pc,
+                CommitMode::NonBlocking => Phase::CommitNb,
+            };
+            self.note_phase(phase, started);
             let site = self.inner.sites.get(&self.home).expect("home exists");
+            // The same latency, keyed by the protocol the transaction
+            // actually ran (Tables 1–3's row): read-only vs update,
+            // and for 2PC updates standard vs delayed-commit.
+            site.proto_hist
+                .record(self.protocol_of(mode, wrote), phase, started.elapsed());
             site.comman.lock().forget(&tid.family);
         }
         out
+    }
+
+    /// Which audited protocol a commit ran, from the commit mode, the
+    /// engine's 2PC variant and whether this client wrote under the
+    /// family.
+    fn protocol_of(&self, mode: CommitMode, wrote: bool) -> AuditProtocol {
+        match (mode, wrote) {
+            (CommitMode::NonBlocking, true) => AuditProtocol::NonBlocking,
+            (CommitMode::NonBlocking, false) => AuditProtocol::NonBlockingRead,
+            (CommitMode::TwoPhase, false) => AuditProtocol::ReadOnly,
+            (CommitMode::TwoPhase, true) => match self.inner.cfg.engine.variant {
+                TwoPhaseVariant::Optimized => AuditProtocol::TwoPhaseDelayed,
+                _ => AuditProtocol::TwoPhaseStandard,
+            },
+        }
     }
 
     /// Commits a nested transaction.
@@ -179,6 +215,9 @@ impl Client {
     /// the multi-process counterpart, mirroring
     /// [`Client::commit_with`].
     pub fn abort_with(&self, tid: &Tid, extra_participants: Vec<SiteId>) -> Result<()> {
+        if tid.is_top_level() {
+            self.wrote.lock().remove(&tid.family);
+        }
         let participants = self.merged_participants(tid, extra_participants);
         let t = tid.clone();
         match self.tm_call(Some(tid.clone()), move |req| Input::AbortTx {
@@ -309,22 +348,51 @@ impl Client {
             self.inner.pending_ops.remove(req);
             return Err(CamelotError::SiteDown(site_id));
         }
-        let fx = {
-            let mut server = site
-                .servers
-                .get(&server)
-                .ok_or(CamelotError::UnknownService(format!("{server}")))?
-                .lock();
-            server.handle(make(req, tid.clone()))
-        };
-        let deadlock = fx.deadlock;
-        self.inner.route_server_effects(site, server, fx);
-        if deadlock {
-            // Deadlock-avoidance denied the operation (this caller is
-            // the victim): fail fast instead of waiting out the call
-            // timeout, so the application aborts and its peer runs.
+        if !site.servers.contains_key(&server) {
             self.inner.pending_ops.remove(req);
-            return Err(CamelotError::LockTimeout);
+            return Err(CamelotError::UnknownService(format!("{server}")));
+        }
+        if self.inner.cfg.exec_mode == ExecMode::Queued && !site.queue_txs.is_empty() {
+            // Queued execution: route to the owning shard's FIFO; the
+            // shard-owner worker executes speculatively and completes
+            // the pending op. No lock table, no server mutex.
+            let request = make(req, tid.clone());
+            let object = match &request {
+                Request::Read { object, .. } | Request::Write { object, .. } => *object,
+            };
+            let tx = &site.queue_txs[queue_shard_of(object, site.queue_txs.len())];
+            // Instantaneous backlog of the chosen shard (a count, not
+            // a latency — see [`Phase::QueueDepth`]).
+            site.hist.record_us(Phase::QueueDepth, tx.len() as u64);
+            let job = QueueJob::Op {
+                server,
+                request,
+                incarnation: site.incarnation.load(Ordering::SeqCst),
+                enqueued: Instant::now(),
+            };
+            if tx.send(job).is_err() {
+                self.inner.pending_ops.remove(req);
+                return Err(CamelotError::SiteDown(site_id));
+            }
+        } else {
+            let fx = {
+                let mut server = site
+                    .servers
+                    .get(&server)
+                    .expect("presence checked above")
+                    .lock();
+                server.handle(make(req, tid.clone()))
+            };
+            let deadlock = fx.deadlock;
+            self.inner.route_server_effects(site, server, fx);
+            if deadlock {
+                // Deadlock-avoidance denied the operation (this caller
+                // is the victim): fail fast instead of waiting out the
+                // call timeout, so the application aborts and its peer
+                // runs.
+                self.inner.pending_ops.remove(req);
+                return Err(CamelotError::LockTimeout);
+            }
         }
         // Merge the reply stamp at home (transitive spread).
         if site_id != self.home {

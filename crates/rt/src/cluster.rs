@@ -34,14 +34,16 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
 use camelot_core::{
-    shard_of_family, shard_of_token, Action, CrashPoint, Engine, EngineConfig, ForceToken, Input,
-    TimerToken,
+    shard_of_family, shard_of_token, Action, CrashPoint, Engine, EngineConfig, ExecMode,
+    ForceToken, Input, TimerToken,
 };
 use camelot_net::comman::{CommMan, ServiceAddr};
 use camelot_obs::trace::merge_timelines;
-use camelot_obs::{Phase, PhaseHistograms, TraceEvent, TraceEventKind, TraceRing, Tracer};
+use camelot_obs::{
+    Phase, PhaseHistograms, ProtocolPhaseHistograms, TraceEvent, TraceEventKind, TraceRing, Tracer,
+};
 use camelot_server::{recover as server_recover, DataServer, OpReply};
-use camelot_types::{Lsn, Result, ServerId, SiteId, Time};
+use camelot_types::{FamilyId, Lsn, Result, ServerId, SiteId, Time};
 use camelot_wal::{
     BatchPolicy, BatcherAction, FileStore, GroupCommitBatcher, LogRecord, MemStore, ReqId,
     StableStore, Wal,
@@ -49,8 +51,9 @@ use camelot_wal::{
 
 use crate::client::Client;
 use crate::fault::{FaultPlan, LinkDecision};
+use crate::queue::{queue_worker, QueueJob, VoteAgg};
 use crate::shardmap::ShardedMap;
-use crate::stats::{add_engine_stats, ClusterStats, SiteCounters, SiteStats};
+use crate::stats::{add_engine_stats, add_server_stats, ClusterStats, SiteCounters, SiteStats};
 
 /// Runtime configuration.
 #[derive(Debug, Clone)]
@@ -93,6 +96,21 @@ pub struct RtConfig {
     pub op_retries: u32,
     /// Base backoff between client operation retries.
     pub op_retry_base: StdDuration,
+    /// How data operations execute: the paper's lock-based servers
+    /// ([`ExecMode::LockBased`]) or per-shard FIFO operation queues
+    /// with single-owner workers ([`ExecMode::Queued`], see
+    /// `crate::queue`).
+    pub exec_mode: ExecMode,
+    /// Data shards (queue-owner worker threads) per site in
+    /// [`ExecMode::Queued`]; ignored in lock-based mode. Objects are
+    /// hashed over the shards; each shard's state is owned by exactly
+    /// one worker thread.
+    pub data_shards: usize,
+    /// Queued mode: how long a prepared marker may stay parked behind
+    /// unresolved dependencies before the shard votes No — the
+    /// analogue of a lock-wait timeout, breaking cross-shard
+    /// dependency cycles.
+    pub queued_vote_timeout: StdDuration,
     /// Engine configuration (protocol variant, timeouts).
     pub engine: EngineConfig,
     /// Directory for file-backed logs (`site-N.log`). `None` keeps
@@ -124,6 +142,9 @@ impl Default for RtConfig {
             call_timeout: StdDuration::from_secs(30),
             op_retries: 2,
             op_retry_base: StdDuration::from_millis(10),
+            exec_mode: ExecMode::LockBased,
+            data_shards: 4,
+            queued_vote_timeout: StdDuration::from_secs(1),
             engine: EngineConfig::default(),
             log_dir: None,
             trace: false,
@@ -197,6 +218,21 @@ pub(crate) struct SiteShared {
     pub counters: SiteCounters,
     /// Per-phase latency histograms (always on; relaxed atomics).
     pub hist: Arc<PhaseHistograms>,
+    /// Client phase histograms keyed by the protocol a transaction
+    /// committed under (per-protocol p50/p95/p99 from one mixed
+    /// workload).
+    pub proto_hist: Arc<ProtocolPhaseHistograms>,
+    /// Queued execution mode: one FIFO sender per data shard (empty
+    /// in lock-based mode).
+    pub queue_txs: Vec<Sender<QueueJob>>,
+    /// Crash incarnation; queued ops stamped with an older value are
+    /// dropped (their speculative state died with the site).
+    pub incarnation: AtomicU64,
+    /// Queued mode: (family, server) pairs whose join-transaction has
+    /// been delivered, deduplicating joins across shards.
+    pub queue_joined: Mutex<HashSet<(FamilyId, ServerId)>>,
+    /// Queued mode: outstanding phase-one sub-vote aggregations.
+    pub vote_aggs: Mutex<HashMap<(FamilyId, ServerId), VoteAgg>>,
     /// Trace ring when `RtConfig::trace` is set.
     pub ring: Option<Arc<TraceRing>>,
 }
@@ -235,7 +271,7 @@ impl SiteShared {
     /// Appends a record into the WAL's in-memory segment (a short
     /// critical section — encoding happens outside) and returns the
     /// log end past it. Durability comes later, from the disk thread.
-    fn append(&self, rec: &LogRecord) -> Lsn {
+    pub(crate) fn append(&self, rec: &LogRecord) -> Lsn {
         self.counters.appends.fetch_add(1, Ordering::Relaxed);
         let mut wal = self.wal.lock();
         let _ = wal.append(rec);
@@ -247,11 +283,18 @@ impl SiteShared {
     /// call from any runtime thread holding no site locks.
     fn kill(&self) {
         self.tracer().site_event(TraceEventKind::Crash);
+        self.incarnation.fetch_add(1, Ordering::SeqCst);
         self.alive.store(false, Ordering::SeqCst);
         let mut wal = self.wal.lock();
         wal.store_mut().lose_volatile();
         drop(wal);
         self.lazy.lock().clear();
+        // Queued mode: speculative shard state dies with the site.
+        self.queue_joined.lock().clear();
+        self.vote_aggs.lock().clear();
+        for tx in &self.queue_txs {
+            let _ = tx.send(QueueJob::Reset);
+        }
     }
 }
 
@@ -403,62 +446,82 @@ impl ClusterInner {
                     }
                 }
                 Action::AskVote { tid, servers } => {
-                    for server in servers {
-                        let vote = site
-                            .servers
-                            .get(&server)
-                            .expect("server exists")
-                            .lock()
-                            .vote(tid.family);
-                        let _ = site.tm_tx.send(Some(Input::ServerVote {
-                            tid: tid.clone(),
-                            server,
-                            vote,
-                        }));
+                    if self.cfg.exec_mode == ExecMode::Queued {
+                        self.queued_ask_vote(site, &tid, &servers);
+                    } else {
+                        for server in servers {
+                            let vote = site
+                                .servers
+                                .get(&server)
+                                .expect("server exists")
+                                .lock()
+                                .vote(tid.family);
+                            let _ = site.tm_tx.send(Some(Input::ServerVote {
+                                tid: tid.clone(),
+                                server,
+                                vote,
+                            }));
+                        }
                     }
                 }
                 Action::ServerCommit { tid, servers } => {
-                    for s in servers {
-                        let fx = site
-                            .servers
-                            .get(&s)
-                            .expect("server exists")
-                            .lock()
-                            .commit_family(tid.family);
-                        self.route_server_effects(site, s, fx);
+                    if self.cfg.exec_mode == ExecMode::Queued {
+                        self.queued_resolve(site, &tid, &servers, camelot_net::Outcome::Committed);
+                    } else {
+                        for s in servers {
+                            let fx = site
+                                .servers
+                                .get(&s)
+                                .expect("server exists")
+                                .lock()
+                                .commit_family(tid.family);
+                            self.route_server_effects(site, s, fx);
+                        }
                     }
                 }
                 Action::ServerAbort { tid, servers } => {
-                    for s in servers {
-                        let fx = site
-                            .servers
-                            .get(&s)
-                            .expect("server exists")
-                            .lock()
-                            .abort_family(tid.family);
-                        self.route_server_effects(site, s, fx);
+                    if self.cfg.exec_mode == ExecMode::Queued {
+                        self.queued_resolve(site, &tid, &servers, camelot_net::Outcome::Aborted);
+                    } else {
+                        for s in servers {
+                            let fx = site
+                                .servers
+                                .get(&s)
+                                .expect("server exists")
+                                .lock()
+                                .abort_family(tid.family);
+                            self.route_server_effects(site, s, fx);
+                        }
                     }
                 }
                 Action::ServerSubCommit { tid, servers } => {
-                    for s in servers {
-                        let fx = site
-                            .servers
-                            .get(&s)
-                            .expect("server exists")
-                            .lock()
-                            .sub_commit(&tid);
-                        self.route_server_effects(site, s, fx);
+                    if self.cfg.exec_mode == ExecMode::Queued {
+                        self.queued_sub_resolve(site, &tid, &servers, true);
+                    } else {
+                        for s in servers {
+                            let fx = site
+                                .servers
+                                .get(&s)
+                                .expect("server exists")
+                                .lock()
+                                .sub_commit(&tid);
+                            self.route_server_effects(site, s, fx);
+                        }
                     }
                 }
                 Action::ServerSubAbort { tid, servers } => {
-                    for s in servers {
-                        let fx = site
-                            .servers
-                            .get(&s)
-                            .expect("server exists")
-                            .lock()
-                            .sub_abort(&tid);
-                        self.route_server_effects(site, s, fx);
+                    if self.cfg.exec_mode == ExecMode::Queued {
+                        self.queued_sub_resolve(site, &tid, &servers, false);
+                    } else {
+                        for s in servers {
+                            let fx = site
+                                .servers
+                                .get(&s)
+                                .expect("server exists")
+                                .lock()
+                                .sub_abort(&tid);
+                            self.route_server_effects(site, s, fx);
+                        }
                     }
                 }
                 Action::Send { to, msg, piggyback } => {
@@ -578,10 +641,16 @@ impl Cluster {
         let epoch = Instant::now();
         let mut sites = BTreeMap::new();
         let mut site_channels = Vec::new();
+        let queued = cfg.exec_mode == ExecMode::Queued;
         for id in site_ids {
             let i = id.0;
             let (tm_tx, tm_rx) = unbounded();
             let (disk_tx, disk_rx) = unbounded();
+            let (queue_txs, queue_rxs): (Vec<_>, Vec<_>) = if queued {
+                (0..cfg.data_shards.max(1)).map(|_| unbounded()).unzip()
+            } else {
+                (Vec::new(), Vec::new())
+            };
             let mut servers = BTreeMap::new();
             let mut comman = CommMan::new(id);
             for k in 1..=cfg.servers_per_site {
@@ -632,10 +701,15 @@ impl Cluster {
                 lazy: Mutex::new(Vec::new()),
                 counters: SiteCounters::default(),
                 hist: Arc::new(PhaseHistograms::default()),
+                proto_hist: Arc::new(ProtocolPhaseHistograms::default()),
+                queue_txs,
+                incarnation: AtomicU64::new(0),
+                queue_joined: Mutex::new(HashSet::new()),
+                vote_aggs: Mutex::new(HashMap::new()),
                 ring,
             });
             sites.insert(id, shared);
-            site_channels.push((id, tm_rx, disk_rx));
+            site_channels.push((id, tm_rx, disk_rx, queue_rxs));
         }
         let inner = Arc::new(ClusterInner {
             sites,
@@ -655,13 +729,18 @@ impl Cluster {
             handles.push(std::thread::spawn(move || router_main(inner, router_rx)));
         }
         // Per-site workers.
-        for (id, tm_rx, disk_rx) in site_channels {
+        for (id, tm_rx, disk_rx, queue_rxs) in site_channels {
             let site = inner.sites.get(&id).expect("site exists").clone();
             for _ in 0..cfg.tm_threads.max(1) {
                 let inner = inner.clone();
                 let site = site.clone();
                 let rx = tm_rx.clone();
                 handles.push(std::thread::spawn(move || tm_worker(inner, site, rx)));
+            }
+            for rx in queue_rxs {
+                let inner = inner.clone();
+                let site = site.clone();
+                handles.push(std::thread::spawn(move || queue_worker(inner, site, rx)));
             }
             let inner2 = inner.clone();
             let site2 = site.clone();
@@ -760,6 +839,14 @@ impl Cluster {
     pub fn restart(&self, site: SiteId) -> Result<()> {
         let s = self.inner.sites.get(&site).expect("unknown site");
         s.tracer().site_event(TraceEventKind::Restart);
+        // Queued mode: any speculative shard state predating this
+        // restart is stale; recovered in-doubt families live in the
+        // data servers and resolve through the direct-vote fallback.
+        s.queue_joined.lock().clear();
+        s.vote_aggs.lock().clear();
+        for tx in &s.queue_txs {
+            let _ = tx.send(QueueJob::Reset);
+        }
         let records = s.wal.lock().recover()?;
         let recs_only: Vec<LogRecord> = records.iter().map(|(_, r)| r.clone()).collect();
         // Rebuild servers.
@@ -934,6 +1021,10 @@ impl Cluster {
                     live += e.live_families();
                 }
                 let wal = s.wal.lock().stats();
+                let mut servers = camelot_server::ServerStats::default();
+                for srv in s.servers.values() {
+                    add_server_stats(&mut servers, srv.lock().stats());
+                }
                 let c = &s.counters;
                 SiteStats {
                     site: s.id,
@@ -946,7 +1037,13 @@ impl Cluster {
                     forces_satisfied: c.forces_satisfied.load(Ordering::Relaxed),
                     max_batch: c.max_batch.load(Ordering::Relaxed),
                     lazy_drained: c.lazy_drained.load(Ordering::Relaxed),
+                    queue_ops: c.queue_ops.load(Ordering::Relaxed),
+                    queue_parked: c.queue_parked.load(Ordering::Relaxed),
+                    queue_vote_timeouts: c.queue_vote_timeouts.load(Ordering::Relaxed),
+                    queue_cascades: c.queue_cascades.load(Ordering::Relaxed),
+                    servers,
                     phases: s.hist.snapshot(),
+                    proto_phases: s.proto_hist.snapshot(),
                 }
             })
             .collect();
@@ -959,6 +1056,9 @@ impl Cluster {
         for s in self.inner.sites.values() {
             for _ in 0..self.inner.cfg.tm_threads.max(1) {
                 let _ = s.tm_tx.send(None);
+            }
+            for tx in &s.queue_txs {
+                let _ = tx.send(QueueJob::Stop);
             }
             let _ = s.disk_tx.send(DiskJob::Stop);
         }

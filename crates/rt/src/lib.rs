@@ -38,13 +38,14 @@
 pub mod client;
 pub mod cluster;
 pub mod fault;
+mod queue;
 mod shardmap;
 pub mod stats;
 
-pub use camelot_core::CrashPoint;
+pub use camelot_core::{CrashPoint, ExecMode};
 pub use camelot_obs::{
     audit_family, budget_for, count_family, to_jsonl, AuditCounts, AuditProtocol, Budget,
-    Histogram, Phase, PhaseSnapshot, TraceEvent, TraceEventKind,
+    Histogram, Phase, PhaseSnapshot, ProtocolPhaseSnapshot, TraceEvent, TraceEventKind,
 };
 pub use camelot_wal::BatchPolicy;
 pub use client::Client;

@@ -13,7 +13,8 @@ use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::time::Duration as StdDuration;
 
 use camelot_core::EngineStats;
-use camelot_obs::PhaseSnapshot;
+use camelot_obs::{PhaseSnapshot, ProtocolPhaseSnapshot};
+use camelot_server::ServerStats;
 use camelot_types::SiteId;
 use camelot_wal::WalStats;
 
@@ -35,6 +36,14 @@ pub(crate) struct SiteCounters {
     pub max_batch: AtomicU64,
     /// Lazy (no-force) appends whose durability notice was delivered.
     pub lazy_drained: AtomicU64,
+    /// Operations executed by queue-shard workers (queued mode).
+    pub queue_ops: AtomicU64,
+    /// Prepare markers parked waiting on commit-order dependencies.
+    pub queue_parked: AtomicU64,
+    /// Parked votes that hit the queued vote timeout and voted No.
+    pub queue_vote_timeouts: AtomicU64,
+    /// Families doomed by a cascading abort of a dirty-read source.
+    pub queue_cascades: AtomicU64,
 }
 
 impl SiteCounters {
@@ -66,9 +75,25 @@ pub struct SiteStats {
     pub max_batch: u64,
     /// Lazy appends whose durability notice was delivered.
     pub lazy_drained: u64,
+    /// Operations executed by queue-shard workers (queued mode).
+    pub queue_ops: u64,
+    /// Prepare markers parked waiting on commit-order dependencies.
+    pub queue_parked: u64,
+    /// Parked votes that hit the queued vote timeout and voted No.
+    pub queue_vote_timeouts: u64,
+    /// Families doomed by a cascading abort of a dirty-read source.
+    pub queue_cascades: u64,
+    /// Data-server counters summed over the site's servers (lock
+    /// waits, deadlocks, reads/writes) — the per-policy contention
+    /// picture the README results table reports.
+    pub servers: ServerStats,
     /// Per-phase latency histograms (client calls, force waits,
     /// platter writes, shard-lock waits) — the §4.1 latency breakdown.
     pub phases: PhaseSnapshot,
+    /// The same phase histograms keyed by the commit protocol the
+    /// transaction actually ran, so one mixed workload yields
+    /// per-protocol p50/p95/p99.
+    pub proto_phases: ProtocolPhaseSnapshot,
 }
 
 impl SiteStats {
@@ -115,6 +140,25 @@ impl ClusterStats {
         }
         acc
     }
+
+    /// Cluster-wide protocol-keyed phase histograms (element-wise
+    /// merge of every site's snapshot).
+    pub fn protocol_phases(&self) -> ProtocolPhaseSnapshot {
+        let mut acc = ProtocolPhaseSnapshot::default();
+        for s in &self.sites {
+            acc.merge(&s.proto_phases);
+        }
+        acc
+    }
+
+    /// Data-server counters summed cluster-wide.
+    pub fn total_server_stats(&self) -> ServerStats {
+        let mut acc = ServerStats::default();
+        for s in &self.sites {
+            add_server_stats(&mut acc, s.servers);
+        }
+        acc
+    }
 }
 
 /// Field-wise sum of two engine-shard counter sets.
@@ -130,4 +174,13 @@ pub(crate) fn add_engine_stats(acc: &mut EngineStats, s: EngineStats) {
     acc.piggybacked += s.piggybacked;
     acc.takeovers += s.takeovers;
     acc.blocked += s.blocked;
+}
+
+/// Field-wise sum of two data-server counter sets.
+pub(crate) fn add_server_stats(acc: &mut ServerStats, s: ServerStats) {
+    acc.reads += s.reads;
+    acc.writes += s.writes;
+    acc.lock_waits += s.lock_waits;
+    acc.joins += s.joins;
+    acc.deadlocks += s.deadlocks;
 }

@@ -422,7 +422,11 @@ impl DataServer {
 
     // ----- Recovery support (used by crate::recovery) -----
 
-    pub(crate) fn install_committed(&mut self, object: ObjectId, value: Vec<u8>) {
+    /// Installs a committed value directly, bypassing locking. Used by
+    /// log recovery and by the queued execution mode's write-through
+    /// (where commit ordering is enforced by the shard queues, not by
+    /// this server's lock table).
+    pub fn install_committed(&mut self, object: ObjectId, value: Vec<u8>) {
         self.store.insert(object, value);
     }
 

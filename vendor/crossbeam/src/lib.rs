@@ -104,6 +104,16 @@ pub mod channel {
             self.shared.recv_cv.notify_one();
             Ok(())
         }
+
+        /// Messages currently buffered in the channel (same API as
+        /// real crossbeam; a racy snapshot, fine for depth gauges).
+        pub fn len(&self) -> usize {
+            self.shared.inner.lock().unwrap().queue.len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
     }
 
     impl<T> Clone for Sender<T> {
@@ -171,6 +181,15 @@ pub mod channel {
                     return Err(RecvTimeoutError::Timeout);
                 }
             }
+        }
+
+        /// Messages currently buffered in the channel.
+        pub fn len(&self) -> usize {
+            self.shared.inner.lock().unwrap().queue.len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
 
         pub fn try_recv(&self) -> Result<T, TryRecvError> {

@@ -35,7 +35,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration as StdDuration, Instant};
 
-use camelot_bench::{quick, stamp_json, OpenLoop, SplitMix64, Zipf};
+use camelot_bench::{
+    hist_json, quick, stamp_json, work_channel, OpenLoop, SplitMix64, WorkReceiver, Zipf,
+};
 use camelot_core::{CommitMode, EngineConfig, TwoPhaseVariant};
 use camelot_net::Outcome;
 use camelot_obs::AtomicHistogram;
@@ -271,20 +273,6 @@ fn run_txn(clients: &[camelot_rt::Client], spec: &TxnSpec, sink: &PointSink) {
     }
 }
 
-/// JSON for one latency histogram.
-fn hist_json(h: &Histogram) -> String {
-    format!(
-        "{{\"count\": {}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \"mean_us\": {}, \
-         \"max_us\": {}}}",
-        h.count(),
-        h.percentile(50.0),
-        h.percentile(95.0),
-        h.percentile(99.0),
-        h.mean_us(),
-        h.max_us()
-    )
-}
-
 /// Per-protocol commit-latency percentiles from the run's protocol-
 /// keyed phase histograms (one mixed workload, broken out by the
 /// Tables 1–3 protocol actually run).
@@ -311,13 +299,13 @@ fn run_point(args: &Args, mode: ExecMode, rate: f64) -> PointResult {
     let mut rng = SplitMix64::new(args.seed ^ (rate as u64));
     let total = ((args.duration_ms as f64 / 1e3) * rate).max(1.0) as u64;
     let workers = ((rate / 4.0) as usize).clamp(16, 128);
-    let (tx, rx) = crossbeam_channel();
+    let (tx, rx) = work_channel();
     let sink = Arc::new(PointSink::default());
     let mut handles = Vec::new();
     for _ in 0..workers {
         let cluster = cluster.clone();
         let sink = sink.clone();
-        let rx: Receiver<TxnSpec> = rx.clone();
+        let rx: WorkReceiver<TxnSpec> = rx.clone();
         handles.push(std::thread::spawn(move || {
             let clients: Vec<_> = (1..=SITES).map(|s| cluster.client(SiteId(s))).collect();
             while let Ok(spec) = rx.recv() {
@@ -404,41 +392,6 @@ fn run_point(args: &Args, mode: ExecMode, rate: f64) -> PointResult {
     let cluster = Arc::try_unwrap(cluster).ok().expect("sole owner");
     cluster.shutdown();
     result
-}
-
-// The workspace's crossbeam stand-in is not a direct dependency of
-// the bench crate's binary targets through a re-export, so the queue
-// between pacer and workers uses std::sync::mpsc wrapped for multi-
-// consumer use.
-use std::sync::mpsc;
-use std::sync::Mutex;
-
-struct Receiver<T> {
-    inner: Arc<Mutex<mpsc::Receiver<T>>>,
-}
-
-impl<T> Clone for Receiver<T> {
-    fn clone(&self) -> Self {
-        Receiver {
-            inner: self.inner.clone(),
-        }
-    }
-}
-
-impl<T> Receiver<T> {
-    fn recv(&self) -> Result<T, mpsc::RecvError> {
-        self.inner.lock().expect("rx lock").recv()
-    }
-}
-
-fn crossbeam_channel<T>() -> (mpsc::Sender<T>, Receiver<T>) {
-    let (tx, rx) = mpsc::channel();
-    (
-        tx,
-        Receiver {
-            inner: Arc::new(Mutex::new(rx)),
-        },
-    )
 }
 
 /// Protocol-cost audit in *queued* mode: one clean traced transaction

@@ -5,9 +5,11 @@
 //! environment shrinks repetition counts (useful in CI).
 
 pub mod openloop;
+pub mod report;
 pub mod zipf;
 
 pub use openloop::OpenLoop;
+pub use report::{hist_json, work_channel, WorkReceiver};
 pub use zipf::{SplitMix64, Zipf};
 
 /// True when the `QUICK` environment variable asks for short runs.

@@ -1,0 +1,96 @@
+//! Pieces shared by the open-loop harness binaries (`camelot-load`,
+//! `camelot-sockbench`): latency-histogram JSON rendering and the
+//! multi-consumer work channel between the pacer and its worker pool.
+
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+
+use camelot_obs::Histogram;
+
+/// JSON for one latency histogram.
+pub fn hist_json(h: &Histogram) -> String {
+    format!(
+        "{{\"count\": {}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \"mean_us\": {}, \
+         \"max_us\": {}}}",
+        h.count(),
+        h.percentile(50.0),
+        h.percentile(95.0),
+        h.percentile(99.0),
+        h.mean_us(),
+        h.max_us()
+    )
+}
+
+/// Cloneable receiving half of [`work_channel`]. The workspace's
+/// crossbeam stand-in is not reachable from the bench binaries, so
+/// multi-consumer dispatch wraps `std::sync::mpsc` in a mutex — fine
+/// for work items that each take far longer than a lock handoff.
+pub struct WorkReceiver<T> {
+    inner: Arc<Mutex<mpsc::Receiver<T>>>,
+}
+
+impl<T> Clone for WorkReceiver<T> {
+    fn clone(&self) -> Self {
+        WorkReceiver {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> WorkReceiver<T> {
+    /// Blocks for the next item; `Err` when the sender hung up.
+    pub fn recv(&self) -> Result<T, mpsc::RecvError> {
+        self.inner.lock().expect("rx lock").recv()
+    }
+}
+
+/// A single-producer multi-consumer queue: the pacer sends, every
+/// worker-pool thread holds a clone of the receiver.
+pub fn work_channel<T>() -> (mpsc::Sender<T>, WorkReceiver<T>) {
+    let (tx, rx) = mpsc::channel();
+    (
+        tx,
+        WorkReceiver {
+            inner: Arc::new(Mutex::new(rx)),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn work_channel_fans_out_to_many_consumers() {
+        let (tx, rx) = work_channel::<u64>();
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let rx = rx.clone();
+            handles.push(thread::spawn(move || {
+                let mut got = 0u64;
+                while let Ok(v) = rx.recv() {
+                    got += v;
+                }
+                got
+            }));
+        }
+        drop(rx);
+        for i in 1..=100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 5050, "every item consumed exactly once");
+    }
+
+    #[test]
+    fn hist_json_shape() {
+        let h = camelot_obs::AtomicHistogram::default();
+        h.record_us(100);
+        h.record_us(200);
+        let j = hist_json(&h.snapshot());
+        assert!(j.contains("\"count\": 2"), "{j}");
+        assert!(j.contains("p99_us"), "{j}");
+    }
+}

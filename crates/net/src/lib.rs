@@ -27,6 +27,7 @@ pub mod comman;
 pub mod fault;
 pub mod frame;
 pub mod msg;
+pub mod sendq;
 pub mod socket;
 pub mod transport;
 
@@ -35,5 +36,6 @@ pub use comman::CommMan;
 pub use fault::{FaultPlan, FaultStats, LinkDecision};
 pub use frame::{decode_frame, encode_frame, FrameDecoder, FrameError, FRAME_HEADER, MAX_FRAME};
 pub use msg::{Envelope, NbSiteState, Outcome, TmMessage, Vote};
+pub use sendq::{Backoff, SendQueue, TransportStats};
 pub use socket::{SocketConfig, SocketMode, SocketTransport};
 pub use transport::{DupFilter, Retransmitter};

@@ -32,6 +32,19 @@
 //! map) and dynamically from traffic (a datagram's source address
 //! updates the sender's entry), so a site that restarts on a new
 //! ephemeral port is re-learned without reconfiguration.
+//!
+//! **Outbound path.** `send` never touches a kernel socket. It encodes
+//! the frame and pushes it onto a bounded per-peer [`SendQueue`]; a
+//! dedicated sender thread per peer drains the queue and owns that
+//! peer's connection state (cached TCP stream, reconnect
+//! [`Backoff`]). Connect and write are timeout-bounded, so the worst
+//! a dead or stalled peer can cost is its own sender thread — sends to
+//! healthy peers proceed untouched. A full queue evicts its *oldest*
+//! frame (counted in [`TransportStats::queue_drops`]); that is safe
+//! because every layer above already treats a lost frame as a lost
+//! datagram — UDP mode retransmits via the [`ReliableChannel`], and
+//! TCP mode's commit protocols recover through their own timers
+//! (inquiry, notify resend, vote timeout).
 
 use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write as IoWrite};
@@ -51,8 +64,13 @@ use crate::channel::{ChannelEvent, ReliableChannel};
 use crate::fault::{FaultPlan, LinkDecision};
 use crate::frame::{decode_frame, encode_frame};
 use crate::msg::{Envelope, TmMessage};
+use crate::sendq::{Backoff, Pop, Push, SendQueue, TransportCounters, TransportStats};
 use crate::transport::{DupFilter, SeqAlloc};
 use crate::FrameDecoder;
+
+/// How long a sender thread parks in `pop` before re-checking for
+/// shutdown.
+const POP_WAIT: StdDuration = StdDuration::from_millis(50);
 
 /// Which kernel transport carries the frames.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,6 +114,18 @@ pub struct SocketConfig {
     /// before returning `None` (and, in UDP mode, running the
     /// retransmission clock).
     pub recv_timeout: StdDuration,
+    /// Per-peer send-queue bound; a full queue evicts its oldest frame.
+    pub send_queue: usize,
+    /// Upper bound on one TCP connect attempt.
+    pub connect_timeout: StdDuration,
+    /// Upper bound on one TCP write (a peer that accepts but stops
+    /// reading fails the write instead of wedging its sender thread
+    /// forever).
+    pub write_timeout: StdDuration,
+    /// First reconnect delay after a failed connect.
+    pub reconnect_base: StdDuration,
+    /// Reconnect backoff cap.
+    pub reconnect_cap: StdDuration,
 }
 
 impl SocketConfig {
@@ -111,6 +141,11 @@ impl SocketConfig {
                 .map(|d| d.as_micros() as u64)
                 .unwrap_or(1),
             recv_timeout: StdDuration::from_millis(20),
+            send_queue: 256,
+            connect_timeout: StdDuration::from_millis(250),
+            write_timeout: StdDuration::from_secs(1),
+            reconnect_base: StdDuration::from_millis(25),
+            reconnect_cap: StdDuration::from_secs(2),
         }
     }
 
@@ -146,7 +181,16 @@ struct Inner {
     seqs: Mutex<SeqAlloc>,
     dups: Mutex<DupFilter>,
     peers: Mutex<HashMap<SiteId, SocketAddr>>,
-    conns: Mutex<HashMap<SiteId, TcpStream>>,
+    /// Per-peer outbound queues, each drained by its own sender
+    /// thread (spawned lazily on first send to that peer). Connection
+    /// state lives in the sender thread, never under this lock.
+    queues: Mutex<HashMap<SiteId, Arc<SendQueue>>>,
+    counters: TransportCounters,
+    send_queue: usize,
+    connect_timeout: StdDuration,
+    write_timeout: StdDuration,
+    reconnect_base: StdDuration,
+    reconnect_cap: StdDuration,
     /// TCP mode: frame payloads pushed by per-connection reader
     /// threads.
     tcp_rx: Mutex<Option<Receiver<Vec<u8>>>>,
@@ -203,7 +247,13 @@ impl SocketTransport {
             seqs: Mutex::new(SeqAlloc::starting_at(cfg.seq_base)),
             dups: Mutex::new(DupFilter::new(64)),
             peers: Mutex::new(HashMap::new()),
-            conns: Mutex::new(HashMap::new()),
+            queues: Mutex::new(HashMap::new()),
+            counters: TransportCounters::default(),
+            send_queue: cfg.send_queue,
+            connect_timeout: cfg.connect_timeout,
+            write_timeout: cfg.write_timeout,
+            reconnect_base: cfg.reconnect_base,
+            reconnect_cap: cfg.reconnect_cap,
             tcp_rx: Mutex::new(None),
             fault,
             tracer,
@@ -236,12 +286,15 @@ impl SocketTransport {
         &self.inner.fault
     }
 
-    /// Registers (or moves) a peer's address. In TCP mode a cached
-    /// connection to the peer's old address is dropped.
+    /// Registers (or moves) a peer's address. When the address
+    /// changes, the peer's sender thread is told to drop its cached
+    /// connection and reconnect to the new one.
     pub fn set_peer(&self, site: SiteId, addr: SocketAddr) {
         let old = self.inner.peers.lock().unwrap().insert(site, addr);
         if old != Some(addr) {
-            self.inner.conns.lock().unwrap().remove(&site);
+            if let Some(q) = self.inner.queues.lock().unwrap().get(&site) {
+                q.bump_addr_gen();
+            }
         }
     }
 
@@ -389,86 +442,230 @@ impl SocketTransport {
     pub fn in_flight(&self) -> usize {
         self.inner.channel.lock().unwrap().in_flight()
     }
+
+    /// Snapshot of the outbound path's counters, with the current
+    /// total queue depth across all peers.
+    pub fn stats(&self) -> TransportStats {
+        let depth: usize = self
+            .inner
+            .queues
+            .lock()
+            .unwrap()
+            .values()
+            .map(|q| q.len())
+            .sum();
+        self.inner.counters.snapshot(depth as u64)
+    }
 }
 
 impl Drop for SocketTransport {
     fn drop(&mut self) {
         self.inner.shutdown.store(true, Ordering::SeqCst);
+        // Wake every sender thread so it notices the shutdown flag.
+        for q in self.inner.queues.lock().unwrap().values() {
+            q.close();
+        }
     }
 }
 
 impl Inner {
-    /// Applies the fault plan and puts `frame` on the wire (possibly
-    /// late, twice, or never).
+    /// Applies the fault plan and hands `frame` to the peer's send
+    /// queue (possibly late, twice, or never).
     fn dispatch(self: &Arc<Inner>, to: SiteId, frame: Vec<u8>) {
         match self.fault.link_decision(self.site, to) {
-            LinkDecision::Deliver => self.raw_send(to, &frame),
+            LinkDecision::Deliver => self.enqueue(to, frame),
             LinkDecision::Drop => {}
             LinkDecision::Delay(d) => {
                 let inner = Arc::clone(self);
                 thread::spawn(move || {
                     thread::sleep(d);
                     if !inner.shutdown.load(Ordering::SeqCst) {
-                        inner.raw_send(to, &frame);
+                        inner.enqueue(to, frame);
                     }
                 });
             }
             LinkDecision::Duplicate(d) => {
-                self.raw_send(to, &frame);
+                self.enqueue(to, frame.clone());
                 let inner = Arc::clone(self);
                 thread::spawn(move || {
                     thread::sleep(d);
                     if !inner.shutdown.load(Ordering::SeqCst) {
-                        inner.raw_send(to, &frame);
+                        inner.enqueue(to, frame);
                     }
                 });
             }
         }
     }
 
-    /// One syscall-level transmission. Failures are dropped silently —
-    /// to the protocol a failed send is indistinguishable from a lost
-    /// datagram, and it already tolerates loss.
-    fn raw_send(&self, to: SiteId, frame: &[u8]) {
-        let Some(addr) = self.peers.lock().unwrap().get(&to).copied() else {
-            return;
+    /// Queues `frame` for the peer's sender thread, creating queue and
+    /// thread on first use. Never blocks and never touches a socket:
+    /// a wedged peer costs its own sender thread, nothing else.
+    fn enqueue(self: &Arc<Inner>, to: SiteId, frame: Vec<u8>) {
+        let q = {
+            let mut queues = self.queues.lock().unwrap();
+            match queues.get(&to) {
+                Some(q) => Arc::clone(q),
+                None => {
+                    let q = Arc::new(SendQueue::new(self.send_queue));
+                    queues.insert(to, Arc::clone(&q));
+                    let inner = Arc::clone(self);
+                    let dq = Arc::clone(&q);
+                    thread::spawn(move || drain_peer(inner, to, dq));
+                    q
+                }
+            }
         };
-        let sent = match self.mode {
-            SocketMode::Udp => self
-                .udp
-                .as_ref()
-                .expect("udp mode")
-                .send_to(frame, addr)
-                .is_ok(),
-            SocketMode::Tcp => self.tcp_write(to, addr, frame),
-        };
-        if sent {
-            self.tracer.site_event(TraceEventKind::SocketSend {
-                to,
-                bytes: frame.len() as u32,
-            });
+        match q.push(frame) {
+            Push::Queued => {
+                TransportCounters::bump(&self.counters.enqueued);
+            }
+            Push::Evicted => {
+                TransportCounters::bump(&self.counters.enqueued);
+                TransportCounters::bump(&self.counters.queue_drops);
+                self.tracer.site_event(TraceEventKind::SendQueueDrop { to });
+            }
+            Push::Closed => {}
         }
+        self.counters.observe_depth(q.len() as u64);
     }
 
-    /// Writes one frame on the cached stream to `to`, connecting (or
-    /// reconnecting once) as needed.
-    fn tcp_write(&self, to: SiteId, addr: SocketAddr, frame: &[u8]) -> bool {
-        let mut conns = self.conns.lock().unwrap();
-        if let Some(stream) = conns.get_mut(&to) {
-            if stream.write_all(frame).is_ok() {
-                return true;
-            }
-            conns.remove(&to);
-        }
-        let Ok(mut stream) = TcpStream::connect(addr) else {
-            return false;
+    /// Counts one frame the kernel accepted.
+    fn note_sent(&self, to: SiteId, bytes: usize) {
+        TransportCounters::bump(&self.counters.sends);
+        self.tracer.site_event(TraceEventKind::SocketSend {
+            to,
+            bytes: bytes as u32,
+        });
+    }
+
+    /// Counts one frame the transport had to give up on. To the
+    /// protocol it is a lost datagram; the trace event and counter
+    /// exist so chaos campaigns can tell transport faults from
+    /// injected drops.
+    fn note_failed(&self, to: SiteId) {
+        TransportCounters::bump(&self.counters.send_failures);
+        self.tracer
+            .site_event(TraceEventKind::SocketSendFailed { to });
+    }
+}
+
+/// Per-peer connection state owned by one sender thread.
+struct PeerLink {
+    conn: Option<TcpStream>,
+    /// `addr_gen` value the cached connection was made under; a bump
+    /// (peer address changed) invalidates the connection.
+    conn_gen: u64,
+    backoff: Backoff,
+    /// Earliest time for the next connect attempt, set by the backoff
+    /// after a failure.
+    retry_at: Option<Instant>,
+}
+
+/// Sender thread: drains one peer's queue onto the kernel socket.
+/// Exits when the transport shuts down or the queue is closed and
+/// drained.
+fn drain_peer(inner: Arc<Inner>, to: SiteId, q: Arc<SendQueue>) {
+    let mut link = PeerLink {
+        conn: None,
+        conn_gen: q.addr_gen(),
+        backoff: Backoff::new(inner.reconnect_base, inner.reconnect_cap),
+        retry_at: None,
+    };
+    while !inner.shutdown.load(Ordering::SeqCst) {
+        let frame = match q.pop(POP_WAIT) {
+            Pop::Frame(f) => f,
+            Pop::TimedOut => continue,
+            Pop::Closed => return,
         };
-        let _ = stream.set_nodelay(true);
-        if stream.write_all(frame).is_err() {
-            return false;
+        // Honor the reconnect backoff before spending a syscall on
+        // this frame, still waking often enough to notice shutdown.
+        while let Some(at) = link.retry_at {
+            if inner.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let now = Instant::now();
+            if now >= at {
+                link.retry_at = None;
+                break;
+            }
+            thread::sleep((at - now).min(POP_WAIT));
         }
-        conns.insert(to, stream);
-        true
+        match inner.mode {
+            SocketMode::Udp => transmit_udp(&inner, to, &frame),
+            SocketMode::Tcp => transmit_tcp(&inner, to, &q, &mut link, &frame),
+        }
+    }
+}
+
+fn transmit_udp(inner: &Inner, to: SiteId, frame: &[u8]) {
+    let Some(addr) = inner.peers.lock().unwrap().get(&to).copied() else {
+        inner.note_failed(to);
+        return;
+    };
+    let sock = inner.udp.as_ref().expect("udp mode");
+    if sock.send_to(frame, addr).is_ok() {
+        inner.note_sent(to, frame.len());
+    } else {
+        inner.note_failed(to);
+    }
+}
+
+fn transmit_tcp(inner: &Inner, to: SiteId, q: &SendQueue, link: &mut PeerLink, frame: &[u8]) {
+    // A moved peer invalidates the cached connection and any backoff
+    // accumulated against the old address.
+    let gen = q.addr_gen();
+    if gen != link.conn_gen {
+        link.conn = None;
+        link.conn_gen = gen;
+        link.backoff.reset();
+        link.retry_at = None;
+    }
+    // Two attempts: a write failure on a cached stream usually means
+    // the peer restarted since the last frame, so reconnect once and
+    // retry before declaring the frame lost. Any write error discards
+    // the stream — a partial write poisons the peer's frame decoder,
+    // and a fresh connection gets a fresh decoder.
+    for attempt in 0..2 {
+        if link.conn.is_none() && !tcp_connect(inner, to, link) {
+            inner.note_failed(to);
+            return;
+        }
+        let stream = link.conn.as_mut().expect("connected above");
+        match stream.write_all(frame) {
+            Ok(()) => {
+                inner.note_sent(to, frame.len());
+                return;
+            }
+            Err(_) => {
+                link.conn = None;
+                if attempt == 1 {
+                    inner.note_failed(to);
+                }
+            }
+        }
+    }
+}
+
+/// One bounded connect attempt; on failure arms the backoff timer.
+fn tcp_connect(inner: &Inner, to: SiteId, link: &mut PeerLink) -> bool {
+    let Some(addr) = inner.peers.lock().unwrap().get(&to).copied() else {
+        link.retry_at = Some(Instant::now() + link.backoff.failure());
+        return false;
+    };
+    match TcpStream::connect_timeout(&addr, inner.connect_timeout) {
+        Ok(stream) => {
+            let _ = stream.set_nodelay(true);
+            let _ = stream.set_write_timeout(Some(inner.write_timeout));
+            TransportCounters::bump(&inner.counters.connects);
+            link.backoff.reset();
+            link.conn = Some(stream);
+            true
+        }
+        Err(_) => {
+            TransportCounters::bump(&inner.counters.connect_failures);
+            link.retry_at = Some(Instant::now() + link.backoff.failure());
+            false
+        }
     }
 }
 

@@ -15,12 +15,11 @@
 //! conserved across every committed state — and exits nonzero if the
 //! cluster disagrees.
 
-use std::io::{BufRead, BufReader};
 use std::path::PathBuf;
-use std::process::{exit, Child, Command, Stdio};
+use std::process::exit;
 use std::time::Duration as StdDuration;
 
-use camelot_node::ctrl::{CtrlClient, Handshake, PeerEntry};
+use camelot_node::procs::{distribute_peers, sibling_site_bin, wait_quiesce, SiteProc, SpawnSpec};
 use camelot_types::{ObjectId, ServerId, SiteId, Tid};
 
 const SRV: ServerId = ServerId(1);
@@ -87,57 +86,6 @@ fn balance(raw: &[u8]) -> i64 {
     }
 }
 
-struct Site {
-    id: SiteId,
-    child: Child,
-    handshake: Handshake,
-    ctrl: CtrlClient,
-}
-
-/// Spawns one `camelot-site` child and completes its handshake.
-fn spawn_site(bin: &PathBuf, id: SiteId, opts: &Opts) -> Site {
-    let mut cmd = Command::new(bin);
-    cmd.arg("--site")
-        .arg(id.0.to_string())
-        .arg("--transport")
-        .arg(&opts.transport)
-        .arg("--fast")
-        .stdout(Stdio::piped())
-        .stderr(Stdio::inherit());
-    if let Some(dir) = &opts.log_dir {
-        cmd.arg("--log-dir").arg(dir.join(format!("site-{}", id.0)));
-    }
-    let mut child = cmd.spawn().unwrap_or_else(|e| {
-        eprintln!("camelot-launch: failed to spawn {}: {e}", bin.display());
-        exit(1);
-    });
-    let stdout = child.stdout.take().expect("piped stdout");
-    let mut lines = BufReader::new(stdout).lines();
-    let handshake = loop {
-        match lines.next() {
-            Some(Ok(line)) => {
-                if let Some(h) = Handshake::parse(&line) {
-                    break h;
-                }
-            }
-            _ => {
-                eprintln!("camelot-launch: site {} exited before handshake", id.0);
-                exit(1);
-            }
-        }
-    };
-    let ctrl = CtrlClient::connect(handshake.ctrl).unwrap_or_else(|e| {
-        eprintln!("camelot-launch: ctrl connect to site {}: {e}", id.0);
-        exit(1);
-    });
-    Site {
-        id,
-        child,
-        handshake,
-        ctrl,
-    }
-}
-
 /// SplitMix64: cheap deterministic stream for workload choices.
 fn mix(x: &mut u64) -> u64 {
     *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -149,25 +97,28 @@ fn mix(x: &mut u64) -> u64 {
 
 fn main() {
     let opts = parse_opts();
-    let bin = std::env::current_exe()
-        .expect("current_exe")
-        .parent()
-        .expect("binary dir")
-        .join("camelot-site");
+    let bin = sibling_site_bin().unwrap_or_else(|e| {
+        eprintln!("camelot-launch: {e}");
+        exit(1);
+    });
 
-    let mut sites: Vec<Site> = (1..=opts.sites)
-        .map(|i| spawn_site(&bin, SiteId(i), &opts))
-        .collect();
-    let peers: Vec<PeerEntry> = sites
-        .iter()
-        .map(|s| PeerEntry {
-            site: s.id,
-            addr: s.handshake.data.to_string(),
+    let mut sites: Vec<SiteProc> = (1..=opts.sites)
+        .map(|i| {
+            SiteProc::spawn(&SpawnSpec {
+                bin: &bin,
+                site: SiteId(i),
+                transport: &opts.transport,
+                log_dir: opts.log_dir.as_deref(),
+                fast: true,
+                extra: &[],
+            })
+            .unwrap_or_else(|e| {
+                eprintln!("camelot-launch: spawn site {i}: {e}");
+                exit(1);
+            })
         })
         .collect();
-    for s in sites.iter_mut() {
-        s.ctrl.set_peers(peers.clone()).expect("distribute peers");
-    }
+    distribute_peers(&mut sites).expect("distribute peers");
     println!(
         "camelot-launch: {} sites up ({}), {} accounts each",
         opts.sites, opts.transport, opts.accounts
@@ -259,26 +210,9 @@ fn main() {
     }
 }
 
-/// Polls every site's protocol state until all are empty (every
-/// transaction resolved, applied, and forgotten everywhere) or the
-/// deadline passes.
-fn wait_quiesce(sites: &mut [Site], deadline: StdDuration) -> bool {
-    let start = std::time::Instant::now();
-    while start.elapsed() < deadline {
-        let busy = sites
-            .iter_mut()
-            .any(|s| s.ctrl.debug_state().map(|d| !d.is_empty()).unwrap_or(false));
-        if !busy {
-            return true;
-        }
-        std::thread::sleep(StdDuration::from_millis(50));
-    }
-    false
-}
-
 /// One cross-site transfer; `Ok(true)` committed, `Ok(false)` aborted.
 fn transfer(
-    sites: &mut [Site],
+    sites: &mut [SiteProc],
     coord: usize,
     (src, src_acct): (usize, ObjectId),
     (dst, dst_acct): (usize, ObjectId),
@@ -287,7 +221,7 @@ fn transfer(
 ) -> camelot_types::Result<bool> {
     let tid: Tid = sites[coord].ctrl.begin()?;
     let participants = vec![sites[src].id, sites[dst].id];
-    let run = |sites: &mut [Site]| -> camelot_types::Result<()> {
+    let run = |sites: &mut [SiteProc]| -> camelot_types::Result<()> {
         let from = balance(&sites[src].ctrl.read(&tid, SRV, src_acct)?);
         sites[src]
             .ctrl

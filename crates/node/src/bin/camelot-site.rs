@@ -388,6 +388,9 @@ fn handle(
             jsonl: cluster.drain_trace_jsonl(),
         },
         CtrlRequest::Shutdown => CtrlReply::Ok,
+        CtrlRequest::TransportStats => CtrlReply::Transport {
+            stats: transport.stats(),
+        },
     }
 }
 

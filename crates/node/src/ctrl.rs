@@ -18,7 +18,7 @@ use std::io::{Read as IoRead, Write as IoWrite};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration as StdDuration;
 
-use camelot_net::{encode_frame, FrameDecoder};
+use camelot_net::{encode_frame, FrameDecoder, TransportStats};
 use camelot_types::wire::{Reader, Wire, Writer};
 use camelot_types::{CamelotError, CrashPoint, ObjectId, Result, ServerId, SiteId, Tid};
 
@@ -89,6 +89,8 @@ pub enum CtrlRequest {
     DrainTrace,
     /// Clean process exit.
     Shutdown,
+    /// Snapshot the data-plane transport's outbound counters.
+    TransportStats,
 }
 
 const Q_PING: u8 = 1;
@@ -104,6 +106,7 @@ const Q_ARM_CRASH: u8 = 10;
 const Q_HEAL: u8 = 11;
 const Q_DRAIN_TRACE: u8 = 12;
 const Q_SHUTDOWN: u8 = 13;
+const Q_TRANSPORT_STATS: u8 = 14;
 
 impl Wire for CtrlRequest {
     fn encode(&self, w: &mut Writer) {
@@ -164,6 +167,7 @@ impl Wire for CtrlRequest {
             CtrlRequest::Heal => w.put_u8(Q_HEAL),
             CtrlRequest::DrainTrace => w.put_u8(Q_DRAIN_TRACE),
             CtrlRequest::Shutdown => w.put_u8(Q_SHUTDOWN),
+            CtrlRequest::TransportStats => w.put_u8(Q_TRANSPORT_STATS),
         }
     }
 
@@ -208,6 +212,7 @@ impl Wire for CtrlRequest {
             Q_HEAL => CtrlRequest::Heal,
             Q_DRAIN_TRACE => CtrlRequest::DrainTrace,
             Q_SHUTDOWN => CtrlRequest::Shutdown,
+            Q_TRANSPORT_STATS => CtrlRequest::TransportStats,
             v => return Err(CamelotError::Codec(format!("unknown ctrl request {v}"))),
         })
     }
@@ -241,6 +246,10 @@ pub enum CtrlReply {
     Err {
         detail: String,
     },
+    /// Snapshot of the data-plane transport's outbound counters.
+    Transport {
+        stats: TransportStats,
+    },
 }
 
 const R_OK: u8 = 1;
@@ -251,6 +260,7 @@ const R_OUTCOME: u8 = 5;
 const R_STATE: u8 = 6;
 const R_TRACE: u8 = 7;
 const R_ERR: u8 = 8;
+const R_TRANSPORT: u8 = 9;
 
 impl Wire for CtrlReply {
     fn encode(&self, w: &mut Writer) {
@@ -284,6 +294,10 @@ impl Wire for CtrlReply {
                 w.put_u8(R_ERR);
                 w.put_str(detail);
             }
+            CtrlReply::Transport { stats } => {
+                w.put_u8(R_TRANSPORT);
+                w.put(stats);
+            }
         }
     }
 
@@ -305,6 +319,7 @@ impl Wire for CtrlReply {
             R_ERR => CtrlReply::Err {
                 detail: r.get_str()?,
             },
+            R_TRANSPORT => CtrlReply::Transport { stats: r.get()? },
             v => return Err(CamelotError::Codec(format!("unknown ctrl reply {v}"))),
         })
     }
@@ -494,6 +509,13 @@ impl CtrlClient {
         }
     }
 
+    pub fn transport_stats(&mut self) -> Result<TransportStats> {
+        match self.call_ok(&CtrlRequest::TransportStats)? {
+            CtrlReply::Transport { stats } => Ok(stats),
+            other => Err(unexpected(other)),
+        }
+    }
+
     /// Asks the process to exit; the closed stream is the expected
     /// outcome, so transport errors after the request are swallowed.
     pub fn shutdown(&mut self) {
@@ -607,6 +629,7 @@ mod tests {
             CtrlRequest::Heal,
             CtrlRequest::DrainTrace,
             CtrlRequest::Shutdown,
+            CtrlRequest::TransportStats,
         ]
     }
 
@@ -626,6 +649,18 @@ mod tests {
             },
             CtrlReply::Err {
                 detail: "timeout".into(),
+            },
+            CtrlReply::Transport {
+                stats: TransportStats {
+                    sends: 10,
+                    send_failures: 1,
+                    connects: 3,
+                    connect_failures: 2,
+                    enqueued: 11,
+                    queue_drops: 4,
+                    queue_depth: 5,
+                    max_queue_depth: 9,
+                },
             },
         ]
     }

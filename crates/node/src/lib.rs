@@ -41,9 +41,11 @@
 pub mod app;
 pub mod config;
 pub mod ctrl;
+pub mod procs;
 pub mod world;
 
 pub use app::{AppSpec, OpSpec, TxnRecord};
 pub use config::{DiskConfig, NetConfig, TmConfig, WorldConfig};
 pub use ctrl::{CtrlClient, CtrlReply, CtrlRequest, Handshake, PeerEntry};
+pub use procs::{distribute_peers, sibling_site_bin, wait_quiesce, SiteProc, SpawnSpec};
 pub use world::World;

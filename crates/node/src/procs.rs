@@ -1,0 +1,157 @@
+//! Spawning and wiring `camelot-site` processes from sibling binaries.
+//!
+//! `camelot-launch` and `camelot-sockbench` both need the same
+//! choreography: find the `camelot-site` binary next to the running
+//! executable, spawn one process per site, read each child's `ready`
+//! handshake off stdout, connect a control client, and distribute the
+//! data-plane port map. This module is that choreography as a
+//! library. (The `socket_e2e` integration tests keep their own copy
+//! built on `CARGO_BIN_EXE_camelot-site`, which only exists for
+//! tests.)
+
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use camelot_types::SiteId;
+
+use crate::ctrl::{CtrlClient, Handshake, PeerEntry};
+
+/// One running `camelot-site` child with its control connection.
+pub struct SiteProc {
+    pub id: SiteId,
+    pub child: Child,
+    pub handshake: Handshake,
+    pub ctrl: CtrlClient,
+}
+
+/// How to spawn one site process.
+pub struct SpawnSpec<'a> {
+    /// Path to the `camelot-site` binary.
+    pub bin: &'a Path,
+    pub site: SiteId,
+    /// `udp` or `tcp`.
+    pub transport: &'a str,
+    /// WAL directory for this site; `None` uses a fresh temp dir.
+    pub log_dir: Option<&'a Path>,
+    /// Use the fast engine timer profile (`--fast`); benchmarks and
+    /// tests want this, long-lived clusters may not.
+    pub fast: bool,
+    /// Extra raw arguments (fault injection flags, trace output, ...).
+    pub extra: &'a [String],
+}
+
+/// Locates the `camelot-site` binary next to the current executable.
+/// `CAMELOT_SITE_BIN` overrides the lookup (useful when the caller is
+/// not installed alongside the site binary).
+pub fn sibling_site_bin() -> std::io::Result<PathBuf> {
+    if let Ok(p) = std::env::var("CAMELOT_SITE_BIN") {
+        return Ok(PathBuf::from(p));
+    }
+    let exe = std::env::current_exe()?;
+    let dir = exe
+        .parent()
+        .ok_or_else(|| std::io::Error::other("executable has no parent directory"))?;
+    let bin = dir.join("camelot-site");
+    if !bin.exists() {
+        return Err(std::io::Error::other(format!(
+            "camelot-site not found at {} (build it with `cargo build -p camelot-node` \
+             or point CAMELOT_SITE_BIN at it)",
+            bin.display()
+        )));
+    }
+    Ok(bin)
+}
+
+impl SiteProc {
+    /// Spawns one site process and completes its stdout handshake.
+    pub fn spawn(spec: &SpawnSpec<'_>) -> std::io::Result<SiteProc> {
+        let mut cmd = Command::new(spec.bin);
+        cmd.arg("--site")
+            .arg(spec.site.0.to_string())
+            .arg("--transport")
+            .arg(spec.transport)
+            .args(spec.extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit());
+        if spec.fast {
+            cmd.arg("--fast");
+        }
+        if let Some(dir) = spec.log_dir {
+            cmd.arg("--log-dir")
+                .arg(dir.join(format!("site-{}", spec.site.0)));
+        }
+        let mut child = cmd.spawn()?;
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut lines = BufReader::new(stdout).lines();
+        let handshake = loop {
+            match lines.next() {
+                Some(Ok(line)) => {
+                    if let Some(h) = Handshake::parse(&line) {
+                        break h;
+                    }
+                }
+                _ => {
+                    let _ = child.kill();
+                    return Err(std::io::Error::other(format!(
+                        "site {} exited before its handshake",
+                        spec.site.0
+                    )));
+                }
+            }
+        };
+        let ctrl = CtrlClient::connect(handshake.ctrl)?;
+        Ok(SiteProc {
+            id: spec.site,
+            child,
+            handshake,
+            ctrl,
+        })
+    }
+
+    /// Asks the process to exit cleanly and reaps it.
+    pub fn shutdown(mut self) {
+        self.ctrl.shutdown();
+        let _ = self.child.wait();
+    }
+
+    /// Kills the process without ceremony (bench teardown between
+    /// measurement points).
+    pub fn kill(mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Sends the full data-plane address map to every site.
+pub fn distribute_peers(sites: &mut [SiteProc]) -> camelot_types::Result<()> {
+    let peers: Vec<PeerEntry> = sites
+        .iter()
+        .map(|s| PeerEntry {
+            site: s.id,
+            addr: s.handshake.data.to_string(),
+        })
+        .collect();
+    for s in sites.iter_mut() {
+        s.ctrl.set_peers(peers.clone())?;
+    }
+    Ok(())
+}
+
+/// Polls every site's protocol state until all report empty (every
+/// transaction resolved, applied, and forgotten everywhere) or the
+/// deadline passes.
+pub fn wait_quiesce(sites: &mut [SiteProc], deadline: Duration) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        let busy = sites
+            .iter_mut()
+            .any(|s| s.ctrl.debug_state().map(|d| !d.is_empty()).unwrap_or(false));
+        if !busy {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    false
+}

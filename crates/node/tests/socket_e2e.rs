@@ -223,9 +223,67 @@ fn three_processes_commit_over_tcp() {
     assert!(wait_quiesce(&mut sites, Duration::from_secs(20)));
     assert_eq!(committed(&mut sites[0], A0), 75);
     assert_eq!(committed(&mut sites[2], A0), 25);
+    // The coordinator really used its kernel sockets, and a clean run
+    // shows clean transport counters.
+    let stats = sites[0].ctrl.transport_stats().expect("transport stats");
+    assert!(stats.sends > 0, "coordinator sent frames: {stats:?}");
+    assert_eq!(stats.queue_drops, 0, "{stats:?}");
     for s in sites {
         s.shutdown();
     }
+}
+
+/// The TCP twin of the kill/recover test: a subordinate dies
+/// mid-prepare and restarts on a *new data port*. The coordinator's
+/// sender thread must tear down its cached stream, reconnect to the
+/// new address (fresh FrameDecoder on the new connection), and carry
+/// a post-restart commit — reconnect-mid-stream, across real
+/// processes.
+#[test]
+fn killed_subordinate_recovers_over_tcp() {
+    let dir = std::env::temp_dir().join(format!("camelot-e2e-kill-tcp-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("log dir");
+
+    let spawn = |i: u32| SiteProc::spawn(SiteId(i), Some(&dir), &["--transport", "tcp"]);
+    let mut sites: Vec<SiteProc> = (1..=3).map(spawn).collect();
+    distribute_peers(&mut sites);
+    fund(&mut sites[2], 1, 100);
+
+    sites[1]
+        .ctrl
+        .arm_crash(CrashPoint::PreForce)
+        .expect("arm crash");
+    let outcome = transfer(&mut sites, 0, (2, A0), (1, A0), 40, false);
+    assert!(
+        !outcome.unwrap_or(false),
+        "transfer through the dying subordinate must not commit"
+    );
+    let status = sites[1].child.wait().expect("wait for killed site");
+    assert_eq!(status.code(), Some(3), "watchdog exit code");
+
+    sites[1] = spawn(2);
+    distribute_peers(&mut sites);
+
+    assert!(
+        wait_quiesce(&mut sites, Duration::from_secs(20)),
+        "cluster must resolve the interrupted transfer"
+    );
+    assert_eq!(committed(&mut sites[2], A0), 100, "debit undone");
+    assert_eq!(committed(&mut sites[1], A0), 0, "credit never applied");
+
+    assert!(
+        transfer(&mut sites, 0, (2, A0), (1, A0), 40, false).expect("retry transfer"),
+        "post-restart transfer must commit over the reconnected stream"
+    );
+    assert!(wait_quiesce(&mut sites, Duration::from_secs(20)));
+    assert_eq!(committed(&mut sites[2], A0), 60);
+    assert_eq!(committed(&mut sites[1], A0), 40);
+
+    for s in sites {
+        s.shutdown();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Kills a subordinate *mid-prepare* (the armed crash point fires when

@@ -90,6 +90,13 @@ pub enum TraceEventKind {
     SocketSend { to: SiteId, bytes: u32 },
     /// A frame arrived from a kernel socket (site-level event).
     SocketRecv { from: SiteId, bytes: u32 },
+    /// A frame was given up on at the syscall layer — a UDP `send_to`
+    /// error, a TCP connect failure or write failure/timeout. To the
+    /// protocol this is a lost datagram (site-level event).
+    SocketSendFailed { to: SiteId },
+    /// A full per-peer send queue evicted its oldest frame to accept a
+    /// new one (site-level event).
+    SendQueueDrop { to: SiteId },
     /// The site was killed (site-level event).
     Crash,
     /// The site restarted and ran recovery (site-level event).
@@ -122,6 +129,8 @@ impl TraceEventKind {
             TraceEventKind::WireDecode { .. } => "wire_decode",
             TraceEventKind::SocketSend { .. } => "socket_send",
             TraceEventKind::SocketRecv { .. } => "socket_recv",
+            TraceEventKind::SocketSendFailed { .. } => "socket_send_failed",
+            TraceEventKind::SendQueueDrop { .. } => "send_queue_drop",
             TraceEventKind::Crash => "crash",
             TraceEventKind::Restart => "restart",
             TraceEventKind::Recovered { .. } => "recovered",
@@ -208,6 +217,9 @@ impl TraceEvent {
             }
             TraceEventKind::SocketRecv { from, bytes } => {
                 let _ = write!(s, ",\"from\":{},\"bytes\":{bytes}", from.0);
+            }
+            TraceEventKind::SocketSendFailed { to } | TraceEventKind::SendQueueDrop { to } => {
+                let _ = write!(s, ",\"to\":{}", to.0);
             }
             _ => {}
         }

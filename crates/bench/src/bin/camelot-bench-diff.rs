@@ -1,0 +1,102 @@
+//! Compares two bench JSON reports and fails on a knee regression.
+//!
+//! CI usage: extract the committed baseline (`git show
+//! HEAD:BENCH_socket.json`), run the bench to produce a fresh report,
+//! then
+//!
+//! ```text
+//! camelot-bench-diff --baseline baseline.json --current BENCH_socket.json
+//! ```
+//!
+//! Exit codes: `0` pass (including a config-hash mismatch, which is a
+//! *skip* — the workload changed, re-record the baseline), `1` a
+//! saturation knee dropped by more than `--threshold-pct` (default
+//! 15) or a baseline curve vanished, `2` usage or unreadable input.
+
+use std::process::exit;
+
+use camelot_bench::diff::{diff, parse_summary, DiffVerdict};
+
+fn usage() -> ! {
+    eprintln!("usage: camelot-bench-diff --baseline FILE --current FILE [--threshold-pct P]");
+    exit(2);
+}
+
+fn main() {
+    let mut baseline = None;
+    let mut current = None;
+    let mut threshold_pct = 15.0f64;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--baseline" => baseline = Some(value(&mut i)),
+            "--current" => current = Some(value(&mut i)),
+            "--threshold-pct" => threshold_pct = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let (Some(baseline), Some(current)) = (baseline, current) else {
+        usage()
+    };
+
+    let read = |path: &str| -> String {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("camelot-bench-diff: read {path}: {e}");
+            exit(2);
+        })
+    };
+    let parse = |path: &str, text: &str| {
+        parse_summary(text).unwrap_or_else(|e| {
+            eprintln!("camelot-bench-diff: parse {path}: {e}");
+            exit(2);
+        })
+    };
+    let base_text = read(&baseline);
+    let cur_text = read(&current);
+    let base = parse(&baseline, &base_text);
+    let cur = parse(&current, &cur_text);
+
+    if base.bench != cur.bench {
+        eprintln!(
+            "camelot-bench-diff: different benches ({} vs {}); nothing to compare",
+            base.bench, cur.bench
+        );
+        exit(2);
+    }
+
+    match diff(&base, &cur, threshold_pct) {
+        DiffVerdict::SkippedConfigMismatch {
+            baseline: b,
+            current: c,
+        } => {
+            println!(
+                "camelot-bench-diff: SKIP: config_hash changed ({b} -> {c}); \
+                 baseline is not comparable, re-record it"
+            );
+        }
+        DiffVerdict::Pass(rows) => {
+            for (label, b, c, d) in &rows {
+                println!("camelot-bench-diff: {label}: {b:.1} -> {c:.1} commits/s ({d:+.1}%)");
+            }
+            println!(
+                "camelot-bench-diff: PASS: {} curve(s) within {threshold_pct}% of baseline",
+                rows.len()
+            );
+        }
+        DiffVerdict::Fail { rows, failures } => {
+            for (label, b, c, d) in &rows {
+                println!("camelot-bench-diff: {label}: {b:.1} -> {c:.1} commits/s ({d:+.1}%)");
+            }
+            for f in &failures {
+                eprintln!("camelot-bench-diff: FAIL: {f}");
+            }
+            exit(1);
+        }
+    }
+}

@@ -4,6 +4,7 @@
 //! paper via `camelot-harness` and prints the report. `QUICK=1` in the
 //! environment shrinks repetition counts (useful in CI).
 
+pub mod diff;
 pub mod openloop;
 pub mod report;
 pub mod zipf;

@@ -32,7 +32,7 @@
 use std::sync::Arc;
 use std::time::Duration as StdDuration;
 
-use camelot_core::{CommitMode, CrashPoint, EngineConfig};
+use camelot_core::{CommitMode, CrashPoint, EngineConfig, ExecMode};
 use camelot_net::Outcome;
 use camelot_rt::{
     budget_for, count_family, to_jsonl, AuditProtocol, Cluster, FaultPlan, LinkDecision, RtConfig,
@@ -84,7 +84,7 @@ impl RtCampaignReport {
     }
 }
 
-fn rt_cfg(canary: bool) -> RtConfig {
+fn rt_cfg(canary: bool, queued: bool) -> RtConfig {
     let mut cfg = RtConfig {
         datagram_delay: StdDuration::from_millis(1),
         platter_delay: StdDuration::from_millis(1),
@@ -99,6 +99,12 @@ fn rt_cfg(canary: bool) -> RtConfig {
         trace: true,
         ..RtConfig::default()
     };
+    if queued {
+        cfg.exec_mode = ExecMode::Queued;
+        // Short enough that a parked prepare orphaned by a shard-owner
+        // crash resolves inside the heal window.
+        cfg.queued_vote_timeout = StdDuration::from_millis(300);
+    }
     cfg.engine.unsafe_no_commit_force = canary;
     // Every protocol patience shortened so that dropped datagrams
     // resolve within the heal window: a coordinator missing votes
@@ -111,6 +117,11 @@ fn rt_cfg(canary: bool) -> RtConfig {
     cfg.engine.inquiry_interval = camelot_types::Duration::from_millis(200);
     cfg.engine.notify_resend_interval = camelot_types::Duration::from_millis(200);
     cfg.engine.orphan_check_interval = camelot_types::Duration::from_millis(250);
+    // A partition window can burn several retry attempts while the
+    // links are cut; with the production 60s cap the post-heal retry
+    // would land far outside the settle window. Cap the backoff so
+    // healed clusters re-converge at chaos timescales.
+    cfg.engine.retry_cap = camelot_types::Duration::from_millis(800);
     cfg
 }
 
@@ -202,37 +213,98 @@ pub fn rt_run_one(ch: &mut Chooser, canary: bool) -> RtRunResult {
         }
     };
     let victim = ch.choose(n_txns);
-    let crash_mode = match ch.choose(5) {
-        0 => CrashMode::None,
-        1 => CrashMode::At(CrashPoint::PreForce),
-        2 => CrashMode::At(CrashPoint::PostForcePreSend),
-        3 => CrashMode::At(CrashPoint::MidPlatterWrite),
-        _ => CrashMode::AfterCommit,
+    // Queued execution gets its own crash points: the interesting
+    // instants live inside the shard-owner queues, not the log
+    // pipeline.
+    let queued = ch.choose(2) == 1;
+    let crash_mode = if queued {
+        match ch.choose(7) {
+            0 => CrashMode::None,
+            1 => CrashMode::At(CrashPoint::PreForce),
+            2 => CrashMode::At(CrashPoint::PostForcePreSend),
+            3 => CrashMode::At(CrashPoint::MidPlatterWrite),
+            4 => CrashMode::At(CrashPoint::QueueMidBurst),
+            5 => CrashMode::At(CrashPoint::QueueParkedPrepare),
+            _ => CrashMode::AfterCommit,
+        }
+    } else {
+        match ch.choose(5) {
+            0 => CrashMode::None,
+            1 => CrashMode::At(CrashPoint::PreForce),
+            2 => CrashMode::At(CrashPoint::PostForcePreSend),
+            3 => CrashMode::At(CrashPoint::MidPlatterWrite),
+            _ => CrashMode::AfterCommit,
+        }
     };
     let corrupt_wal = ch.choose(2) == 1;
-    // A plan with clean links, no crash and no corruption exercises
-    // the protocols' *cost*, not their fault recovery: committed
-    // transactions on such runs are audited against the paper's
-    // primitive budgets below (floor semantics — timer-driven retries
-    // on a loaded machine may add traffic, but a protocol that skips
-    // a budgeted durability step is always broken).
-    let clean_plan = link_choice == 0 && matches!(crash_mode, CrashMode::None) && !corrupt_wal;
+    // Partition window: cut the cluster into {1..=m} | {m+1..=sites}
+    // just before a drawn transaction; the heal phase lifts it. Calls
+    // that straddle the cut time out with typed errors — exactly the
+    // outcomes the healed-state invariants must absorb.
+    let partition = if ch.choose(3) == 0 {
+        None
+    } else {
+        let at = ch.choose(n_txns);
+        let m = 1 + ch.choose((sites - 1) as usize) as u32;
+        Some((at, m))
+    };
+    // Clock skew: one site's protocol timers run late (1500‰) or fast
+    // (500‰) for the whole run. Skew must never break safety — it only
+    // shifts which timeout fires first.
+    let skew = match ch.choose(3) {
+        0 => None,
+        1 => Some((SiteId(1 + ch.choose(sites as usize) as u32), 1500u32)),
+        _ => Some((SiteId(1 + ch.choose(sites as usize) as u32), 500u32)),
+    };
+    // A plan with clean links, no crash, no partition/skew and no
+    // corruption exercises the protocols' *cost*, not their fault
+    // recovery: committed transactions on such runs are audited
+    // against the paper's primitive budgets below (floor semantics —
+    // timer-driven retries on a loaded machine may add traffic, but a
+    // protocol that skips a budgeted durability step is always
+    // broken). Queued mode routes operations differently, so its cost
+    // is audited by its own benches, not here.
+    let clean_plan = link_choice == 0
+        && matches!(crash_mode, CrashMode::None)
+        && !corrupt_wal
+        && partition.is_none()
+        && skew.is_none()
+        && !queued;
     let mut plan = format!(
-        "{sites} sites, {n_txns} txns, {profile}, crash={} on txn {victim}, corrupt_wal={corrupt_wal}",
+        "{sites} sites, {n_txns} txns, {profile}, queued={queued}, crash={} on txn {victim}, \
+         corrupt_wal={corrupt_wal}, partition={}, skew={}",
         match crash_mode {
             CrashMode::None => "none".to_string(),
             CrashMode::At(p) => format!("{p:?}"),
             CrashMode::AfterCommit => "AfterCommit".to_string(),
-        }
+        },
+        match partition {
+            Some((at, m)) => format!("{{1..={m}}}|{{{}..={sites}}} before txn {at}", m + 1),
+            None => "none".to_string(),
+        },
+        match skew {
+            Some((s, pm)) => format!("{s}@{pm}‰"),
+            None => "none".to_string(),
+        },
     );
 
     // ---- Run the workload with the plan armed ----
     let fault = Arc::new(fault);
-    let cluster = Cluster::new_with_faults(sites, rt_cfg(canary), fault.clone());
+    let cluster = Cluster::new_with_faults(sites, rt_cfg(canary, queued), fault.clone());
+    if let Some((site, pm)) = skew {
+        fault.set_skew(site, pm);
+    }
     let mut violations = Vec::new();
     let mut outcomes: Vec<Result<Outcome, CamelotError>> = Vec::new();
     let mut tids: Vec<Option<Tid>> = Vec::new();
     for (i, t) in txns.iter().enumerate() {
+        if let Some((at, m)) = partition {
+            if i == at {
+                let a: Vec<SiteId> = (1..=m).map(SiteId).collect();
+                let b: Vec<SiteId> = (m + 1..=sites).map(SiteId).collect();
+                fault.partition(&a, &b);
+            }
+        }
         let client = cluster.client(t.home);
         let mut started = None;
         let run = (|| {
@@ -371,18 +443,30 @@ pub fn rt_run_one(ch: &mut Chooser, canary: bool) -> RtRunResult {
             _ => {} // Timeout/SiteDown: outcome unknown, agreement was checked.
         }
     }
-    // Lock hygiene + progress, cluster-wide: one probe transaction
+    // Lock hygiene + progress, cluster-wide: a probe transaction
     // re-writes every workload object at every site that replicates
-    // it. Any leaked lock or wedged pipeline fails this.
+    // it. Retries with a bounded deadline absorb stragglers still
+    // resolving on a backed-off timer; a genuinely leaked lock or
+    // wedged pipeline never commits and fails the schedule.
     let probe_client = cluster.client(SiteId(1));
-    let probe = (|| {
-        let tid = probe_client.begin()?;
-        for t in &txns {
-            probe_client.write(&tid, t.home, SRV, t.obj, b"probe".to_vec())?;
-            probe_client.write(&tid, t.remote, SRV, t.obj, b"probe".to_vec())?;
+    let probe_deadline = std::time::Instant::now() + StdDuration::from_secs(6);
+    let probe = loop {
+        let attempt = (|| {
+            let tid = probe_client.begin()?;
+            for t in &txns {
+                probe_client.write(&tid, t.home, SRV, t.obj, b"probe".to_vec())?;
+                probe_client.write(&tid, t.remote, SRV, t.obj, b"probe".to_vec())?;
+            }
+            probe_client.commit(&tid, CommitMode::TwoPhase)
+        })();
+        match attempt {
+            Ok(Outcome::Committed) => break attempt,
+            _ if std::time::Instant::now() < probe_deadline => {
+                std::thread::sleep(StdDuration::from_millis(300));
+            }
+            _ => break attempt,
         }
-        probe_client.commit(&tid, CommitMode::TwoPhase)
-    })();
+    };
     match probe {
         Ok(Outcome::Committed) => {}
         other => {

@@ -16,9 +16,10 @@ use camelot_chaos::{rt_campaign, rt_run_trace};
 /// returns — inside the lazy-flush window.
 ///
 /// Decisions, in draw order: sites, n_txns, then per txn
-/// (home, remote, mode), link profile, victim, crash mode (4 =
-/// kill-after-commit), WAL corruption.
-const KILL_AFTER_COMMIT: &[u32] = &[0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 4, 0];
+/// (home, remote, mode), link profile, victim, queued?, crash mode
+/// (4 = kill-after-commit in the lock-based menu), WAL corruption,
+/// partition, skew.
+const KILL_AFTER_COMMIT: &[u32] = &[0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 4, 0, 0, 0];
 
 /// Under the honest protocol the kill-after-commit schedule is
 /// harmless: the commit record was *forced* before the client heard
@@ -80,10 +81,12 @@ fn kill_after_commit_catches_the_forceless_canary() {
 
 /// Scripted-fault schedule: 2 sites, 2 S1-coordinated 2PC
 /// transactions, and exactly datagram #1 on the 1→2 link dropped
-/// (decision 8 picks the scripted profile, decision 9 the ordinal).
-/// The protocols' resend/timeout machinery must absorb a single
-/// deterministic drop with every invariant intact.
-const SCRIPTED_DROP: &[u32] = &[0, 0, 0, 0, 0, 0, 0, 0, 3, 1, 0, 0, 0];
+/// (decision 8 picks the scripted profile, decision 9 the ordinal;
+/// the remaining draws — victim, queued, crash, corruption,
+/// partition, skew — are all zero). The protocols' resend/timeout
+/// machinery must absorb a single deterministic drop with every
+/// invariant intact.
+const SCRIPTED_DROP: &[u32] = &[0, 0, 0, 0, 0, 0, 0, 0, 3, 1, 0, 0, 0, 0, 0];
 
 #[test]
 fn scripted_single_drop_is_absorbed_by_the_honest_protocol() {

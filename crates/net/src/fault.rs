@@ -22,6 +22,18 @@
 //!   replayable, a script keys off a per-link ordinal counter, so the
 //!   *same logical message* is hit on every run of a deterministic
 //!   workload regardless of thread interleaving elsewhere.
+//! - **Partitions** — [`FaultPlan::partition`] cuts the links between
+//!   two named site groups *symmetrically*: every datagram crossing
+//!   the cut, in either direction, is dropped until [`FaultPlan::heal`].
+//!   In a multi-process deployment each site only rolls its own
+//!   outbound traffic, so the launcher installs the same partition on
+//!   every site's plan and both directions go dark together.
+//! - **Clock skew** — [`FaultPlan::set_skew`] stretches or shrinks a
+//!   site's *timer deliveries* (vote timeouts, inquiry, notify
+//!   resends — the protocol's retransmission machinery) by a
+//!   per-mille factor: 1500 fires timers 50% late, 500 fires them
+//!   twice as fast. The runtime passes every engine timer through
+//!   [`FaultPlan::skew_timer`] before scheduling it.
 //!
 //! This module lives in `camelot-net` (rather than the runtime crate
 //! where it started) so the same plan drives faults at two layers: the
@@ -41,7 +53,8 @@ use std::time::Duration as StdDuration;
 
 use std::sync::Mutex;
 
-use camelot_types::{CrashPoint, SiteId};
+use camelot_types::wire::{Reader, Wire, Writer};
+use camelot_types::{CrashPoint, Result, SiteId};
 
 /// What to do with one outgoing datagram.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,13 +70,40 @@ pub enum LinkDecision {
     Duplicate(StdDuration),
 }
 
-/// Counts of injected faults, for reporting.
+/// Counts of injected faults, for reporting. Carried over the control
+/// protocol so harnesses assert injected-fault counts per site instead
+/// of inferring them from protocol behavior.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FaultStats {
     pub drops: u64,
     pub delays: u64,
     pub duplicates: u64,
     pub crashes: u64,
+    /// Datagrams dropped because they crossed an installed partition.
+    pub partition_drops: u64,
+    /// Timer deliveries rescheduled by a clock-skew factor.
+    pub skewed_timers: u64,
+}
+
+impl Wire for FaultStats {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.drops);
+        w.put_u64(self.delays);
+        w.put_u64(self.duplicates);
+        w.put_u64(self.crashes);
+        w.put_u64(self.partition_drops);
+        w.put_u64(self.skewed_timers);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(FaultStats {
+            drops: r.get_u64()?,
+            delays: r.get_u64()?,
+            duplicates: r.get_u64()?,
+            crashes: r.get_u64()?,
+            partition_drops: r.get_u64()?,
+            skewed_timers: r.get_u64()?,
+        })
+    }
 }
 
 /// One link's pending scripted faults, as `(ordinal, fault)` pairs.
@@ -96,10 +136,24 @@ pub struct FaultPlan {
     /// the first script is installed, never cleared (ordinals keep
     /// counting after heal so re-armed scripts stay meaningful).
     scripted: AtomicBool,
+    /// Symmetric partitions as site-group pairs: any datagram whose
+    /// endpoints fall on opposite sides of a pair is dropped, both
+    /// directions. Cleared by [`FaultPlan::heal`], *not* gated on the
+    /// master switch, so a harness can partition/heal repeatedly on
+    /// one plan.
+    partitions: Mutex<Vec<(Vec<SiteId>, Vec<SiteId>)>>,
+    /// Cheap flag sparing clean runs the `partitions` lock.
+    partitioned: AtomicBool,
+    /// Per-site timer skew, per mille of nominal (1000 = no skew).
+    /// Cleared by [`FaultPlan::heal`].
+    skews: Mutex<HashMap<SiteId, u32>>,
+    skewed: AtomicBool,
     drops: AtomicU64,
     delays: AtomicU64,
     duplicates: AtomicU64,
     crashes: AtomicU64,
+    partition_drops: AtomicU64,
+    skewed_timers: AtomicU64,
 }
 
 impl FaultPlan {
@@ -133,10 +187,16 @@ impl FaultPlan {
             scripts: Mutex::new(HashMap::new()),
             link_seen: Mutex::new(HashMap::new()),
             scripted: AtomicBool::new(false),
+            partitions: Mutex::new(Vec::new()),
+            partitioned: AtomicBool::new(false),
+            skews: Mutex::new(HashMap::new()),
+            skewed: AtomicBool::new(false),
             drops: AtomicU64::new(0),
             delays: AtomicU64::new(0),
             duplicates: AtomicU64::new(0),
             crashes: AtomicU64::new(0),
+            partition_drops: AtomicU64::new(0),
+            skewed_timers: AtomicU64::new(0),
         }
     }
 
@@ -170,13 +230,74 @@ impl FaultPlan {
         }
     }
 
-    /// Stops all further injection: links run clean and pending crash
-    /// points are dropped. Already-dead sites stay dead — restart them
-    /// explicitly.
+    /// Installs a symmetric partition between site groups `a` and `b`:
+    /// every datagram from a site in `a` to a site in `b` — or the
+    /// reverse — is dropped until [`FaultPlan::heal`]. Partitions
+    /// stack; installing a second pair cuts additional links. Works
+    /// even after a previous heal (the master switch gates only the
+    /// seeded stream and scripts), so a soak scheduler can
+    /// partition/heal in cycles on one shared plan.
+    pub fn partition(&self, a: &[SiteId], b: &[SiteId]) {
+        if a.is_empty() || b.is_empty() {
+            return;
+        }
+        self.partitions
+            .lock()
+            .unwrap()
+            .push((a.to_vec(), b.to_vec()));
+        self.partitioned.store(true, Ordering::SeqCst);
+    }
+
+    /// True if `from -> to` crosses any installed partition (in either
+    /// group order — partitions are symmetric).
+    pub fn is_partitioned(&self, from: SiteId, to: SiteId) -> bool {
+        if !self.partitioned.load(Ordering::SeqCst) {
+            return false;
+        }
+        let parts = self.partitions.lock().unwrap();
+        parts.iter().any(|(a, b)| {
+            (a.contains(&from) && b.contains(&to)) || (b.contains(&from) && a.contains(&to))
+        })
+    }
+
+    /// Sets `site`'s timer skew to `per_mille` of nominal: 1500 fires
+    /// its timers 50% late, 500 twice as fast, 1000 (or
+    /// [`FaultPlan::heal`]) restores nominal.
+    pub fn set_skew(&self, site: SiteId, per_mille: u32) {
+        let mut skews = self.skews.lock().unwrap();
+        if per_mille == 1000 {
+            skews.remove(&site);
+        } else {
+            skews.insert(site, per_mille);
+        }
+        self.skewed.store(!skews.is_empty(), Ordering::SeqCst);
+    }
+
+    /// Applies `site`'s clock skew to one timer interval. The runtime
+    /// calls this on every engine timer (vote timeout, inquiry, notify
+    /// resend, takeover) before scheduling its delivery.
+    pub fn skew_timer(&self, site: SiteId, nominal: StdDuration) -> StdDuration {
+        if !self.skewed.load(Ordering::SeqCst) {
+            return nominal;
+        }
+        let Some(&pm) = self.skews.lock().unwrap().get(&site) else {
+            return nominal;
+        };
+        self.skewed_timers.fetch_add(1, Ordering::Relaxed);
+        nominal.mul_f64(pm as f64 / 1000.0)
+    }
+
+    /// Stops all further injection: links run clean, partitions and
+    /// skews lift, and pending crash points are dropped. Already-dead
+    /// sites stay dead — restart them explicitly.
     pub fn heal(&self) {
         self.enabled.store(false, Ordering::SeqCst);
         self.crash_points.lock().unwrap().clear();
         self.scripts.lock().unwrap().clear();
+        self.partitions.lock().unwrap().clear();
+        self.partitioned.store(false, Ordering::SeqCst);
+        self.skews.lock().unwrap().clear();
+        self.skewed.store(false, Ordering::SeqCst);
     }
 
     /// True until [`FaultPlan::heal`].
@@ -191,16 +312,17 @@ impl FaultPlan {
             delays: self.delays.load(Ordering::Relaxed),
             duplicates: self.duplicates.load(Ordering::Relaxed),
             crashes: self.crashes.load(Ordering::Relaxed),
+            partition_drops: self.partition_drops.load(Ordering::Relaxed),
+            skewed_timers: self.skewed_timers.load(Ordering::Relaxed),
         }
     }
 
     /// Consumes the crash point armed for `(site, point)`, if any.
     /// The runtime calls this exactly at the named instant and kills
-    /// the site when it returns true.
+    /// the site when it returns true. Not gated on the master switch:
+    /// heal clears *pending* points, but a point armed after a heal
+    /// still fires (supervision harnesses kill and heal in cycles).
     pub fn should_crash(&self, site: SiteId, point: CrashPoint) -> bool {
-        if !self.enabled.load(Ordering::SeqCst) {
-            return false;
-        }
         let mut points = self.crash_points.lock().unwrap();
         if points.get(&site) == Some(&point) {
             points.remove(&site);
@@ -211,10 +333,15 @@ impl FaultPlan {
         }
     }
 
-    /// Decides the fate of one datagram on `from -> to`. Scripted
-    /// faults for the link's current ordinal fire first (once each,
+    /// Decides the fate of one datagram on `from -> to`. Partitions
+    /// drop first (unbudgeted — a cut link delivers nothing); then
+    /// scripted faults for the link's current ordinal (once each,
     /// exempt from the budget); otherwise the seeded stream rolls.
     pub fn link_decision(&self, from: SiteId, to: SiteId) -> LinkDecision {
+        if self.is_partitioned(from, to) {
+            self.partition_drops.fetch_add(1, Ordering::Relaxed);
+            return LinkDecision::Drop;
+        }
         if self.scripted.load(Ordering::SeqCst) {
             let ordinal = {
                 let mut seen = self.link_seen.lock().unwrap();
@@ -406,5 +533,105 @@ mod tests {
         p.script_fault(SiteId(1), SiteId(2), 0, LinkDecision::Drop);
         p.heal();
         assert_eq!(p.link_decision(SiteId(1), SiteId(2)), LinkDecision::Deliver);
+    }
+
+    #[test]
+    fn same_seed_same_link_decision_sequence() {
+        let mk = || FaultPlan::new(0xFEED, 200, 200, 200, StdDuration::from_millis(3), 1 << 30);
+        let (a, b) = (mk(), mk());
+        let links = [(1u32, 2u32), (2, 1), (1, 3), (3, 2)];
+        let roll = |p: &FaultPlan| -> Vec<LinkDecision> {
+            (0..400)
+                .map(|i| {
+                    let (f, t) = links[i % links.len()];
+                    p.link_decision(SiteId(f), SiteId(t))
+                })
+                .collect()
+        };
+        let sa = roll(&a);
+        assert_eq!(sa, roll(&b), "same seed must replay the same stream");
+        assert!(
+            sa.iter().any(|d| *d != LinkDecision::Deliver),
+            "a 60% rate must inject within 400 rolls"
+        );
+        // A different seed diverges (the stream actually depends on it).
+        let c = FaultPlan::new(0xBEEF, 200, 200, 200, StdDuration::from_millis(3), 1 << 30);
+        assert_ne!(sa, roll(&c));
+    }
+
+    #[test]
+    fn partition_drops_both_directions_and_spares_the_rest() {
+        let p = FaultPlan::disabled();
+        p.partition(&[SiteId(1), SiteId(2)], &[SiteId(3)]);
+        // Both directions across the cut drop.
+        assert_eq!(p.link_decision(SiteId(1), SiteId(3)), LinkDecision::Drop);
+        assert_eq!(p.link_decision(SiteId(3), SiteId(1)), LinkDecision::Drop);
+        assert_eq!(p.link_decision(SiteId(2), SiteId(3)), LinkDecision::Drop);
+        assert_eq!(p.link_decision(SiteId(3), SiteId(2)), LinkDecision::Drop);
+        // Links inside a group are untouched.
+        assert_eq!(p.link_decision(SiteId(1), SiteId(2)), LinkDecision::Deliver);
+        assert_eq!(p.link_decision(SiteId(2), SiteId(1)), LinkDecision::Deliver);
+        assert_eq!(p.stats().partition_drops, 4);
+    }
+
+    #[test]
+    fn heal_lifts_partitions_and_later_partitions_still_bite() {
+        let p = FaultPlan::disabled();
+        p.partition(&[SiteId(1)], &[SiteId(2)]);
+        assert_eq!(p.link_decision(SiteId(1), SiteId(2)), LinkDecision::Drop);
+        p.heal();
+        assert_eq!(p.link_decision(SiteId(1), SiteId(2)), LinkDecision::Deliver);
+        // Partition/heal cycles on one plan: a post-heal install works.
+        p.partition(&[SiteId(1)], &[SiteId(2)]);
+        assert_eq!(p.link_decision(SiteId(2), SiteId(1)), LinkDecision::Drop);
+        p.heal();
+        assert_eq!(p.link_decision(SiteId(2), SiteId(1)), LinkDecision::Deliver);
+    }
+
+    #[test]
+    fn skew_scales_timers_per_site_until_heal() {
+        let p = FaultPlan::disabled();
+        let nominal = StdDuration::from_millis(800);
+        assert_eq!(p.skew_timer(SiteId(2), nominal), nominal);
+        p.set_skew(SiteId(2), 1500);
+        assert_eq!(
+            p.skew_timer(SiteId(2), nominal),
+            StdDuration::from_millis(1200)
+        );
+        // Other sites stay nominal.
+        assert_eq!(p.skew_timer(SiteId(1), nominal), nominal);
+        p.set_skew(SiteId(1), 500);
+        assert_eq!(
+            p.skew_timer(SiteId(1), nominal),
+            StdDuration::from_millis(400)
+        );
+        assert_eq!(p.stats().skewed_timers, 2);
+        // 1000 per mille clears a site's skew; heal clears them all.
+        p.set_skew(SiteId(1), 1000);
+        assert_eq!(p.skew_timer(SiteId(1), nominal), nominal);
+        p.heal();
+        assert_eq!(p.skew_timer(SiteId(2), nominal), nominal);
+    }
+
+    #[test]
+    fn crash_points_armed_after_heal_still_fire() {
+        let p = FaultPlan::disabled();
+        p.heal();
+        p.arm_crash(SiteId(1), CrashPoint::PreForce);
+        assert!(p.should_crash(SiteId(1), CrashPoint::PreForce));
+    }
+
+    #[test]
+    fn fault_stats_roundtrip_on_the_wire() {
+        let s = FaultStats {
+            drops: 1,
+            delays: 2,
+            duplicates: 3,
+            crashes: 4,
+            partition_drops: 5,
+            skewed_timers: 6,
+        };
+        assert_eq!(FaultStats::from_bytes(&s.to_bytes()).unwrap(), s);
+        assert!(FaultStats::from_bytes(&s.to_bytes()[..12]).is_err());
     }
 }

@@ -1,26 +1,28 @@
 //! Launches an N-site localhost Camelot cluster as real OS processes
-//! and runs the banking workload across it.
+//! and runs the banking workload across it — under supervision.
 //!
 //! Each site is a `camelot-site` child process (found next to this
 //! binary) with its own engine shards, WAL, disk-manager thread and
-//! kernel socket. The launcher reads each child's `ready` handshake,
-//! distributes the data-plane port map, funds a ledger of accounts,
-//! then runs randomized cross-site transfers — begin at a coordinator
-//! site, debit and credit through the involved sites' control
-//! sockets, commit with the participant set declared explicitly (the
-//! multi-process deployment has no home communication manager spying
-//! on remote operations).
+//! kernel socket. A [`Supervisor`] owns the children: it reads each
+//! handshake, distributes the data-plane port map, and — when a site
+//! dies — respawns it on the same WAL directory (recovery rebuilds
+//! it) with capped exponential backoff, re-distributing the new port
+//! map so peers reconnect. `--kill-every K` makes the launcher kill a
+//! random site every K transfers, turning a plain run into a
+//! self-healing demonstration.
 //!
 //! At the end it checks the paper's banking invariant — money is
-//! conserved across every committed state — and exits nonzero if the
-//! cluster disagrees.
+//! conserved across every committed state — prints per-site restart
+//! counts, and exits nonzero if the cluster disagrees or any site
+//! burned its restart budget (in which case that site's last stderr
+//! lines are printed).
 
 use std::path::PathBuf;
 use std::process::exit;
-use std::time::Duration as StdDuration;
+use std::time::{Duration as StdDuration, Instant};
 
-use camelot_node::procs::{distribute_peers, sibling_site_bin, wait_quiesce, SiteProc, SpawnSpec};
-use camelot_types::{ObjectId, ServerId, SiteId, Tid};
+use camelot_node::procs::{sibling_site_bin, Supervisor, SupervisorConfig};
+use camelot_types::{CamelotError, ObjectId, ServerId, SiteId, Tid};
 
 const SRV: ServerId = ServerId(1);
 const INITIAL: i64 = 100;
@@ -33,12 +35,15 @@ struct Opts {
     nonblocking: bool,
     log_dir: Option<PathBuf>,
     seed: u64,
+    kill_every: u32,
+    restart_budget: u32,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: camelot-launch [--sites N] [--txns M] [--accounts K] \
-         [--transport udp|tcp] [--nonblocking] [--log-dir DIR] [--seed S]"
+         [--transport udp|tcp] [--nonblocking] [--log-dir DIR] [--seed S] \
+         [--kill-every K] [--restart-budget N]"
     );
     exit(2);
 }
@@ -52,6 +57,8 @@ fn parse_opts() -> Opts {
         nonblocking: false,
         log_dir: None,
         seed: 1,
+        kill_every: 0,
+        restart_budget: 5,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -68,6 +75,10 @@ fn parse_opts() -> Opts {
             "--nonblocking" => opts.nonblocking = true,
             "--log-dir" => opts.log_dir = Some(PathBuf::from(value(&mut i))),
             "--seed" => opts.seed = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--kill-every" => opts.kill_every = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--restart-budget" => {
+                opts.restart_budget = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
             _ => usage(),
         }
         i += 1;
@@ -95,6 +106,26 @@ fn mix(x: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Prints failed-site post-mortems and exits nonzero if any site has
+/// burned its restart budget.
+fn bail_on_budget_exhaustion(sup: &Supervisor) {
+    let failed = sup.failed_sites();
+    if failed.is_empty() {
+        return;
+    }
+    for f in &failed {
+        eprintln!(
+            "camelot-launch: site {} exhausted its restart budget (last exit: {})",
+            f.site.0, f.status
+        );
+        eprintln!("camelot-launch: site {} last stderr lines:", f.site.0);
+        for line in &f.stderr_tail {
+            eprintln!("  | {line}");
+        }
+    }
+    exit(1);
+}
+
 fn main() {
     let opts = parse_opts();
     let bin = sibling_site_bin().unwrap_or_else(|e| {
@@ -102,60 +133,63 @@ fn main() {
         exit(1);
     });
 
-    let mut sites: Vec<SiteProc> = (1..=opts.sites)
-        .map(|i| {
-            SiteProc::spawn(&SpawnSpec {
-                bin: &bin,
-                site: SiteId(i),
-                transport: &opts.transport,
-                log_dir: opts.log_dir.as_deref(),
-                fast: true,
-                extra: &[],
-            })
-            .unwrap_or_else(|e| {
-                eprintln!("camelot-launch: spawn site {i}: {e}");
-                exit(1);
-            })
-        })
-        .collect();
-    distribute_peers(&mut sites).expect("distribute peers");
+    // Supervision needs a stable WAL root so respawned sites recover
+    // the incarnation they lost.
+    let log_dir = opts.log_dir.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("camelot-launch-{}", std::process::id()))
+    });
+    std::fs::create_dir_all(&log_dir).expect("create log dir");
+
+    let mut cfg = SupervisorConfig::new(bin, opts.sites, &opts.transport, log_dir);
+    cfg.restart_budget = opts.restart_budget;
+    let mut sup = Supervisor::start(cfg).unwrap_or_else(|e| {
+        eprintln!("camelot-launch: start cluster: {e}");
+        exit(1);
+    });
     println!(
-        "camelot-launch: {} sites up ({}), {} accounts each",
+        "camelot-launch: {} sites up ({}), {} accounts each, supervised",
         opts.sites, opts.transport, opts.accounts
     );
 
     // Fund every site's ledger with one local transaction.
-    for s in sites.iter_mut() {
-        let tid = s.ctrl.begin().expect("begin funding txn");
+    for id in 1..=opts.sites {
+        let ctrl = sup.ctrl(SiteId(id)).expect("funding: site up");
+        let tid = ctrl.begin().expect("begin funding txn");
         for a in 0..opts.accounts {
-            s.ctrl
-                .write(&tid, SRV, ObjectId(a), INITIAL.to_le_bytes().to_vec())
+            ctrl.write(&tid, SRV, ObjectId(a), INITIAL.to_le_bytes().to_vec())
                 .expect("fund account");
         }
         assert!(
-            s.ctrl
-                .commit(&tid, opts.nonblocking, vec![])
+            ctrl.commit(&tid, opts.nonblocking, vec![])
                 .expect("funding commit"),
-            "funding at site {} must commit",
-            s.id.0
+            "funding at site {id} must commit",
         );
     }
 
     let mut rng = opts.seed;
     let mut committed = 0u32;
     let mut aborted = 0u32;
+    let mut failed = 0u32;
     for t in 0..opts.txns {
-        let coord = (t % opts.sites) as usize;
-        let src = (mix(&mut rng) % opts.sites as u64) as usize;
-        let mut dst = (mix(&mut rng) % opts.sites as u64) as usize;
+        sup.poll();
+        bail_on_budget_exhaustion(&sup);
+        if opts.kill_every > 0 && t > 0 && t % opts.kill_every == 0 {
+            let victim = SiteId((mix(&mut rng) % opts.sites as u64) as u32 + 1);
+            if sup.kill_site(victim) {
+                println!("camelot-launch: killed site {} at txn {t}", victim.0);
+            }
+        }
+        let coord = SiteId((t % opts.sites) + 1);
+        let src = SiteId((mix(&mut rng) % opts.sites as u64) as u32 + 1);
+        let mut dst = SiteId((mix(&mut rng) % opts.sites as u64) as u32 + 1);
         if dst == src {
-            dst = (dst + 1) % opts.sites as usize;
+            dst = SiteId(dst.0 % opts.sites + 1);
         }
         let src_acct = ObjectId(mix(&mut rng) % opts.accounts);
         let dst_acct = ObjectId(mix(&mut rng) % opts.accounts);
         let amount = (mix(&mut rng) % 20) as i64 + 1;
         match transfer(
-            &mut sites,
+            &mut sup,
             coord,
             (src, src_acct),
             (dst, dst_acct),
@@ -165,34 +199,65 @@ fn main() {
             Ok(true) => committed += 1,
             Ok(false) => aborted += 1,
             Err(e) => {
-                aborted += 1;
+                failed += 1;
                 eprintln!("camelot-launch: transfer {t} failed: {e}");
+                // Give the supervisor's restart backoff a chance to
+                // elapse instead of burning the remaining budget of
+                // transfers against a site that is still down.
+                std::thread::sleep(StdDuration::from_millis(25));
             }
         }
     }
-    println!("camelot-launch: {committed} committed, {aborted} aborted");
+    println!("camelot-launch: {committed} committed, {aborted} aborted, {failed} failed");
+
+    // Let any in-flight restarts finish before auditing.
+    if !sup.wait_all_up(StdDuration::from_secs(20)) {
+        eprintln!("camelot-launch: not all sites came back up");
+    }
+    bail_on_budget_exhaustion(&sup);
 
     // A non-blocking commit returns at quorum; subordinates apply the
     // outcome in phase three. Audit only after the protocol quiesces.
-    if !wait_quiesce(&mut sites, StdDuration::from_secs(20)) {
-        for s in sites.iter_mut() {
-            let dump = s.ctrl.debug_state().unwrap_or_default();
-            if !dump.is_empty() {
-                eprintln!("camelot-launch: site {} still busy: {dump}", s.id.0);
+    let quiesce_deadline = Instant::now() + StdDuration::from_secs(20);
+    loop {
+        sup.poll();
+        let mut busy = false;
+        for id in 1..=opts.sites {
+            let Some(ctrl) = sup.ctrl(SiteId(id)) else {
+                busy = true;
+                continue;
+            };
+            if ctrl.debug_state().map(|d| !d.is_empty()).unwrap_or(true) {
+                busy = true;
             }
         }
+        if !busy {
+            break;
+        }
+        if Instant::now() >= quiesce_deadline {
+            eprintln!("camelot-launch: cluster did not quiesce");
+            break;
+        }
+        std::thread::sleep(StdDuration::from_millis(50));
     }
 
-    // Conservation: committed balances must sum to the funded total.
+    // Conservation: committed balances must sum to the funded total —
+    // regardless of which transfers committed, aborted, or were cut
+    // short by a kill (atomicity makes every subset conserve).
     let mut total = 0i64;
-    for s in sites.iter_mut() {
+    for id in 1..=opts.sites {
+        let ctrl = sup.ctrl(SiteId(id)).expect("audit: site up");
+        let mut site_total = 0i64;
         for a in 0..opts.accounts {
-            total += balance(
-                &s.ctrl
+            let v = balance(
+                &ctrl
                     .committed_value(SRV, ObjectId(a))
                     .expect("committed value"),
             );
+            site_total += v;
         }
+        println!("camelot-launch: site {id} holds {site_total}");
+        total += site_total;
     }
     let expected = opts.sites as i64 * opts.accounts as i64 * INITIAL;
     let conserved = total == expected;
@@ -200,42 +265,56 @@ fn main() {
         "camelot-launch: ledger total {total} (expected {expected}) — {}",
         if conserved { "conserved" } else { "VIOLATION" }
     );
+    let counts = sup.restart_counts();
+    println!(
+        "camelot-launch: restarts {}",
+        counts
+            .iter()
+            .map(|e| format!("site {}: {}", e.site.0, e.restarts))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
 
-    for s in sites.iter_mut() {
-        s.ctrl.shutdown();
-        let _ = s.child.wait();
-    }
+    sup.shutdown();
     if !conserved {
         exit(1);
     }
 }
 
 /// One cross-site transfer; `Ok(true)` committed, `Ok(false)` aborted.
+/// Control clients are fetched one at a time through the supervisor,
+/// so a transfer that touches a dead site fails with a typed error
+/// (and is aborted best-effort) instead of wedging.
 fn transfer(
-    sites: &mut [SiteProc],
-    coord: usize,
-    (src, src_acct): (usize, ObjectId),
-    (dst, dst_acct): (usize, ObjectId),
+    sup: &mut Supervisor,
+    coord: SiteId,
+    (src, src_acct): (SiteId, ObjectId),
+    (dst, dst_acct): (SiteId, ObjectId),
     amount: i64,
     nonblocking: bool,
 ) -> camelot_types::Result<bool> {
-    let tid: Tid = sites[coord].ctrl.begin()?;
-    let participants = vec![sites[src].id, sites[dst].id];
-    let run = |sites: &mut [SiteProc]| -> camelot_types::Result<()> {
-        let from = balance(&sites[src].ctrl.read(&tid, SRV, src_acct)?);
-        sites[src]
-            .ctrl
-            .write(&tid, SRV, src_acct, (from - amount).to_le_bytes().to_vec())?;
-        let to = balance(&sites[dst].ctrl.read(&tid, SRV, dst_acct)?);
-        sites[dst]
-            .ctrl
-            .write(&tid, SRV, dst_acct, (to + amount).to_le_bytes().to_vec())?;
+    let down = |site: SiteId| CamelotError::Log(format!("site {} is down", site.0));
+    let tid: Tid = sup.ctrl(coord).ok_or_else(|| down(coord))?.begin()?;
+    let participants = vec![src, dst];
+    let run = |sup: &mut Supervisor| -> camelot_types::Result<()> {
+        let ctrl = sup.ctrl(src).ok_or_else(|| down(src))?;
+        let from = balance(&ctrl.read(&tid, SRV, src_acct)?);
+        ctrl.write(&tid, SRV, src_acct, (from - amount).to_le_bytes().to_vec())?;
+        let ctrl = sup.ctrl(dst).ok_or_else(|| down(dst))?;
+        let to = balance(&ctrl.read(&tid, SRV, dst_acct)?);
+        ctrl.write(&tid, SRV, dst_acct, (to + amount).to_le_bytes().to_vec())?;
         Ok(())
     };
-    if let Err(e) = run(sites) {
-        // Lock conflict or timeout: abort and surface the cause.
-        let _ = sites[coord].ctrl.abort(&tid, participants);
+    if let Err(e) = run(sup) {
+        // Lock conflict, timeout, or dead site: abort and surface the
+        // cause.
+        if let Some(ctrl) = sup.ctrl(coord) {
+            let _ = ctrl.abort(&tid, participants);
+        }
         return Err(e);
     }
-    sites[coord].ctrl.commit(&tid, nonblocking, participants)
+    match sup.ctrl(coord) {
+        Some(ctrl) => ctrl.commit(&tid, nonblocking, participants),
+        None => Err(down(coord)),
+    }
 }

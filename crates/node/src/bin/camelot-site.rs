@@ -391,6 +391,26 @@ fn handle(
         CtrlRequest::TransportStats => CtrlReply::Transport {
             stats: transport.stats(),
         },
+        CtrlRequest::FaultStats => CtrlReply::Fault {
+            stats: fault.stats(),
+        },
+        CtrlRequest::Partition { a, b } => {
+            fault.partition(&a, &b);
+            CtrlReply::Ok
+        }
+        CtrlRequest::SetSkew {
+            site: target,
+            per_mille,
+        } => {
+            // Only this site's timers route through this plan; a skew
+            // for another site is a no-op here, so installing it
+            // unconditionally keeps the launcher's broadcast simple.
+            fault.set_skew(target, per_mille);
+            CtrlReply::Ok
+        }
+        CtrlRequest::RestartStats => CtrlReply::Err {
+            detail: "restart stats live on the supervisor, not a site".into(),
+        },
     }
 }
 

@@ -18,7 +18,7 @@ use std::io::{Read as IoRead, Write as IoWrite};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration as StdDuration;
 
-use camelot_net::{encode_frame, FrameDecoder, TransportStats};
+use camelot_net::{encode_frame, FaultStats, FrameDecoder, TransportStats};
 use camelot_types::wire::{Reader, Wire, Writer};
 use camelot_types::{CamelotError, CrashPoint, ObjectId, Result, ServerId, SiteId, Tid};
 
@@ -91,6 +91,19 @@ pub enum CtrlRequest {
     Shutdown,
     /// Snapshot the data-plane transport's outbound counters.
     TransportStats,
+    /// Snapshot the site's fault-injection counters.
+    FaultStats,
+    /// Install a symmetric partition between two site groups on this
+    /// site's fault plan. Each site only rolls faults for its own
+    /// outbound traffic, so the launcher installs the same partition
+    /// on every site to make both directions go dark.
+    Partition { a: Vec<SiteId>, b: Vec<SiteId> },
+    /// Scale a site's protocol-timer durations by `per_mille`/1000
+    /// (1500 = timers fire 50% late; 1000 clears the skew).
+    SetSkew { site: SiteId, per_mille: u32 },
+    /// Per-site restart counts. Only the supervisor's own control
+    /// listener answers this; a plain site replies with an error.
+    RestartStats,
 }
 
 const Q_PING: u8 = 1;
@@ -107,6 +120,10 @@ const Q_HEAL: u8 = 11;
 const Q_DRAIN_TRACE: u8 = 12;
 const Q_SHUTDOWN: u8 = 13;
 const Q_TRANSPORT_STATS: u8 = 14;
+const Q_FAULT_STATS: u8 = 15;
+const Q_PARTITION: u8 = 16;
+const Q_SET_SKEW: u8 = 17;
+const Q_RESTART_STATS: u8 = 18;
 
 impl Wire for CtrlRequest {
     fn encode(&self, w: &mut Writer) {
@@ -168,6 +185,18 @@ impl Wire for CtrlRequest {
             CtrlRequest::DrainTrace => w.put_u8(Q_DRAIN_TRACE),
             CtrlRequest::Shutdown => w.put_u8(Q_SHUTDOWN),
             CtrlRequest::TransportStats => w.put_u8(Q_TRANSPORT_STATS),
+            CtrlRequest::FaultStats => w.put_u8(Q_FAULT_STATS),
+            CtrlRequest::Partition { a, b } => {
+                w.put_u8(Q_PARTITION);
+                w.put_seq(a);
+                w.put_seq(b);
+            }
+            CtrlRequest::SetSkew { site, per_mille } => {
+                w.put_u8(Q_SET_SKEW);
+                w.put(site);
+                w.put_u32(*per_mille);
+            }
+            CtrlRequest::RestartStats => w.put_u8(Q_RESTART_STATS),
         }
     }
 
@@ -213,6 +242,16 @@ impl Wire for CtrlRequest {
             Q_DRAIN_TRACE => CtrlRequest::DrainTrace,
             Q_SHUTDOWN => CtrlRequest::Shutdown,
             Q_TRANSPORT_STATS => CtrlRequest::TransportStats,
+            Q_FAULT_STATS => CtrlRequest::FaultStats,
+            Q_PARTITION => CtrlRequest::Partition {
+                a: r.get_seq()?,
+                b: r.get_seq()?,
+            },
+            Q_SET_SKEW => CtrlRequest::SetSkew {
+                site: r.get()?,
+                per_mille: r.get_u32()?,
+            },
+            Q_RESTART_STATS => CtrlRequest::RestartStats,
             v => return Err(CamelotError::Codec(format!("unknown ctrl request {v}"))),
         })
     }
@@ -250,6 +289,34 @@ pub enum CtrlReply {
     Transport {
         stats: TransportStats,
     },
+    /// Snapshot of the site's fault-injection counters.
+    Fault {
+        stats: FaultStats,
+    },
+    /// Per-site restart counts from the supervisor.
+    Restarts {
+        counts: Vec<RestartEntry>,
+    },
+}
+
+/// One site's restart count, as reported by the supervisor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RestartEntry {
+    pub site: SiteId,
+    pub restarts: u32,
+}
+
+impl Wire for RestartEntry {
+    fn encode(&self, w: &mut Writer) {
+        w.put(&self.site);
+        w.put_u32(self.restarts);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(RestartEntry {
+            site: r.get()?,
+            restarts: r.get_u32()?,
+        })
+    }
 }
 
 const R_OK: u8 = 1;
@@ -261,6 +328,8 @@ const R_STATE: u8 = 6;
 const R_TRACE: u8 = 7;
 const R_ERR: u8 = 8;
 const R_TRANSPORT: u8 = 9;
+const R_FAULT: u8 = 10;
+const R_RESTARTS: u8 = 11;
 
 impl Wire for CtrlReply {
     fn encode(&self, w: &mut Writer) {
@@ -298,6 +367,14 @@ impl Wire for CtrlReply {
                 w.put_u8(R_TRANSPORT);
                 w.put(stats);
             }
+            CtrlReply::Fault { stats } => {
+                w.put_u8(R_FAULT);
+                w.put(stats);
+            }
+            CtrlReply::Restarts { counts } => {
+                w.put_u8(R_RESTARTS);
+                w.put_seq(counts);
+            }
         }
     }
 
@@ -320,6 +397,10 @@ impl Wire for CtrlReply {
                 detail: r.get_str()?,
             },
             R_TRANSPORT => CtrlReply::Transport { stats: r.get()? },
+            R_FAULT => CtrlReply::Fault { stats: r.get()? },
+            R_RESTARTS => CtrlReply::Restarts {
+                counts: r.get_seq()?,
+            },
             v => return Err(CamelotError::Codec(format!("unknown ctrl reply {v}"))),
         })
     }
@@ -516,6 +597,37 @@ impl CtrlClient {
         }
     }
 
+    pub fn fault_stats(&mut self) -> Result<FaultStats> {
+        match self.call_ok(&CtrlRequest::FaultStats)? {
+            CtrlReply::Fault { stats } => Ok(stats),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    pub fn partition(&mut self, a: &[SiteId], b: &[SiteId]) -> Result<()> {
+        match self.call_ok(&CtrlRequest::Partition {
+            a: a.to_vec(),
+            b: b.to_vec(),
+        })? {
+            CtrlReply::Ok => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    pub fn set_skew(&mut self, site: SiteId, per_mille: u32) -> Result<()> {
+        match self.call_ok(&CtrlRequest::SetSkew { site, per_mille })? {
+            CtrlReply::Ok => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    pub fn restart_stats(&mut self) -> Result<Vec<RestartEntry>> {
+        match self.call_ok(&CtrlRequest::RestartStats)? {
+            CtrlReply::Restarts { counts } => Ok(counts),
+            other => Err(unexpected(other)),
+        }
+    }
+
     /// Asks the process to exit; the closed stream is the expected
     /// outcome, so transport errors after the request are swallowed.
     pub fn shutdown(&mut self) {
@@ -630,6 +742,16 @@ mod tests {
             CtrlRequest::DrainTrace,
             CtrlRequest::Shutdown,
             CtrlRequest::TransportStats,
+            CtrlRequest::FaultStats,
+            CtrlRequest::Partition {
+                a: vec![SiteId(1), SiteId(2)],
+                b: vec![SiteId(3)],
+            },
+            CtrlRequest::SetSkew {
+                site: SiteId(2),
+                per_mille: 1500,
+            },
+            CtrlRequest::RestartStats,
         ]
     }
 
@@ -661,6 +783,28 @@ mod tests {
                     queue_depth: 5,
                     max_queue_depth: 9,
                 },
+            },
+            CtrlReply::Fault {
+                stats: FaultStats {
+                    drops: 1,
+                    delays: 2,
+                    duplicates: 3,
+                    crashes: 4,
+                    partition_drops: 5,
+                    skewed_timers: 6,
+                },
+            },
+            CtrlReply::Restarts {
+                counts: vec![
+                    RestartEntry {
+                        site: SiteId(1),
+                        restarts: 0,
+                    },
+                    RestartEntry {
+                        site: SiteId(2),
+                        restarts: 3,
+                    },
+                ],
             },
         ]
     }

@@ -9,14 +9,43 @@
 //! built on `CARGO_BIN_EXE_camelot-site`, which only exists for
 //! tests.)
 
+use std::collections::VecDeque;
 use std::io::{BufRead, BufReader};
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use camelot_types::SiteId;
 
 use crate::ctrl::{CtrlClient, Handshake, PeerEntry};
+
+/// How many stderr lines a [`StderrTail`] retains per site.
+const STDERR_TAIL_LINES: usize = 40;
+
+/// Bounded ring of a child's most recent stderr lines. A reader
+/// thread echoes every line through to our own stderr (so nothing is
+/// hidden) while keeping the tail for post-mortem reporting — when a
+/// site burns its restart budget, the supervisor prints these.
+#[derive(Clone, Default)]
+pub struct StderrTail {
+    ring: Arc<Mutex<VecDeque<String>>>,
+}
+
+impl StderrTail {
+    fn push(&self, line: String) {
+        let mut ring = self.ring.lock().unwrap();
+        if ring.len() == STDERR_TAIL_LINES {
+            ring.pop_front();
+        }
+        ring.push_back(line);
+    }
+
+    /// The retained lines, oldest first.
+    pub fn lines(&self) -> Vec<String> {
+        self.ring.lock().unwrap().iter().cloned().collect()
+    }
+}
 
 /// One running `camelot-site` child with its control connection.
 pub struct SiteProc {
@@ -24,6 +53,7 @@ pub struct SiteProc {
     pub child: Child,
     pub handshake: Handshake,
     pub ctrl: CtrlClient,
+    pub stderr_tail: StderrTail,
 }
 
 /// How to spawn one site process.
@@ -74,7 +104,7 @@ impl SiteProc {
             .arg(spec.transport)
             .args(spec.extra)
             .stdout(Stdio::piped())
-            .stderr(Stdio::inherit());
+            .stderr(Stdio::piped());
         if spec.fast {
             cmd.arg("--fast");
         }
@@ -83,6 +113,19 @@ impl SiteProc {
                 .arg(dir.join(format!("site-{}", spec.site.0)));
         }
         let mut child = cmd.spawn()?;
+        let stderr_tail = StderrTail::default();
+        {
+            let stderr = child.stderr.take().expect("piped stderr");
+            let tail = stderr_tail.clone();
+            let site = spec.site;
+            std::thread::spawn(move || {
+                for line in BufReader::new(stderr).lines() {
+                    let Ok(line) = line else { break };
+                    eprintln!("site {}: {line}", site.0);
+                    tail.push(line);
+                }
+            });
+        }
         let stdout = child.stdout.take().expect("piped stdout");
         let mut lines = BufReader::new(stdout).lines();
         let handshake = loop {
@@ -107,6 +150,7 @@ impl SiteProc {
             child,
             handshake,
             ctrl,
+            stderr_tail,
         })
     }
 
@@ -154,4 +198,410 @@ pub fn wait_quiesce(sites: &mut [SiteProc], deadline: Duration) -> bool {
         std::thread::sleep(Duration::from_millis(50));
     }
     false
+}
+
+/// How a [`Supervisor`] keeps a cluster of site processes alive.
+pub struct SupervisorConfig {
+    /// Path to the `camelot-site` binary.
+    pub bin: PathBuf,
+    /// Number of sites (ids `1..=sites`).
+    pub sites: u32,
+    /// `udp` or `tcp`.
+    pub transport: String,
+    /// WAL root; each site gets `site-N` under it. Required: a
+    /// respawned site must recover from the incarnation it lost.
+    pub log_dir: PathBuf,
+    /// Use the fast engine timer profile.
+    pub fast: bool,
+    /// Extra raw `camelot-site` arguments.
+    pub extra: Vec<String>,
+    /// First restart delay after a site death.
+    pub backoff_base: Duration,
+    /// Ceiling for the doubled restart delay.
+    pub backoff_cap: Duration,
+    /// How many times one site may be restarted before the supervisor
+    /// gives up on it (marks it failed and stops respawning).
+    pub restart_budget: u32,
+}
+
+impl SupervisorConfig {
+    pub fn new(bin: PathBuf, sites: u32, transport: &str, log_dir: PathBuf) -> SupervisorConfig {
+        SupervisorConfig {
+            bin,
+            sites,
+            transport: transport.to_string(),
+            log_dir,
+            fast: true,
+            extra: Vec::new(),
+            backoff_base: Duration::from_millis(100),
+            backoff_cap: Duration::from_secs(2),
+            restart_budget: 5,
+        }
+    }
+}
+
+/// Shared address board: the last-known control and data addresses of
+/// every site, plus a generation counter bumped on each membership
+/// change. Ports are OS-assigned, so they change on every respawn —
+/// workers holding their own control connections watch the generation
+/// and re-resolve when it moves.
+#[derive(Default)]
+pub struct AddrBoard {
+    generation: std::sync::atomic::AtomicU64,
+    addrs: Mutex<std::collections::HashMap<SiteId, Handshake>>,
+}
+
+impl AddrBoard {
+    /// Bumped on every spawn/respawn; compare against a cached value
+    /// to decide whether a held control connection may be stale.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// The site's last-known control address.
+    pub fn ctrl_addr(&self, site: SiteId) -> Option<std::net::SocketAddr> {
+        self.addrs.lock().unwrap().get(&site).map(|h| h.ctrl)
+    }
+
+    fn publish(&self, h: &Handshake) {
+        self.addrs.lock().unwrap().insert(h.site, h.clone());
+        self.generation
+            .fetch_add(1, std::sync::atomic::Ordering::AcqRel);
+    }
+
+    fn peer_entries(&self) -> Vec<PeerEntry> {
+        let mut peers: Vec<PeerEntry> = self
+            .addrs
+            .lock()
+            .unwrap()
+            .values()
+            .map(|h| PeerEntry {
+                site: h.site,
+                addr: h.data.to_string(),
+            })
+            .collect();
+        peers.sort_by_key(|p| p.site.0);
+        peers
+    }
+}
+
+/// One site's place in the supervisor.
+enum Slot {
+    /// Running (as far as the last `poll` observed).
+    Up(SiteProc),
+    /// Died; a respawn is scheduled.
+    Waiting { at: Instant },
+    /// Burned its restart budget; the supervisor gave up on it.
+    Failed { status: String },
+}
+
+/// A failed site's post-mortem, for the launcher's exit report.
+#[derive(Debug)]
+pub struct FailedSite {
+    pub site: SiteId,
+    /// The exit status of the death that burned the budget.
+    pub status: String,
+    /// Its last captured stderr lines, oldest first.
+    pub stderr_tail: Vec<String>,
+}
+
+/// Keeps a cluster of `camelot-site` processes alive: watches for
+/// exits, respawns crashed sites on the same WAL directory (so
+/// recovery rebuilds them) with capped exponential backoff, and
+/// re-distributes the data-plane address map after every respawn so
+/// peers reconnect to the new incarnation's ports.
+///
+/// The supervisor is poll-driven: callers interleave [`poll`] with
+/// their own work (the launch and soak drivers do this between
+/// transaction batches). It also runs a small control listener of its
+/// own answering [`CtrlRequest::RestartStats`], so external harnesses
+/// can read per-site restart counts over the same wire protocol the
+/// sites speak.
+///
+/// [`poll`]: Supervisor::poll
+/// [`CtrlRequest::RestartStats`]: crate::ctrl::CtrlRequest::RestartStats
+pub struct Supervisor {
+    cfg: SupervisorConfig,
+    /// Index `i` holds site `i + 1`.
+    slots: Vec<Slot>,
+    backoffs: Vec<camelot_net::Backoff>,
+    /// Last-known stderr tail per site; survives the death of the
+    /// `SiteProc` that produced it.
+    tails: Vec<StderrTail>,
+    /// Respawns performed (or attempted) per site.
+    restarts: Arc<Mutex<Vec<u32>>>,
+    board: Arc<AddrBoard>,
+    ctrl_addr: std::net::SocketAddr,
+}
+
+impl Supervisor {
+    /// Spawns all sites, distributes the initial peer map, and starts
+    /// the supervisor's own control listener.
+    pub fn start(cfg: SupervisorConfig) -> std::io::Result<Supervisor> {
+        let board = Arc::new(AddrBoard::default());
+        let restarts = Arc::new(Mutex::new(vec![0u32; cfg.sites as usize]));
+        let mut slots = Vec::with_capacity(cfg.sites as usize);
+        let mut backoffs = Vec::with_capacity(cfg.sites as usize);
+        let mut tails = Vec::with_capacity(cfg.sites as usize);
+        for id in 1..=cfg.sites {
+            let proc = SiteProc::spawn(&spawn_spec(&cfg, SiteId(id)))?;
+            board.publish(&proc.handshake);
+            tails.push(proc.stderr_tail.clone());
+            slots.push(Slot::Up(proc));
+            backoffs.push(camelot_net::Backoff::new(cfg.backoff_base, cfg.backoff_cap));
+        }
+        let ctrl_addr = serve_supervisor_ctrl(Arc::clone(&restarts))?;
+        let mut sup = Supervisor {
+            cfg,
+            slots,
+            backoffs,
+            tails,
+            restarts,
+            board,
+            ctrl_addr,
+        };
+        sup.redistribute_peers();
+        Ok(sup)
+    }
+
+    /// The supervisor's own control address (answers `RestartStats`).
+    pub fn ctrl_addr(&self) -> std::net::SocketAddr {
+        self.ctrl_addr
+    }
+
+    /// The shared address board for workers that hold their own
+    /// control connections.
+    pub fn board(&self) -> Arc<AddrBoard> {
+        Arc::clone(&self.board)
+    }
+
+    /// One supervision step: reap exited sites, schedule their
+    /// respawns, and respawn those whose backoff has elapsed. Returns
+    /// `true` if membership changed (a death was observed or a site
+    /// came back).
+    pub fn poll(&mut self) -> bool {
+        let mut changed = false;
+        for i in 0..self.slots.len() {
+            let site = SiteId(i as u32 + 1);
+            match &mut self.slots[i] {
+                Slot::Up(proc) => {
+                    let status = match proc.child.try_wait() {
+                        Ok(Some(status)) => status,
+                        Ok(None) => continue,
+                        Err(e) => {
+                            eprintln!("supervisor: try_wait site {}: {e}", site.0);
+                            continue;
+                        }
+                    };
+                    changed = true;
+                    self.tails[i] = proc.stderr_tail.clone();
+                    let spent = self.restarts.lock().unwrap()[i];
+                    if spent >= self.cfg.restart_budget {
+                        eprintln!(
+                            "supervisor: site {} died ({status}) after {spent} restarts; \
+                             budget exhausted, giving up",
+                            site.0
+                        );
+                        self.slots[i] = Slot::Failed {
+                            status: status.to_string(),
+                        };
+                        continue;
+                    }
+                    let delay = self.backoffs[i].failure();
+                    eprintln!(
+                        "supervisor: site {} died ({status}); respawning in {}ms \
+                         (restart {}/{})",
+                        site.0,
+                        delay.as_millis(),
+                        spent + 1,
+                        self.cfg.restart_budget
+                    );
+                    self.slots[i] = Slot::Waiting {
+                        at: Instant::now() + delay,
+                    };
+                }
+                Slot::Waiting { at } => {
+                    if Instant::now() < *at {
+                        continue;
+                    }
+                    self.restarts.lock().unwrap()[i] += 1;
+                    match SiteProc::spawn(&spawn_spec(&self.cfg, site)) {
+                        Ok(proc) => {
+                            changed = true;
+                            // Same --log-dir: the new process already
+                            // ran WAL recovery before its handshake.
+                            self.board.publish(&proc.handshake);
+                            self.tails[i] = proc.stderr_tail.clone();
+                            self.slots[i] = Slot::Up(proc);
+                            self.redistribute_peers();
+                            eprintln!("supervisor: site {} back up", site.0);
+                        }
+                        Err(e) => {
+                            eprintln!("supervisor: respawn site {} failed: {e}", site.0);
+                            self.slots[i] = Slot::Waiting {
+                                at: Instant::now() + self.backoffs[i].failure(),
+                            };
+                        }
+                    }
+                }
+                Slot::Failed { .. } => {}
+            }
+        }
+        changed
+    }
+
+    /// The control client of an up site.
+    pub fn ctrl(&mut self, site: SiteId) -> Option<&mut CtrlClient> {
+        match self.slots.get_mut(site.0 as usize - 1)? {
+            Slot::Up(proc) => Some(&mut proc.ctrl),
+            _ => None,
+        }
+    }
+
+    /// Kills a site's process outright (fault injection). The next
+    /// `poll` observes the death and schedules the respawn.
+    pub fn kill_site(&mut self, site: SiteId) -> bool {
+        match self.slots.get_mut(site.0 as usize - 1) {
+            Some(Slot::Up(proc)) => {
+                let _ = proc.child.kill();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// True when every site is up (does not poll; call `poll` first).
+    pub fn all_up(&self) -> bool {
+        self.slots.iter().all(|s| matches!(s, Slot::Up(_)))
+    }
+
+    /// Polls until every site is up or the deadline passes.
+    pub fn wait_all_up(&mut self, deadline: Duration) -> bool {
+        let start = Instant::now();
+        loop {
+            self.poll();
+            if self.all_up() {
+                return true;
+            }
+            if start.elapsed() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+
+    /// Respawns performed per site, in site order.
+    pub fn restart_counts(&self) -> Vec<crate::ctrl::RestartEntry> {
+        self.restarts
+            .lock()
+            .unwrap()
+            .iter()
+            .enumerate()
+            .map(|(i, &restarts)| crate::ctrl::RestartEntry {
+                site: SiteId(i as u32 + 1),
+                restarts,
+            })
+            .collect()
+    }
+
+    /// Post-mortems of sites the supervisor has given up on.
+    pub fn failed_sites(&self) -> Vec<FailedSite> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| match s {
+                Slot::Failed { status } => Some(FailedSite {
+                    site: SiteId(i as u32 + 1),
+                    status: status.clone(),
+                    stderr_tail: self.tails[i].lines(),
+                }),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Cleanly shuts down every up site and reaps the rest.
+    pub fn shutdown(self) {
+        for slot in self.slots {
+            if let Slot::Up(proc) = slot {
+                proc.shutdown();
+            }
+        }
+    }
+}
+
+fn spawn_spec<'a>(cfg: &'a SupervisorConfig, site: SiteId) -> SpawnSpec<'a> {
+    SpawnSpec {
+        bin: &cfg.bin,
+        site,
+        transport: &cfg.transport,
+        log_dir: Some(&cfg.log_dir),
+        fast: cfg.fast,
+        extra: &cfg.extra,
+    }
+}
+
+impl Supervisor {
+    /// Pushes the current full address map to every up site. Down
+    /// sites get the map when they come back (their respawn triggers
+    /// another full redistribution).
+    fn redistribute_peers(&mut self) {
+        let peers = self.board.peer_entries();
+        for slot in &mut self.slots {
+            if let Slot::Up(proc) = slot {
+                if let Err(e) = proc.ctrl.set_peers(peers.clone()) {
+                    // A site that died since the last poll; the next
+                    // poll reaps it.
+                    eprintln!("supervisor: set_peers site {}: {e}", proc.id.0);
+                }
+            }
+        }
+    }
+}
+
+/// Binds the supervisor's own control listener and serves
+/// `RestartStats`/`Ping` on it from a background thread. The site id
+/// in the pong is 0: the supervisor is not a site.
+fn serve_supervisor_ctrl(restarts: Arc<Mutex<Vec<u32>>>) -> std::io::Result<std::net::SocketAddr> {
+    use crate::ctrl::{read_framed, write_framed, CtrlReply, CtrlRequest, RestartEntry};
+    let listener = std::net::TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?;
+    std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            let Ok(mut stream) = conn else { continue };
+            let restarts = Arc::clone(&restarts);
+            std::thread::spawn(move || {
+                let _ = stream.set_nodelay(true);
+                let mut dec = camelot_net::FrameDecoder::new();
+                loop {
+                    let req = match read_framed::<CtrlRequest>(&mut stream, &mut dec) {
+                        Ok(Some(req)) => req,
+                        _ => return,
+                    };
+                    let reply = match req {
+                        CtrlRequest::Ping => CtrlReply::Pong { site: SiteId(0) },
+                        CtrlRequest::RestartStats => CtrlReply::Restarts {
+                            counts: restarts
+                                .lock()
+                                .unwrap()
+                                .iter()
+                                .enumerate()
+                                .map(|(i, &restarts)| RestartEntry {
+                                    site: SiteId(i as u32 + 1),
+                                    restarts,
+                                })
+                                .collect(),
+                        },
+                        other => CtrlReply::Err {
+                            detail: format!("supervisor does not serve {other:?}"),
+                        },
+                    };
+                    if write_framed(&mut stream, &reply).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+    });
+    Ok(addr)
 }

@@ -281,7 +281,7 @@ impl SiteShared {
     /// Kills the site in place: volatile state is lost, unforced log
     /// records discarded, traffic to it dropped by the router. Safe to
     /// call from any runtime thread holding no site locks.
-    fn kill(&self) {
+    pub(crate) fn kill(&self) {
         self.tracer().site_event(TraceEventKind::Crash);
         self.incarnation.fetch_add(1, Ordering::SeqCst);
         self.alive.store(false, Ordering::SeqCst);
@@ -574,7 +574,11 @@ impl ClusterInner {
                     site.lazy.lock().push((token, upto));
                 }
                 Action::SetTimer { token, after } => {
-                    let at = Instant::now() + StdDuration::from_micros(after.as_micros());
+                    // Clock-skew fault: a skewed site's protocol timers
+                    // (vote timeout, inquiry, notify resend, takeover)
+                    // fire early or late by the plan's factor.
+                    let nominal = StdDuration::from_micros(after.as_micros());
+                    let at = Instant::now() + self.fault.skew_timer(site.id, nominal);
                     let _ = self.router_tx.send(RouterJob::Deliver {
                         at,
                         to: site.id,

@@ -62,7 +62,7 @@ use camelot_core::Input;
 use camelot_net::{Outcome, Vote};
 use camelot_obs::Phase;
 use camelot_server::{OpReply, Request};
-use camelot_types::{FamilyId, ObjectId, ServerId, Tid};
+use camelot_types::{CrashPoint, FamilyId, ObjectId, ServerId, Tid};
 use camelot_wal::LogRecord;
 
 use crate::cluster::{ClusterInner, SiteShared};
@@ -195,6 +195,15 @@ pub(crate) fn queue_worker(
                     if matches!(job, QueueJob::Stop) {
                         return;
                     }
+                    // Crash point: the shard owner dies mid-burst —
+                    // this job and the rest of the burst are lost with
+                    // the site's speculative state. The worker thread
+                    // itself survives (a later restart Resets it), as
+                    // a respawned worker would after a process death.
+                    if inner.fault.should_crash(site.id, CrashPoint::QueueMidBurst) {
+                        site.kill();
+                        break;
+                    }
                     handle_job(&inner, &site, &mut sh, job);
                 }
             }
@@ -233,6 +242,17 @@ fn handle_job(inner: &Arc<ClusterInner>, site: &Arc<SiteShared>, sh: &mut Shard,
             match subvote(sh, tid.family, server) {
                 Some(v) => deliver_subvote(site, &tid, server, v),
                 None => {
+                    // Crash point: the marker that should park is lost
+                    // instead. This shard never answers its sub-vote,
+                    // so the family can only resolve through the
+                    // coordinator's vote timeout — the queued
+                    // analogue of a lost Prepare datagram.
+                    if inner
+                        .fault
+                        .should_crash(site.id, CrashPoint::QueueParkedPrepare)
+                    {
+                        return;
+                    }
                     site.counters.queue_parked.fetch_add(1, Ordering::Relaxed);
                     sh.parked.push(Parked {
                         tid,

@@ -91,6 +91,11 @@ fn crash_point_round_trip(point: CrashPoint, mode: CommitMode) {
 #[test]
 fn crash_matrix_two_phase() {
     for point in CrashPoint::ALL {
+        // The queued points only fire under ExecMode::Queued; the
+        // queued matrix below covers them.
+        if CrashPoint::QUEUED.contains(&point) {
+            continue;
+        }
         crash_point_round_trip(point, CommitMode::TwoPhase);
     }
 }
@@ -98,8 +103,127 @@ fn crash_matrix_two_phase() {
 #[test]
 fn crash_matrix_nonblocking() {
     for point in CrashPoint::ALL {
+        if CrashPoint::QUEUED.contains(&point) {
+            continue;
+        }
         crash_point_round_trip(point, CommitMode::NonBlocking);
     }
+}
+
+/// Queued execution, [`CrashPoint::QueueMidBurst`]: a shard-owner
+/// worker dies while draining a burst — the site goes down with ops
+/// and markers still queued. After a restart the cluster must agree
+/// and make progress, exactly like the log-pipeline matrix.
+#[test]
+fn queued_crash_mid_burst_recovers() {
+    let fault = Arc::new(FaultPlan::disabled());
+    let mut cfg = quick_cfg();
+    cfg.exec_mode = camelot_core::ExecMode::Queued;
+    // One shard: every op lands in the same FIFO, so two concurrent
+    // writers are certain to stack a multi-job burst.
+    cfg.data_shards = 1;
+    let cluster = Cluster::new_with_faults(2, cfg, fault.clone());
+    let obj = ObjectId(7);
+    let client = cluster.client(S1);
+    // Warm transaction so the crash doesn't land on an empty cluster.
+    let warm = client.begin().unwrap();
+    client.write(&warm, S1, SRV, obj, b"warm".to_vec()).unwrap();
+    client.write(&warm, S2, SRV, obj, b"warm".to_vec()).unwrap();
+    client.commit(&warm, CommitMode::TwoPhase).unwrap();
+    // Arm the mid-burst kill, then hammer the shard from two threads.
+    // The kill fires on the second job of a drain burst; concurrent
+    // writers make that overwhelmingly likely, and every client call
+    // is bounded by the 2s call timeout even if it never fires.
+    fault.arm_crash(S1, CrashPoint::QueueMidBurst);
+    let rival = cluster.client(S1);
+    let noise = std::thread::spawn(move || {
+        let _ = (|| {
+            let tid = rival.begin()?;
+            for i in 0..200u64 {
+                rival.write(&tid, S1, SRV, ObjectId(200 + i), vec![i as u8])?;
+            }
+            rival.commit(&tid, CommitMode::TwoPhase)
+        })();
+    });
+    let outcome = (|| {
+        let tid = client.begin()?;
+        for i in 0..200u64 {
+            client.write(&tid, S1, SRV, ObjectId(500 + i), vec![i as u8])?;
+        }
+        client.commit(&tid, CommitMode::TwoPhase)
+    })();
+    noise.join().unwrap();
+    // Whatever the app saw, a restarted cluster must agree and serve.
+    if !cluster.is_alive(S1) {
+        cluster.restart(S1).expect("clean log recovers");
+    } else {
+        // The burst never overlapped a drain; the schedule is vacuous
+        // but the cluster must still be healthy.
+        fault.heal();
+    }
+    std::thread::sleep(StdDuration::from_millis(1500));
+    assert_eq!(
+        cluster.committed_value(S1, SRV, obj),
+        cluster.committed_value(S2, SRV, obj),
+        "sites disagree after mid-burst crash (client saw {outcome:?})"
+    );
+    let probe = client.begin().unwrap();
+    client
+        .write(&probe, S1, SRV, ObjectId(99), b"alive".to_vec())
+        .unwrap();
+    client
+        .write(&probe, S2, SRV, ObjectId(99), b"alive".to_vec())
+        .unwrap();
+    client.commit(&probe, CommitMode::TwoPhase).unwrap();
+    std::thread::sleep(StdDuration::from_millis(200));
+    assert_eq!(cluster.committed_value(S2, SRV, ObjectId(99)), b"alive");
+    cluster.shutdown();
+}
+
+/// Queued execution, [`CrashPoint::QueueParkedPrepare`]: a prepared
+/// marker that would park (its family has an unresolved dependency)
+/// is lost instead. The shard never answers its local sub-vote, and
+/// the engine's vote timeout only covers *remote* subordinates — so
+/// for a purely local family the client's call timeout is the
+/// resolution path. The typed error names the transaction; the
+/// application aborts it explicitly, and the dependency's writer
+/// must be unaffected.
+#[test]
+fn queued_lost_parked_prepare_resolves_by_client_timeout() {
+    let fault = Arc::new(FaultPlan::disabled());
+    let mut cfg = quick_cfg();
+    cfg.exec_mode = camelot_core::ExecMode::Queued;
+    cfg.data_shards = 1; // One shard: the dependency is guaranteed.
+    cfg.engine.vote_timeout = camelot_types::Duration::from_millis(400);
+    cfg.queued_vote_timeout = StdDuration::from_millis(300);
+    let cluster = Cluster::new_with_faults(1, cfg, fault.clone());
+    let obj = ObjectId(5);
+    let client = cluster.client(S1);
+    // t1 writes and stays open: t2's write on the same object takes a
+    // commit-order dependency on t1, so t2's prepare must park.
+    let t1 = client.begin().unwrap();
+    client.write(&t1, S1, SRV, obj, b"first".to_vec()).unwrap();
+    let t2 = client.begin().unwrap();
+    client.write(&t2, S1, SRV, obj, b"second".to_vec()).unwrap();
+    fault.arm_crash(S1, CrashPoint::QueueParkedPrepare);
+    // The lost marker means no local sub-vote: local vote collection
+    // never completes, so the commit surfaces as a client timeout
+    // naming the stuck transaction.
+    let out2 = client.commit(&t2, CommitMode::TwoPhase);
+    assert!(
+        matches!(out2, Err(CamelotError::Timeout { tid: Some(_) })),
+        "a family whose prepare marker was lost must surface a typed \
+         timeout, got {out2:?}"
+    );
+    assert_eq!(fault.stats().crashes, 1, "the armed point must have fired");
+    // Do what the error type tells the application to do: abort the
+    // named transaction.
+    client.abort(&t2).unwrap();
+    // The dependency's writer is unharmed.
+    client.commit(&t1, CommitMode::TwoPhase).unwrap();
+    std::thread::sleep(StdDuration::from_millis(200));
+    assert_eq!(cluster.committed_value(S1, SRV, obj), b"first");
+    cluster.shutdown();
 }
 
 /// WAL corruption across a restart: a bit-flipped committed record

@@ -110,13 +110,15 @@ pub fn recover(site: SiteId, id: ServerId, records: &[LogRecord]) -> RecoveredSe
     let mut in_doubt = Vec::new();
     let mut redone = Vec::new();
     let mut undone = Vec::new();
-    // Deterministic order.
+    // Classify families first (deterministic order for the report
+    // lists), but defer committed installs: two committed families
+    // touching the same object must redo in *log* order, which
+    // family-id order does not preserve.
     let mut fams: Vec<FamilyId> = scans.keys().copied().collect();
     fams.sort();
-    for f in fams {
-        let scan = scans.remove(&f).expect("key exists");
-        let live_updates: Vec<_> = scan
-            .updates
+    for &f in &fams {
+        let scan = scans.get_mut(&f).expect("key exists");
+        let live_updates: Vec<_> = std::mem::take(&mut scan.updates)
             .into_iter()
             .filter(|(tid, ..)| {
                 !scan
@@ -126,10 +128,6 @@ pub fn recover(site: SiteId, id: ServerId, records: &[LogRecord]) -> RecoveredSe
             })
             .collect();
         if scan.committed && !scan.aborted {
-            // Redo: install new values in log order.
-            for (_, object, _, new) in &live_updates {
-                server.install_committed(*object, new.clone());
-            }
             redone.push(f);
         } else if scan.aborted || !scan.prepared {
             // Undo: nothing to install (the store holds pre-images).
@@ -140,6 +138,35 @@ pub fn recover(site: SiteId, id: ServerId, records: &[LogRecord]) -> RecoveredSe
             // In doubt: reinstate uncommitted state + locks.
             server.install_in_doubt(f, live_updates);
             in_doubt.push(f);
+        }
+    }
+    // Redo: one pass over the whole log installs committed new-values
+    // exactly in the order they were originally applied, interleaving
+    // across families.
+    for rec in records {
+        let LogRecord::ServerUpdate {
+            tid,
+            server: srv,
+            object,
+            new,
+            ..
+        } = rec
+        else {
+            continue;
+        };
+        if *srv != id || !redone.contains(&tid.family) {
+            continue;
+        }
+        let aborted_subtree = scans
+            .get(&tid.family)
+            .map(|s| {
+                s.aborted_subtrees
+                    .iter()
+                    .any(|a| a.is_self_or_ancestor_of(tid))
+            })
+            .unwrap_or(false);
+        if !aborted_subtree {
+            server.install_committed(*object, new.clone());
         }
     }
     RecoveredServer {
@@ -210,6 +237,30 @@ mod tests {
         ];
         let r = recover(SITE, SRV, &log);
         assert_eq!(r.server.committed_value(ObjectId(7)), b"second");
+    }
+
+    #[test]
+    fn redo_across_families_follows_log_order() {
+        // A higher-id family writes an object *before* a lower-id
+        // family overwrites it. Replaying in family-id order would
+        // resurrect the older value; log order must win.
+        let early = top(5);
+        let late = top(2);
+        let log = vec![
+            upd(&early, 7, b"", b"first"),
+            R::Commit {
+                tid: early.clone(),
+                subs: vec![],
+            },
+            upd(&late, 7, b"first", b"second"),
+            R::Commit {
+                tid: late.clone(),
+                subs: vec![],
+            },
+        ];
+        let r = recover(SITE, SRV, &log);
+        assert_eq!(r.server.committed_value(ObjectId(7)), b"second");
+        assert_eq!(r.redone.len(), 2);
     }
 
     #[test]

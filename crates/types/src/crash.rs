@@ -21,15 +21,33 @@ pub enum CrashPoint {
     /// Inside the pipelined disk thread's platter write: the write is
     /// abandoned and the batch never reports durable.
     MidPlatterWrite,
+    /// Queued execution: a shard-owner worker dies in the middle of
+    /// draining a burst of queued jobs — the site is killed with ops
+    /// and prepares still parked in its FIFO, so recovery must rebuild
+    /// the speculative state it lost.
+    QueueMidBurst,
+    /// Queued execution: a prepared marker that just parked (waiting
+    /// on unresolved dependencies) is lost instead of parked. The
+    /// shard never answers its local sub-vote, so the family resolves
+    /// only through a timeout — the engine's vote timeout when remote
+    /// subordinates are involved, the client's call timeout (plus an
+    /// explicit abort) for a purely local family. Unlike the kill
+    /// points this corrupts state without taking the site down.
+    QueueParkedPrepare,
 }
 
 impl CrashPoint {
     /// All crash points, for parameterized test matrices.
-    pub const ALL: [CrashPoint; 3] = [
+    pub const ALL: [CrashPoint; 5] = [
         CrashPoint::PreForce,
         CrashPoint::PostForcePreSend,
         CrashPoint::MidPlatterWrite,
+        CrashPoint::QueueMidBurst,
+        CrashPoint::QueueParkedPrepare,
     ];
+
+    /// The points that only fire under queued execution.
+    pub const QUEUED: [CrashPoint; 2] = [CrashPoint::QueueMidBurst, CrashPoint::QueueParkedPrepare];
 
     /// Stable wire tag for the control protocol.
     pub fn to_wire(self) -> u8 {
@@ -37,6 +55,8 @@ impl CrashPoint {
             CrashPoint::PreForce => 0,
             CrashPoint::PostForcePreSend => 1,
             CrashPoint::MidPlatterWrite => 2,
+            CrashPoint::QueueMidBurst => 3,
+            CrashPoint::QueueParkedPrepare => 4,
         }
     }
 
@@ -46,6 +66,8 @@ impl CrashPoint {
             0 => CrashPoint::PreForce,
             1 => CrashPoint::PostForcePreSend,
             2 => CrashPoint::MidPlatterWrite,
+            3 => CrashPoint::QueueMidBurst,
+            4 => CrashPoint::QueueParkedPrepare,
             _ => return None,
         })
     }

@@ -180,6 +180,9 @@ struct PointResult {
     queue_vote_timeouts: u64,
     queue_cascades: u64,
     queue_wait_p95_us: u64,
+    /// Trace-ring drops across all sites: nonzero means the point's
+    /// protocol trace is incomplete and any audit over it is unsound.
+    trace_dropped: u64,
     proto_json: String,
 }
 
@@ -387,6 +390,7 @@ fn run_point(args: &Args, mode: ExecMode, rate: f64) -> PointResult {
         queue_vote_timeouts: stats.sites.iter().map(|s| s.queue_vote_timeouts).sum(),
         queue_cascades: stats.sites.iter().map(|s| s.queue_cascades).sum(),
         queue_wait_p95_us: phases.get(Phase::QueueWait).percentile(95.0),
+        trace_dropped: stats.total_trace_dropped(),
         proto_json: proto_json(&cluster),
     };
     let cluster = Arc::try_unwrap(cluster).ok().expect("sole owner");
@@ -457,14 +461,23 @@ fn queued_audit() -> Vec<(&'static str, Result<String, String>)> {
         assert_eq!(outcome, Outcome::Committed);
         std::thread::sleep(StdDuration::from_millis(400));
         let events = cluster.drain_trace();
+        let dropped = cluster.stats().total_trace_dropped();
         cluster.shutdown();
         let budget = budget_for(protocol);
-        let result = audit_family(tid.family, &events, &budget).map(|c| {
-            format!(
-                "{} force(s) + {} lazy + {} datagram(s)",
-                c.forces, c.lazy_appends, c.datagrams
-            )
-        });
+        let result = if dropped > 0 {
+            // An audit over an incomplete trace proves nothing: the
+            // missing events could be exactly the over-budget ones.
+            Err(format!(
+                "{dropped} trace events dropped from the rings; audit trace incomplete"
+            ))
+        } else {
+            audit_family(tid.family, &events, &budget).map(|c| {
+                format!(
+                    "{} force(s) + {} lazy + {} datagram(s)",
+                    c.forces, c.lazy_appends, c.datagrams
+                )
+            })
+        };
         out.push((protocol.name(), result));
     }
     out
@@ -477,7 +490,7 @@ fn point_json(p: &PointResult) -> String {
          \"commit_overhead_pct\": {:.1}, \"total_latency\": {}, \"commit_latency\": {}, \
          \"lock_wait_ms\": {:.1}, \"server_lock_waits\": {}, \"deadlocks\": {}, \
          \"queue_ops\": {}, \"queue_vote_timeouts\": {}, \"queue_cascades\": {}, \
-         \"queue_wait_p95_us\": {}, \"protocol_phases\": {}}}",
+         \"queue_wait_p95_us\": {}, \"trace_dropped\": {}, \"protocol_phases\": {}}}",
         p.offered_per_sec,
         p.arrivals,
         p.commits,
@@ -495,6 +508,7 @@ fn point_json(p: &PointResult) -> String {
         p.queue_vote_timeouts,
         p.queue_cascades,
         p.queue_wait_p95_us,
+        p.trace_dropped,
         p.proto_json,
     )
 }
@@ -535,6 +549,12 @@ fn main() {
                 p.commit_overhead_pct,
                 p.lock_wait_ms
             );
+            if p.trace_dropped > 0 {
+                println!(
+                    "  warning: {} trace events dropped at this point (rings too small)",
+                    p.trace_dropped
+                );
+            }
             points.push(p);
         }
         let sat = points

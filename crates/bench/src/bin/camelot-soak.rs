@@ -45,6 +45,7 @@ use std::time::{Duration, Instant};
 use camelot_bench::{quick, OpenLoop, SplitMix64};
 use camelot_node::ctrl::CtrlClient;
 use camelot_node::procs::{sibling_site_bin, AddrBoard, Supervisor, SupervisorConfig};
+use camelot_scope::{merge_skew_aware, parse_jsonl, Collector, ScopeEvent, ScrapeTarget};
 use camelot_types::{ObjectId, ServerId, SiteId};
 
 const SRV: ServerId = ServerId(1);
@@ -381,6 +382,13 @@ struct AuditCtx<'a> {
     /// Expected durability-ratchet value per site (index `site-1`).
     ratchet: Vec<i64>,
     fault_log: Vec<String>,
+    /// Scrapes every audit cycle; rates derive from counter deltas.
+    collector: Collector,
+    /// Accumulated scrape snapshots (JSONL, header first).
+    scrape_series: String,
+    /// Trace events drained each audit cycle, so rings never fill and
+    /// a violation can dump one merged cluster timeline.
+    drained: Vec<ScopeEvent>,
 }
 
 /// The ratchet object lives past the transfer accounts so the two
@@ -440,6 +448,36 @@ fn audit(sup: &mut Supervisor, ctx: &mut AuditCtx<'_>) -> Vec<String> {
             break;
         }
         std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // Observability sweep: scrape every site (trace-ring drops are a
+    // violation in their own right — dropped events mean unauditable
+    // transactions), then drain the rings in bounded chunks so they
+    // never fill between audits and a later violation can dump one
+    // merged cluster timeline.
+    let board = sup.board();
+    let targets: Vec<ScrapeTarget> = (1..=opts.sites)
+        .filter_map(|id| {
+            board
+                .ctrl_addr(SiteId(id))
+                .map(|addr| ScrapeTarget { site: id, addr })
+        })
+        .collect();
+    let snap = ctx.collector.scrape(&targets, Some(sup.ctrl_addr()));
+    let dropped = snap.total_trace_dropped();
+    ctx.scrape_series.push_str(&snap.to_json());
+    ctx.scrape_series.push('\n');
+    if dropped > 0 {
+        violations.push(format!(
+            "trace: {dropped} events dropped from trace rings (capacity too small for the audit cadence)"
+        ));
+    }
+    for id in 1..=opts.sites {
+        if let Some(ctrl) = sup.ctrl(SiteId(id)) {
+            if let Ok(trace) = ctrl.drain_trace() {
+                ctx.drained.extend(parse_jsonl(&trace));
+            }
+        }
     }
 
     // Conservation over the transfer accounts.
@@ -507,9 +545,10 @@ fn audit(sup: &mut Supervisor, ctx: &mut AuditCtx<'_>) -> Vec<String> {
     violations
 }
 
-/// Dumps every reachable site's protocol trace and the fault script
-/// to the trace directory.
-fn dump_traces(sup: &mut Supervisor, ctx: &AuditCtx<'_>, violations: &[String]) {
+/// Dumps the merged cluster timeline (every site's drained trace,
+/// skew-rebased into one frame), the scrape series, and the fault
+/// script to the trace directory.
+fn dump_traces(sup: &mut Supervisor, ctx: &mut AuditCtx<'_>, violations: &[String]) {
     let dir = &ctx.opts.trace_dir;
     if let Err(e) = std::fs::create_dir_all(dir) {
         eprintln!("camelot-soak: create {}: {e}", dir.display());
@@ -525,17 +564,26 @@ fn dump_traces(sup: &mut Supervisor, ctx: &AuditCtx<'_>, violations: &[String]) 
         report.push_str(&format!("  {f}\n"));
     }
     let _ = std::fs::write(dir.join("soak-report.txt"), &report);
+    // Pick up whatever the rings hold beyond the last audit's drain,
+    // then merge everything into one corrected timeline.
     for id in 1..=ctx.opts.sites {
         if let Some(ctrl) = sup.ctrl(SiteId(id)) {
             if let Ok(trace) = ctrl.drain_trace() {
-                let path = dir.join(format!("site-{id}-trace.jsonl"));
-                if let Ok(mut f) = std::fs::File::create(&path) {
-                    let _ = f.write_all(trace.as_bytes());
-                }
+                ctx.drained.extend(parse_jsonl(&trace));
             }
         }
     }
-    eprintln!("camelot-soak: traces dumped to {}", dir.display());
+    let merged = merge_skew_aware(std::mem::take(&mut ctx.drained));
+    if let Ok(mut f) = std::fs::File::create(dir.join("cluster-timeline.jsonl")) {
+        let _ = f.write_all(merged.to_jsonl().as_bytes());
+    }
+    let _ = std::fs::write(dir.join("scrape.jsonl"), &ctx.scrape_series);
+    eprintln!(
+        "camelot-soak: merged cluster timeline ({} events, {} sites) dumped to {}",
+        merged.events.len(),
+        merged.maps.len(),
+        dir.display()
+    );
 }
 
 fn bail_on_budget_exhaustion(sup: &Supervisor) {
@@ -574,6 +622,10 @@ fn main() {
     // races a kill or partition.
     cfg.extra.push("--call-timeout-ms".into());
     cfg.extra.push("10000".into());
+    // Rings must outlast an audit interval's worth of events: the
+    // audit drains them, and any drop is itself a violation.
+    cfg.extra.push("--trace-capacity".into());
+    cfg.extra.push("65536".into());
     let mut sup = Supervisor::start(cfg).unwrap_or_else(|e| {
         eprintln!("camelot-soak: start cluster: {e}");
         exit(1);
@@ -621,10 +673,17 @@ fn main() {
         .collect();
 
     let script = draw_script(&opts);
+    let scrape_config = format!(
+        "soak sites={} transport={} rate={} seed={}",
+        opts.sites, opts.transport, opts.rate, opts.seed
+    );
     let mut ctx = AuditCtx {
         opts: &opts,
         ratchet: vec![0; opts.sites as usize],
         fault_log: Vec::new(),
+        collector: Collector::new(),
+        scrape_series: format!("{}\n", Collector::header_json(&scrape_config)),
+        drained: Vec::new(),
     };
     let start = Instant::now();
     let mut next_event = 0usize;
@@ -710,9 +769,14 @@ fn main() {
         for v in &all_violations {
             eprintln!("camelot-soak: VIOLATION: {v}");
         }
-        dump_traces(&mut sup, &ctx, &all_violations);
+        dump_traces(&mut sup, &mut ctx, &all_violations);
         sup.shutdown();
         exit(1);
+    }
+    // Clean soak: keep the scrape series anyway — it is cheap and the
+    // nightly job graphs it.
+    if std::fs::create_dir_all(&opts.trace_dir).is_ok() {
+        let _ = std::fs::write(opts.trace_dir.join("scrape.jsonl"), &ctx.scrape_series);
     }
     println!("camelot-soak: clean soak");
     sup.shutdown();

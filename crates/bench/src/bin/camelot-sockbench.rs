@@ -42,6 +42,9 @@ use camelot_node::ctrl::CtrlClient;
 use camelot_node::procs::{distribute_peers, sibling_site_bin, wait_quiesce, SiteProc, SpawnSpec};
 use camelot_obs::AtomicHistogram;
 use camelot_rt::{Cluster, Histogram, RtConfig};
+use camelot_scope::{
+    attribute, merge_skew_aware, parse_jsonl, Attribution, Collector, ScrapeTarget,
+};
 use camelot_types::{Duration, ObjectId, ServerId, SiteId};
 
 const SRV: ServerId = ServerId(1);
@@ -194,6 +197,12 @@ struct PointResult {
     commit_lat: Histogram,
     /// Summed per-site transport counters (socket transports only).
     transport: Option<TransportStats>,
+    /// Scrape snapshots taken on a cadence during the point (socket
+    /// transports only) — appended to `BENCH_socket_scrape.jsonl`.
+    scrape: Option<String>,
+    /// Critical-path decomposition of the point's committed families
+    /// from the merged cluster trace (socket transports only).
+    attribution: Option<Attribution>,
 }
 
 /// The engine timer profile `camelot-site --fast` runs, mirrored here
@@ -463,7 +472,14 @@ fn run_point_sockets(args: &Args, transport: Transport, rate: f64) -> PointResul
         eprintln!("camelot-sockbench: {e}");
         std::process::exit(1);
     });
-    let extra = vec!["--call-timeout-ms".to_string(), "2000".to_string()];
+    let extra = vec![
+        "--call-timeout-ms".to_string(),
+        "2000".to_string(),
+        // Big enough that a whole point's trace survives un-drained;
+        // the post-point drain feeds the latency attribution.
+        "--trace-capacity".to_string(),
+        "262144".to_string(),
+    ];
     let mut sites: Vec<SiteProc> = (1..=args.sites)
         .map(|i| {
             SiteProc::spawn(&SpawnSpec {
@@ -482,6 +498,34 @@ fn run_point_sockets(args: &Args, transport: Transport, rate: f64) -> PointResul
         .collect();
     distribute_peers(&mut sites).expect("distribute peers");
     let ctrl_addrs: Vec<_> = sites.iter().map(|s| s.handshake.ctrl).collect();
+
+    // Scrape the cluster on a cadence for the whole point; the series
+    // lands next to BENCH_socket.json so a ladder knee can be read
+    // against queue depths and phase histograms, not just end counts.
+    let targets: Vec<ScrapeTarget> = sites
+        .iter()
+        .map(|s| ScrapeTarget {
+            site: s.id.0,
+            addr: s.handshake.ctrl,
+        })
+        .collect();
+    let scrape_stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let scrape_handle = {
+        let stop = Arc::clone(&scrape_stop);
+        std::thread::spawn(move || {
+            let mut collector = Collector::new();
+            let mut series = String::new();
+            loop {
+                let snap = collector.scrape(&targets, None);
+                series.push_str(&snap.to_json());
+                series.push('\n');
+                if stop.load(Ordering::Acquire) {
+                    return series;
+                }
+                std::thread::sleep(StdDuration::from_millis(250));
+            }
+        })
+    };
 
     let sink = Arc::new(PointSink::default());
     let (tx, rx) = work_channel::<TxnSpec>();
@@ -530,10 +574,24 @@ fn run_point_sockets(args: &Args, transport: Transport, rate: f64) -> PointResul
             agg.max_queue_depth = agg.max_queue_depth.max(st.max_queue_depth);
         }
     }
+    // Final scrape (the stop flag forces one last sample), then drain
+    // every ring and attribute the point's commit latency.
+    scrape_stop.store(true, Ordering::Release);
+    let scrape = scrape_handle.join().ok();
+    let mut events = Vec::new();
+    for s in sites.iter_mut() {
+        if let Ok(trace) = s.ctrl.drain_trace() {
+            events.extend(parse_jsonl(&trace));
+        }
+    }
+    let attribution = attribute(&merge_skew_aware(events).events);
     for s in sites {
         s.shutdown();
     }
-    point_result(&sink, rate, arrivals, elapsed, Some(agg))
+    let mut result = point_result(&sink, rate, arrivals, elapsed, Some(agg));
+    result.scrape = scrape;
+    result.attribution = Some(attribution);
+    result
 }
 
 fn point_result(
@@ -555,6 +613,8 @@ fn point_result(
         total_lat: sink.total.snapshot(),
         commit_lat: sink.commit.snapshot(),
         transport,
+        scrape: None,
+        attribution: None,
     }
 }
 
@@ -578,10 +638,14 @@ fn point_json(p: &PointResult) -> String {
         Some(t) => transport_json(t),
         None => "null".to_string(),
     };
+    let scope = match &p.attribution {
+        Some(a) => a.to_json(),
+        None => "null".to_string(),
+    };
     format!(
         "    {{\"offered_per_sec\": {:.1}, \"arrivals\": {}, \"commits\": {}, \"aborts\": {}, \
          \"errors\": {}, \"elapsed_s\": {:.3}, \"achieved_commits_per_sec\": {:.1}, \
-         \"total_latency\": {}, \"commit_latency\": {}, \"transport\": {}}}",
+         \"total_latency\": {}, \"commit_latency\": {}, \"transport\": {}, \"scope\": {}}}",
         p.offered_per_sec,
         p.arrivals,
         p.commits,
@@ -592,6 +656,7 @@ fn point_json(p: &PointResult) -> String {
         hist_json(&p.total_lat),
         hist_json(&p.commit_lat),
         transport,
+        scope,
     )
 }
 
@@ -611,6 +676,8 @@ fn main() {
 
     let mut sections = Vec::new();
     let mut saturation: Vec<(Transport, f64, u64)> = Vec::new();
+    let mut scrape_series = format!("{}\n", Collector::header_json(&args.config_text()));
+    let mut scraped_points = 0usize;
     for &transport in &args.transports {
         println!("\n== transport: {} ==", transport.name());
         println!(
@@ -633,6 +700,15 @@ fn main() {
                 p.commit_lat.percentile(50.0),
                 p.commit_lat.percentile(95.0),
             );
+            if let Some(series) = &p.scrape {
+                scrape_series.push_str(&format!(
+                    "{{\"point\":{{\"transport\":\"{}\",\"offered_per_sec\":{:.1}}}}}\n",
+                    transport.name(),
+                    rate
+                ));
+                scrape_series.push_str(series);
+                scraped_points += 1;
+            }
             points.push(p);
         }
         let sat = points
@@ -722,4 +798,16 @@ fn main() {
     });
     std::fs::write(&out, json).expect("write BENCH_socket.json");
     println!("wrote {out}");
+
+    // The scrape series rides alongside the bench JSON: one header,
+    // then a point-tag line followed by that point's snapshots.
+    if scraped_points > 0 {
+        let scrape_out = if let Some(stripped) = out.strip_suffix(".json") {
+            format!("{stripped}_scrape.jsonl")
+        } else {
+            format!("{out}.scrape.jsonl")
+        };
+        std::fs::write(&scrape_out, scrape_series).expect("write scrape series");
+        println!("wrote {scrape_out} ({scraped_points} scraped points)");
+    }
 }

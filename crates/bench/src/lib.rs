@@ -13,70 +13,12 @@ pub use openloop::OpenLoop;
 pub use report::{hist_json, work_channel, WorkReceiver};
 pub use zipf::{SplitMix64, Zipf};
 
+// Provenance stamping moved to `camelot-scope` (scrape series and
+// merged timelines carry the same stamp as bench JSON); re-exported
+// here so bench targets keep their import paths.
+pub use camelot_scope::{config_hash, git_sha, stamp_json};
+
 /// True when the `QUICK` environment variable asks for short runs.
 pub fn quick() -> bool {
     std::env::var("QUICK").map(|v| v == "1").unwrap_or(false)
-}
-
-/// The git commit the benchmark binary ran from (suffixed `-dirty`
-/// when the worktree has uncommitted changes), or `"unknown"` outside
-/// a git checkout — stamped into every bench JSON so a committed
-/// result is traceable to the code that produced it.
-pub fn git_sha() -> String {
-    let run = |args: &[&str]| {
-        std::process::Command::new("git")
-            .args(args)
-            .output()
-            .ok()
-            .filter(|o| o.status.success())
-            .and_then(|o| String::from_utf8(o.stdout).ok())
-    };
-    let Some(sha) = run(&["rev-parse", "HEAD"])
-        .map(|s| s.trim().to_string())
-        .filter(|s| !s.is_empty())
-    else {
-        return "unknown".to_string();
-    };
-    let dirty = run(&["status", "--porcelain"])
-        .map(|s| !s.trim().is_empty())
-        .unwrap_or(false);
-    if dirty {
-        format!("{sha}-dirty")
-    } else {
-        sha
-    }
-}
-
-/// FNV-1a over a config's textual rendering: a short stable
-/// fingerprint so two bench JSONs are comparable iff their config
-/// hashes match.
-pub fn config_hash(config_text: &str) -> String {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in config_text.as_bytes() {
-        h ^= *b as u64;
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    format!("{h:016x}")
-}
-
-/// The `"stamp": {...}` JSON fragment shared by bench outputs: git
-/// SHA plus a hash of the run configuration.
-pub fn stamp_json(config_text: &str) -> String {
-    format!(
-        "{{\"git_sha\": \"{}\", \"config_hash\": \"{}\"}}",
-        git_sha(),
-        config_hash(config_text)
-    )
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn config_hash_is_stable_and_sensitive() {
-        assert_eq!(config_hash("abc"), config_hash("abc"));
-        assert_ne!(config_hash("abc"), config_hash("abd"));
-        assert_eq!(config_hash("").len(), 16);
-    }
 }

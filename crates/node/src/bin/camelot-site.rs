@@ -36,10 +36,12 @@ use std::time::Duration as StdDuration;
 
 use camelot_core::CommitMode;
 use camelot_net::{FaultPlan, FrameDecoder, SocketConfig, SocketMode, SocketTransport};
-use camelot_node::ctrl::{read_framed, write_framed, CtrlReply, CtrlRequest, Handshake};
-use camelot_rt::{Client, Cluster, RemoteNet, RtConfig};
+use camelot_node::ctrl::{
+    read_framed, write_framed, CtrlClient, CtrlReply, CtrlRequest, Handshake, SiteStatsWire,
+};
+use camelot_rt::{Client, Cluster, RemoteNet, RtConfig, SiteStats, TraceEventKind};
 use camelot_types::Duration;
-use camelot_types::{CamelotError, SiteId};
+use camelot_types::{CamelotError, FamilyId, SiteId};
 
 struct Opts {
     site: SiteId,
@@ -48,6 +50,7 @@ struct Opts {
     servers: u32,
     fast: bool,
     call_timeout: StdDuration,
+    trace_capacity: Option<usize>,
     trace_out: Option<PathBuf>,
     fault_seed: u64,
     drop_pm: u32,
@@ -60,8 +63,8 @@ struct Opts {
 fn usage() -> ! {
     eprintln!(
         "usage: camelot-site --site N [--transport udp|tcp] [--log-dir DIR] \
-         [--servers N] [--fast] [--call-timeout-ms MS] [--trace-out FILE] \
-         [--fault-seed S] [--drop PM] [--delay PM] [--dup PM] \
+         [--servers N] [--fast] [--call-timeout-ms MS] [--trace-capacity N] \
+         [--trace-out FILE] [--fault-seed S] [--drop PM] [--delay PM] [--dup PM] \
          [--fault-delay-ms MS] [--fault-budget N]"
     );
     exit(2);
@@ -75,6 +78,7 @@ fn parse_opts() -> Opts {
         servers: 1,
         fast: false,
         call_timeout: StdDuration::from_secs(30),
+        trace_capacity: None,
         trace_out: None,
         fault_seed: 1,
         drop_pm: 0,
@@ -101,6 +105,9 @@ fn parse_opts() -> Opts {
             "--call-timeout-ms" => {
                 opts.call_timeout =
                     StdDuration::from_millis(value(&mut i).parse().unwrap_or_else(|_| usage()))
+            }
+            "--trace-capacity" => {
+                opts.trace_capacity = Some(value(&mut i).parse().unwrap_or_else(|_| usage()))
             }
             "--trace-out" => opts.trace_out = Some(PathBuf::from(value(&mut i))),
             "--fault-seed" => opts.fault_seed = value(&mut i).parse().unwrap_or_else(|_| usage()),
@@ -183,7 +190,7 @@ fn main() {
     } else {
         FaultPlan::disabled()
     });
-    let cfg = RtConfig {
+    let mut cfg = RtConfig {
         servers_per_site: opts.servers,
         call_timeout: opts.call_timeout,
         log_dir: opts.log_dir.clone(),
@@ -195,6 +202,9 @@ fn main() {
         },
         ..RtConfig::default()
     };
+    if let Some(cap) = opts.trace_capacity {
+        cfg.trace_capacity = cap;
+    }
     let bridge = Arc::new(RemoteBridge::default());
     let cluster = Arc::new(Cluster::new_site(
         site,
@@ -384,9 +394,51 @@ fn handle(
             fault.heal();
             CtrlReply::Ok
         }
+        // Legacy whole-ring drain, now bounded: serving one default-
+        // size chunk keeps any caller inside the 1 MiB frame cap (a
+        // full ring rendered into one frame used to panic the ctrl
+        // thread). Callers loop until empty, exactly like
+        // `DrainTraceChunk`.
         CtrlRequest::DrainTrace => CtrlReply::Trace {
-            jsonl: cluster.drain_trace_jsonl(),
+            jsonl: camelot_rt::to_jsonl(
+                &cluster.drain_trace_chunk(CtrlClient::DRAIN_CHUNK as usize),
+            ),
         },
+        CtrlRequest::DrainTraceChunk { max_events } => CtrlReply::Trace {
+            jsonl: camelot_rt::to_jsonl(&cluster.drain_trace_chunk(max_events as usize)),
+        },
+        CtrlRequest::PhaseStats => {
+            match cluster.stats().sites.into_iter().find(|s| s.site == site) {
+                Some(s) => CtrlReply::Phases {
+                    phases: Box::new(s.phases),
+                    proto: Box::new(s.proto_phases),
+                },
+                None => CtrlReply::Err {
+                    detail: format!("no stats for site {}", site.0),
+                },
+            }
+        }
+        CtrlRequest::EngineStats => {
+            match cluster.stats().sites.into_iter().find(|s| s.site == site) {
+                Some(s) => CtrlReply::Engine {
+                    stats: site_stats_wire(&s),
+                },
+                None => CtrlReply::Err {
+                    detail: format!("no stats for site {}", site.0),
+                },
+            }
+        }
+        CtrlRequest::FillTrace { events } => {
+            let tracer = cluster.site_tracer(site);
+            let family = FamilyId {
+                origin: site,
+                seq: u64::MAX,
+            };
+            for i in 0..events {
+                tracer.emit(Some(family), TraceEventKind::WireEncode { bytes: i });
+            }
+            CtrlReply::Ok
+        }
         CtrlRequest::Shutdown => CtrlReply::Ok,
         CtrlRequest::TransportStats => CtrlReply::Transport {
             stats: transport.stats(),
@@ -417,5 +469,44 @@ fn handle(
 fn err(e: CamelotError) -> CtrlReply {
     CtrlReply::Err {
         detail: format!("{e}"),
+    }
+}
+
+/// Flattens a runtime stats snapshot into the ctrl wire form.
+fn site_stats_wire(s: &SiteStats) -> SiteStatsWire {
+    SiteStatsWire {
+        site: s.site,
+        begins: s.engine.begins,
+        nested_begins: s.engine.nested_begins,
+        commits: s.engine.commits,
+        read_only_commits: s.engine.read_only_commits,
+        aborts: s.engine.aborts,
+        forces: s.engine.forces,
+        lazy_appends: s.engine.lazy_appends,
+        datagrams: s.engine.datagrams,
+        piggybacked: s.engine.piggybacked,
+        takeovers: s.engine.takeovers,
+        blocked: s.engine.blocked,
+        live_families: s.live_families as u64,
+        wal_records: s.wal.records,
+        wal_forces_requested: s.wal.forces_requested,
+        wal_forces_effective: s.wal.forces_effective,
+        lock_wait_us: s.lock_wait.as_micros() as u64,
+        inputs: s.inputs,
+        platter_writes: s.platter_writes,
+        forces_satisfied: s.forces_satisfied,
+        max_batch: s.max_batch,
+        lazy_drained: s.lazy_drained,
+        queue_ops: s.queue_ops,
+        queue_parked: s.queue_parked,
+        queue_vote_timeouts: s.queue_vote_timeouts,
+        queue_cascades: s.queue_cascades,
+        reads: s.servers.reads,
+        writes: s.servers.writes,
+        lock_waits: s.servers.lock_waits,
+        joins: s.servers.joins,
+        deadlocks: s.servers.deadlocks,
+        trace_emitted: s.trace_emitted,
+        trace_dropped: s.trace_dropped,
     }
 }

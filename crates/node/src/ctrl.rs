@@ -19,6 +19,7 @@ use std::net::{SocketAddr, TcpStream};
 use std::time::Duration as StdDuration;
 
 use camelot_net::{encode_frame, FaultStats, FrameDecoder, TransportStats};
+use camelot_obs::{PhaseSnapshot, ProtocolPhaseSnapshot};
 use camelot_types::wire::{Reader, Wire, Writer};
 use camelot_types::{CamelotError, CrashPoint, ObjectId, Result, ServerId, SiteId, Tid};
 
@@ -104,6 +105,21 @@ pub enum CtrlRequest {
     /// Per-site restart counts. Only the supervisor's own control
     /// listener answers this; a plain site replies with an error.
     RestartStats,
+    /// Snapshot the site's per-phase latency histograms (plain and
+    /// protocol-keyed). Read-only: histograms keep accumulating.
+    PhaseStats,
+    /// Snapshot the site's engine/WAL/server/queue counters — the
+    /// scrape endpoint the `camelot-scope` collector polls.
+    EngineStats,
+    /// Drain at most `max_events` trace events as JSON Lines. Repeat
+    /// until an empty reply: unlike [`CtrlRequest::DrainTrace`], a
+    /// chunked drain can never exceed the frame cap however large the
+    /// ring has grown.
+    DrainTraceChunk { max_events: u32 },
+    /// Test hook: emit `events` synthetic trace events into the
+    /// site's ring, so harnesses can provoke oversized rings without
+    /// running a workload.
+    FillTrace { events: u32 },
 }
 
 const Q_PING: u8 = 1;
@@ -124,6 +140,10 @@ const Q_FAULT_STATS: u8 = 15;
 const Q_PARTITION: u8 = 16;
 const Q_SET_SKEW: u8 = 17;
 const Q_RESTART_STATS: u8 = 18;
+const Q_PHASE_STATS: u8 = 19;
+const Q_ENGINE_STATS: u8 = 20;
+const Q_DRAIN_TRACE_CHUNK: u8 = 21;
+const Q_FILL_TRACE: u8 = 22;
 
 impl Wire for CtrlRequest {
     fn encode(&self, w: &mut Writer) {
@@ -197,6 +217,16 @@ impl Wire for CtrlRequest {
                 w.put_u32(*per_mille);
             }
             CtrlRequest::RestartStats => w.put_u8(Q_RESTART_STATS),
+            CtrlRequest::PhaseStats => w.put_u8(Q_PHASE_STATS),
+            CtrlRequest::EngineStats => w.put_u8(Q_ENGINE_STATS),
+            CtrlRequest::DrainTraceChunk { max_events } => {
+                w.put_u8(Q_DRAIN_TRACE_CHUNK);
+                w.put_u32(*max_events);
+            }
+            CtrlRequest::FillTrace { events } => {
+                w.put_u8(Q_FILL_TRACE);
+                w.put_u32(*events);
+            }
         }
     }
 
@@ -252,6 +282,14 @@ impl Wire for CtrlRequest {
                 per_mille: r.get_u32()?,
             },
             Q_RESTART_STATS => CtrlRequest::RestartStats,
+            Q_PHASE_STATS => CtrlRequest::PhaseStats,
+            Q_ENGINE_STATS => CtrlRequest::EngineStats,
+            Q_DRAIN_TRACE_CHUNK => CtrlRequest::DrainTraceChunk {
+                max_events: r.get_u32()?,
+            },
+            Q_FILL_TRACE => CtrlRequest::FillTrace {
+                events: r.get_u32()?,
+            },
             v => return Err(CamelotError::Codec(format!("unknown ctrl request {v}"))),
         })
     }
@@ -297,6 +335,197 @@ pub enum CtrlReply {
     Restarts {
         counts: Vec<RestartEntry>,
     },
+    /// Per-phase latency histograms: plain and protocol-keyed.
+    /// Boxed: the snapshots are multi-KiB fixed-bucket arrays and
+    /// would otherwise balloon every reply on the stack.
+    Phases {
+        phases: Box<PhaseSnapshot>,
+        proto: Box<ProtocolPhaseSnapshot>,
+    },
+    /// Engine/WAL/server/queue counter snapshot.
+    Engine {
+        stats: SiteStatsWire,
+    },
+}
+
+/// A site's counter snapshot on the wire — the flat-u64 rendering of
+/// `camelot_rt::SiteStats` (histograms travel separately via
+/// [`CtrlReply::Phases`]). All counters are cumulative since process
+/// start; the collector derives rates by differencing scrapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SiteStatsWire {
+    pub site: SiteId,
+    // Engine protocol counters.
+    pub begins: u64,
+    pub nested_begins: u64,
+    pub commits: u64,
+    pub read_only_commits: u64,
+    pub aborts: u64,
+    pub forces: u64,
+    pub lazy_appends: u64,
+    pub datagrams: u64,
+    pub piggybacked: u64,
+    pub takeovers: u64,
+    pub blocked: u64,
+    pub live_families: u64,
+    // WAL counters.
+    pub wal_records: u64,
+    pub wal_forces_requested: u64,
+    pub wal_forces_effective: u64,
+    // Runtime counters.
+    pub lock_wait_us: u64,
+    pub inputs: u64,
+    pub platter_writes: u64,
+    pub forces_satisfied: u64,
+    pub max_batch: u64,
+    pub lazy_drained: u64,
+    pub queue_ops: u64,
+    pub queue_parked: u64,
+    pub queue_vote_timeouts: u64,
+    pub queue_cascades: u64,
+    // Data-server counters (summed over the site's servers).
+    pub reads: u64,
+    pub writes: u64,
+    pub lock_waits: u64,
+    pub joins: u64,
+    pub deadlocks: u64,
+    // Trace-ring health: nonzero drops mean truncated timelines.
+    pub trace_emitted: u64,
+    pub trace_dropped: u64,
+}
+
+impl SiteStatsWire {
+    /// All-zero counters for `site`.
+    pub fn zeroed(site: SiteId) -> Self {
+        SiteStatsWire {
+            site,
+            begins: 0,
+            nested_begins: 0,
+            commits: 0,
+            read_only_commits: 0,
+            aborts: 0,
+            forces: 0,
+            lazy_appends: 0,
+            datagrams: 0,
+            piggybacked: 0,
+            takeovers: 0,
+            blocked: 0,
+            live_families: 0,
+            wal_records: 0,
+            wal_forces_requested: 0,
+            wal_forces_effective: 0,
+            lock_wait_us: 0,
+            inputs: 0,
+            platter_writes: 0,
+            forces_satisfied: 0,
+            max_batch: 0,
+            lazy_drained: 0,
+            queue_ops: 0,
+            queue_parked: 0,
+            queue_vote_timeouts: 0,
+            queue_cascades: 0,
+            reads: 0,
+            writes: 0,
+            lock_waits: 0,
+            joins: 0,
+            deadlocks: 0,
+            trace_emitted: 0,
+            trace_dropped: 0,
+        }
+    }
+
+    /// The counters in stable `(name, value)` order — one source for
+    /// the wire layout, JSON rendering, and rate derivation.
+    pub fn fields(&self) -> [(&'static str, u64); 32] {
+        [
+            ("begins", self.begins),
+            ("nested_begins", self.nested_begins),
+            ("commits", self.commits),
+            ("read_only_commits", self.read_only_commits),
+            ("aborts", self.aborts),
+            ("forces", self.forces),
+            ("lazy_appends", self.lazy_appends),
+            ("datagrams", self.datagrams),
+            ("piggybacked", self.piggybacked),
+            ("takeovers", self.takeovers),
+            ("blocked", self.blocked),
+            ("live_families", self.live_families),
+            ("wal_records", self.wal_records),
+            ("wal_forces_requested", self.wal_forces_requested),
+            ("wal_forces_effective", self.wal_forces_effective),
+            ("lock_wait_us", self.lock_wait_us),
+            ("inputs", self.inputs),
+            ("platter_writes", self.platter_writes),
+            ("forces_satisfied", self.forces_satisfied),
+            ("max_batch", self.max_batch),
+            ("lazy_drained", self.lazy_drained),
+            ("queue_ops", self.queue_ops),
+            ("queue_parked", self.queue_parked),
+            ("queue_vote_timeouts", self.queue_vote_timeouts),
+            ("queue_cascades", self.queue_cascades),
+            ("reads", self.reads),
+            ("writes", self.writes),
+            ("lock_waits", self.lock_waits),
+            ("joins", self.joins),
+            ("deadlocks", self.deadlocks),
+            ("trace_emitted", self.trace_emitted),
+            ("trace_dropped", self.trace_dropped),
+        ]
+    }
+
+    fn fields_mut(&mut self) -> [&mut u64; 32] {
+        [
+            &mut self.begins,
+            &mut self.nested_begins,
+            &mut self.commits,
+            &mut self.read_only_commits,
+            &mut self.aborts,
+            &mut self.forces,
+            &mut self.lazy_appends,
+            &mut self.datagrams,
+            &mut self.piggybacked,
+            &mut self.takeovers,
+            &mut self.blocked,
+            &mut self.live_families,
+            &mut self.wal_records,
+            &mut self.wal_forces_requested,
+            &mut self.wal_forces_effective,
+            &mut self.lock_wait_us,
+            &mut self.inputs,
+            &mut self.platter_writes,
+            &mut self.forces_satisfied,
+            &mut self.max_batch,
+            &mut self.lazy_drained,
+            &mut self.queue_ops,
+            &mut self.queue_parked,
+            &mut self.queue_vote_timeouts,
+            &mut self.queue_cascades,
+            &mut self.reads,
+            &mut self.writes,
+            &mut self.lock_waits,
+            &mut self.joins,
+            &mut self.deadlocks,
+            &mut self.trace_emitted,
+            &mut self.trace_dropped,
+        ]
+    }
+}
+
+impl Wire for SiteStatsWire {
+    fn encode(&self, w: &mut Writer) {
+        w.put(&self.site);
+        for (_, v) in self.fields() {
+            w.put_u64(v);
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        let mut s = SiteStatsWire::zeroed(r.get()?);
+        for f in s.fields_mut() {
+            *f = r.get_u64()?;
+        }
+        Ok(s)
+    }
 }
 
 /// One site's restart count, as reported by the supervisor.
@@ -330,6 +559,8 @@ const R_ERR: u8 = 8;
 const R_TRANSPORT: u8 = 9;
 const R_FAULT: u8 = 10;
 const R_RESTARTS: u8 = 11;
+const R_PHASES: u8 = 12;
+const R_ENGINE: u8 = 13;
 
 impl Wire for CtrlReply {
     fn encode(&self, w: &mut Writer) {
@@ -375,6 +606,15 @@ impl Wire for CtrlReply {
                 w.put_u8(R_RESTARTS);
                 w.put_seq(counts);
             }
+            CtrlReply::Phases { phases, proto } => {
+                w.put_u8(R_PHASES);
+                w.put(phases.as_ref());
+                w.put(proto.as_ref());
+            }
+            CtrlReply::Engine { stats } => {
+                w.put_u8(R_ENGINE);
+                w.put(stats);
+            }
         }
     }
 
@@ -401,6 +641,11 @@ impl Wire for CtrlReply {
             R_RESTARTS => CtrlReply::Restarts {
                 counts: r.get_seq()?,
             },
+            R_PHASES => CtrlReply::Phases {
+                phases: Box::new(r.get()?),
+                proto: Box::new(r.get()?),
+            },
+            R_ENGINE => CtrlReply::Engine { stats: r.get()? },
             v => return Err(CamelotError::Codec(format!("unknown ctrl reply {v}"))),
         })
     }
@@ -443,8 +688,15 @@ impl CtrlClient {
     /// handshake before it starts accepting, so the first connect can
     /// race the listener.
     pub fn connect(addr: SocketAddr) -> std::io::Result<CtrlClient> {
+        Self::connect_with(addr, 50)
+    }
+
+    /// [`CtrlClient::connect`] with an explicit retry budget — a
+    /// scraper probing a possibly-down site wants to give up after one
+    /// or two attempts instead of blocking for a second.
+    pub fn connect_with(addr: SocketAddr, attempts: u32) -> std::io::Result<CtrlClient> {
         let mut last = None;
-        for _ in 0..50 {
+        for _ in 0..attempts.max(1) {
             match TcpStream::connect(addr) {
                 Ok(stream) => {
                     stream.set_nodelay(true).ok();
@@ -583,9 +835,51 @@ impl CtrlClient {
         }
     }
 
+    /// Default chunk size for [`CtrlClient::drain_trace`]: at ~120
+    /// bytes per rendered event, 2048 events stay well inside the
+    /// 1 MiB frame cap with an order of magnitude to spare.
+    pub const DRAIN_CHUNK: u32 = 2048;
+
+    /// Drains the site's whole trace ring as JSON Lines, fetching it
+    /// in bounded chunks so no single reply can hit the frame cap.
     pub fn drain_trace(&mut self) -> Result<String> {
-        match self.call_ok(&CtrlRequest::DrainTrace)? {
+        let mut out = String::new();
+        loop {
+            let chunk = self.drain_trace_chunk(Self::DRAIN_CHUNK)?;
+            if chunk.is_empty() {
+                return Ok(out);
+            }
+            out.push_str(&chunk);
+        }
+    }
+
+    /// One bounded drain step: at most `max_events` rendered events,
+    /// empty string when the ring is dry.
+    pub fn drain_trace_chunk(&mut self, max_events: u32) -> Result<String> {
+        match self.call_ok(&CtrlRequest::DrainTraceChunk { max_events })? {
             CtrlReply::Trace { jsonl } => Ok(jsonl),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    pub fn phase_stats(&mut self) -> Result<(PhaseSnapshot, ProtocolPhaseSnapshot)> {
+        match self.call_ok(&CtrlRequest::PhaseStats)? {
+            CtrlReply::Phases { phases, proto } => Ok((*phases, *proto)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    pub fn engine_stats(&mut self) -> Result<SiteStatsWire> {
+        match self.call_ok(&CtrlRequest::EngineStats)? {
+            CtrlReply::Engine { stats } => Ok(stats),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Test hook: emit `events` synthetic trace events at the site.
+    pub fn fill_trace(&mut self, events: u32) -> Result<()> {
+        match self.call_ok(&CtrlRequest::FillTrace { events })? {
+            CtrlReply::Ok => Ok(()),
             other => Err(unexpected(other)),
         }
     }
@@ -752,6 +1046,10 @@ mod tests {
                 per_mille: 1500,
             },
             CtrlRequest::RestartStats,
+            CtrlRequest::PhaseStats,
+            CtrlRequest::EngineStats,
+            CtrlRequest::DrainTraceChunk { max_events: 2048 },
+            CtrlRequest::FillTrace { events: 20000 },
         ]
     }
 
@@ -806,7 +1104,41 @@ mod tests {
                     },
                 ],
             },
+            CtrlReply::Phases {
+                phases: Box::new(sample_phases()),
+                proto: Box::new(sample_proto_phases()),
+            },
+            CtrlReply::Engine {
+                stats: sample_engine_stats(),
+            },
         ]
+    }
+
+    fn sample_phases() -> PhaseSnapshot {
+        let h = camelot_obs::PhaseHistograms::default();
+        h.record_us(camelot_obs::Phase::Commit2pc, 1234);
+        h.record_us(camelot_obs::Phase::ForceWait, 88);
+        h.snapshot()
+    }
+
+    fn sample_proto_phases() -> ProtocolPhaseSnapshot {
+        let h = camelot_obs::ProtocolPhaseHistograms::default();
+        h.record_us(
+            camelot_obs::AuditProtocol::NonBlocking,
+            camelot_obs::Phase::CommitNb,
+            4096,
+        );
+        h.snapshot()
+    }
+
+    fn sample_engine_stats() -> SiteStatsWire {
+        let mut s = SiteStatsWire::zeroed(SiteId(2));
+        // Distinct values per field so a transposed decode cannot
+        // pass the roundtrip test.
+        for (i, f) in s.fields_mut().into_iter().enumerate() {
+            *f = 1000 + i as u64;
+        }
+        s
     }
 
     #[test]

@@ -450,3 +450,42 @@ fn socket_chaos_campaign_conserves_money() {
         }
     }
 }
+
+/// Regression: a trace ring holding far more JSONL than the 1 MiB ctrl
+/// frame cap must still drain completely. The unchunked drain used to
+/// render the whole ring into a single reply frame, which the encoder
+/// rejects past 1 MiB; the chunked protocol fetches bounded slices
+/// until the ring is dry and must leave the connection usable.
+#[test]
+fn chunked_trace_drain_survives_oversized_ring() {
+    let mut site = SiteProc::spawn(SiteId(1), None, &["--trace-capacity", "30000"]);
+
+    site.ctrl.fill_trace(20_000).expect("fill trace ring");
+    let jsonl = site.ctrl.drain_trace().expect("chunked drain");
+    assert!(
+        jsonl.len() > 1 << 20,
+        "ring must exceed the 1 MiB frame cap to exercise chunking (got {} bytes)",
+        jsonl.len()
+    );
+    let lines: Vec<&str> = jsonl.lines().collect();
+    assert_eq!(lines.len(), 20_000, "every event drains exactly once");
+    assert!(
+        lines.iter().all(|l| l.starts_with('{') && l.ends_with('}')),
+        "each drained line is a complete JSON object"
+    );
+
+    // Capacity (30000) exceeded the fill (20000): nothing may drop.
+    let stats = site.ctrl.engine_stats().expect("engine stats");
+    assert_eq!(stats.trace_dropped, 0, "ring was large enough");
+    assert_eq!(stats.trace_emitted, 20_000);
+
+    // The ctrl connection survives the multi-chunk exchange: the
+    // decoder is not poisoned and the ring is dry.
+    assert_eq!(site.ctrl.ping().expect("ping after drain"), SiteId(1));
+    assert!(
+        site.ctrl.drain_trace().expect("second drain").is_empty(),
+        "ring drains to empty"
+    );
+
+    site.shutdown();
+}

@@ -13,6 +13,9 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration as StdDuration;
 
+use camelot_types::wire::{Reader, Wire, Writer};
+use camelot_types::{CamelotError, Result};
+
 use crate::audit::AuditProtocol;
 
 /// Number of buckets; bucket 39 is open-ended above ~2^38 µs (≈ 76 h).
@@ -140,6 +143,62 @@ impl Histogram {
         }
         self.max_us
     }
+
+    /// Compact JSON summary (`{"n":..,"p50":..,"p95":..,"p99":..,
+    /// "mean":..,"max":..}`) — the shape bench output and the scope
+    /// collector both emit.
+    pub fn summary_json(&self) -> String {
+        format!(
+            "{{\"n\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"mean\":{},\"max\":{}}}",
+            self.count(),
+            self.percentile(50.0),
+            self.percentile(95.0),
+            self.percentile(99.0),
+            self.mean_us(),
+            self.max_us()
+        )
+    }
+}
+
+/// Sparse wire encoding: most phase histograms have a handful of hot
+/// buckets out of [`BUCKETS`], so we ship `(index, count)` pairs for
+/// the nonzero buckets only, then `sum_us`/`max_us`. Decode rejects
+/// out-of-range bucket indices so a corrupt frame cannot index out of
+/// bounds.
+impl Wire for Histogram {
+    fn encode(&self, w: &mut Writer) {
+        let nonzero: Vec<(u8, u64)> = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c != 0)
+            .map(|(i, c)| (i as u8, *c))
+            .collect();
+        w.put_u8(nonzero.len() as u8);
+        for (i, c) in nonzero {
+            w.put_u8(i);
+            w.put_u64(c);
+        }
+        w.put_u64(self.sum_us);
+        w.put_u64(self.max_us);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        let n = r.get_u8()?;
+        let mut h = Histogram::default();
+        for _ in 0..n {
+            let i = r.get_u8()? as usize;
+            if i >= BUCKETS {
+                return Err(CamelotError::Codec(format!(
+                    "histogram bucket {i} out of range"
+                )));
+            }
+            h.counts[i] = r.get_u64()?;
+        }
+        h.sum_us = r.get_u64()?;
+        h.max_us = r.get_u64()?;
+        Ok(h)
+    }
 }
 
 /// The commit phases the runtime times. Client-visible call phases
@@ -260,6 +319,22 @@ impl PhaseSnapshot {
     }
 }
 
+impl Wire for PhaseSnapshot {
+    fn encode(&self, w: &mut Writer) {
+        for h in &self.hists {
+            w.put(h);
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        let mut s = PhaseSnapshot::default();
+        for h in s.hists.iter_mut() {
+            *h = r.get()?;
+        }
+        Ok(s)
+    }
+}
+
 /// Phase histograms keyed by the [`AuditProtocol`] a transaction
 /// committed under, so one mixed workload yields per-protocol
 /// p50/p95/p99 breakdowns instead of a single blended commit
@@ -311,6 +386,22 @@ impl ProtocolPhaseSnapshot {
             .iter()
             .map(|p| (*p, self.get(*p)))
             .filter(|(_, s)| s.non_empty().next().is_some())
+    }
+}
+
+impl Wire for ProtocolPhaseSnapshot {
+    fn encode(&self, w: &mut Writer) {
+        for s in &self.per {
+            w.put(s);
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        let mut p = ProtocolPhaseSnapshot::default();
+        for s in p.per.iter_mut() {
+            *s = r.get()?;
+        }
+        Ok(p)
     }
 }
 
@@ -408,6 +499,57 @@ mod tests {
             .is_empty());
         let names: Vec<&str> = s.non_empty().map(|(p, _)| p.name()).collect();
         assert_eq!(names, vec!["2pc_delayed", "read_only"]);
+    }
+
+    #[test]
+    fn histogram_wire_roundtrip_is_lossless() {
+        let h = AtomicHistogram::default();
+        for us in [0, 1, 17, 900, 900, 1_000_000, u64::MAX] {
+            h.record_us(us);
+        }
+        let s = h.snapshot();
+        let back = Histogram::from_bytes(&s.to_bytes()).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.percentile(50.0), s.percentile(50.0));
+        // Empty histograms roundtrip too.
+        let e = Histogram::default();
+        assert_eq!(Histogram::from_bytes(&e.to_bytes()).unwrap(), e);
+    }
+
+    #[test]
+    fn histogram_wire_rejects_bad_bucket_index() {
+        let mut w = camelot_types::wire::Writer::new();
+        w.put_u8(1);
+        w.put_u8(BUCKETS as u8); // out of range
+        w.put_u64(3);
+        w.put_u64(0);
+        w.put_u64(0);
+        assert!(Histogram::from_bytes(w.as_slice()).is_err());
+    }
+
+    #[test]
+    fn snapshot_wire_roundtrips() {
+        let ph = PhaseHistograms::default();
+        ph.record_us(Phase::Commit2pc, 420);
+        ph.record_us(Phase::ForceWait, 69);
+        let s = ph.snapshot();
+        assert_eq!(PhaseSnapshot::from_bytes(&s.to_bytes()).unwrap(), s);
+
+        let pp = ProtocolPhaseHistograms::default();
+        pp.record_us(AuditProtocol::NonBlocking, Phase::CommitNb, 1234);
+        pp.record_us(AuditProtocol::ReadOnly, Phase::Commit2pc, 5);
+        let s = pp.snapshot();
+        assert_eq!(ProtocolPhaseSnapshot::from_bytes(&s.to_bytes()).unwrap(), s);
+    }
+
+    #[test]
+    fn summary_json_shape() {
+        let h = AtomicHistogram::default();
+        h.record_us(100);
+        let j = h.snapshot().summary_json();
+        assert!(j.starts_with("{\"n\":1,"), "{j}");
+        assert!(j.contains("\"p50\":"), "{j}");
+        assert!(j.contains("\"max\":100"), "{j}");
     }
 
     #[test]

@@ -317,6 +317,11 @@ pub(crate) struct ClusterInner {
     /// deployments); `None` drops them, as a fully local cluster has
     /// no non-local destinations.
     pub remote: Option<Arc<dyn RemoteNet>>,
+    /// Buffer between the rings and chunked trace drains: a full
+    /// drain lands here and [`Cluster::drain_trace_chunk`] pops
+    /// bounded slices, so one ctrl reply never has to carry the whole
+    /// ring (which can exceed the 1 MiB frame cap).
+    pub trace_pending: Mutex<std::collections::VecDeque<TraceEvent>>,
 }
 
 impl ClusterInner {
@@ -725,6 +730,7 @@ impl Cluster {
             cfg: cfg.clone(),
             fault,
             remote,
+            trace_pending: Mutex::new(std::collections::VecDeque::new()),
         });
         let mut handles = Vec::new();
         // Router.
@@ -957,13 +963,32 @@ impl Cluster {
     /// [`RtConfig::trace`]. Draining consumes: each event is returned
     /// once.
     pub fn drain_trace(&self) -> Vec<TraceEvent> {
-        let mut events = Vec::new();
+        let mut events: Vec<TraceEvent> = self.inner.trace_pending.lock().drain(..).collect();
         for s in self.inner.sites.values() {
             if let Some(ring) = &s.ring {
                 events.extend(ring.drain());
             }
         }
         merge_timelines(events)
+    }
+
+    /// Drains at most `max` trace events, buffering the rest for the
+    /// next call. An empty return means the rings and the buffer are
+    /// both dry — the chunked ctrl drain uses that as its terminator.
+    /// Chunks come out in merged-timeline order.
+    pub fn drain_trace_chunk(&self, max: usize) -> Vec<TraceEvent> {
+        let mut pending = self.inner.trace_pending.lock();
+        if pending.is_empty() {
+            let mut events = Vec::new();
+            for s in self.inner.sites.values() {
+                if let Some(ring) = &s.ring {
+                    events.extend(ring.drain());
+                }
+            }
+            pending.extend(merge_timelines(events));
+        }
+        let take = max.min(pending.len());
+        pending.drain(..take).collect()
     }
 
     /// [`Cluster::drain_trace`] rendered as JSON Lines.
@@ -1048,6 +1073,8 @@ impl Cluster {
                     servers,
                     phases: s.hist.snapshot(),
                     proto_phases: s.proto_hist.snapshot(),
+                    trace_emitted: s.ring.as_ref().map(|r| r.emitted()).unwrap_or(0),
+                    trace_dropped: s.ring.as_ref().map(|r| r.dropped()).unwrap_or(0),
                 }
             })
             .collect();

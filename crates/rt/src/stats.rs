@@ -94,6 +94,13 @@ pub struct SiteStats {
     /// transaction actually ran, so one mixed workload yields
     /// per-protocol p50/p95/p99.
     pub proto_phases: ProtocolPhaseSnapshot,
+    /// Trace events this site's ring accepted since startup.
+    pub trace_emitted: u64,
+    /// Trace events overwritten before being drained. Nonzero drops
+    /// invalidate force/datagram audits (the auditor may be counting
+    /// a truncated timeline), so bench output and the soak harness
+    /// surface this.
+    pub trace_dropped: u64,
 }
 
 impl SiteStats {
@@ -149,6 +156,13 @@ impl ClusterStats {
             acc.merge(&s.proto_phases);
         }
         acc
+    }
+
+    /// Trace events dropped cluster-wide (ring overwrites before
+    /// drain). Anything nonzero means per-family timelines may be
+    /// truncated.
+    pub fn total_trace_dropped(&self) -> u64 {
+        self.sites.iter().map(|s| s.trace_dropped).sum()
     }
 
     /// Data-server counters summed cluster-wide.

@@ -263,3 +263,47 @@ fn debug_state_is_deterministic() {
     }
     cluster.shutdown();
 }
+
+#[test]
+fn chunked_drain_returns_everything_then_terminates() {
+    let cluster = Cluster::new(2, traced_cfg());
+    let client = cluster.client(S1);
+    for i in 0..4u64 {
+        let tid = client.begin().unwrap();
+        client
+            .write(&tid, S1, SRV, ObjectId(300 + i), vec![i as u8])
+            .unwrap();
+        client
+            .write(&tid, S2, SRV, ObjectId(400 + i), vec![i as u8])
+            .unwrap();
+        let out = client.commit(&tid, CommitMode::TwoPhase).unwrap();
+        assert_eq!(out, Outcome::Committed);
+    }
+    std::thread::sleep(StdDuration::from_millis(300));
+    // Trace counters must surface in the stats snapshot.
+    let stats = cluster.stats();
+    assert!(
+        stats.sites.iter().map(|s| s.trace_emitted).sum::<u64>() > 0,
+        "traced run must report emitted events"
+    );
+    assert_eq!(stats.total_trace_dropped(), 0);
+    // Chunked drain: bounded slices, merged-timeline order, empty
+    // chunk terminates, and nothing is lost or duplicated.
+    let mut chunks = Vec::new();
+    loop {
+        let chunk = cluster.drain_trace_chunk(7);
+        if chunk.is_empty() {
+            break;
+        }
+        assert!(chunk.len() <= 7);
+        chunks.extend(chunk);
+    }
+    assert!(chunks.len() > 14, "expected several chunks of events");
+    assert!(
+        chunks.windows(2).all(|w| w[0].at_us <= w[1].at_us),
+        "chunks must come out in timeline order"
+    );
+    // Rings are dry now: a full drain yields nothing more.
+    assert!(cluster.drain_trace().is_empty());
+    cluster.shutdown();
+}

@@ -1,0 +1,126 @@
+//! `camelot-top` — a one-screen live view of a running cluster.
+//!
+//! ```text
+//! camelot-top --ctrl 1=ADDR [--ctrl 2=ADDR ...] [--supervisor ADDR]
+//!             [--every-ms 1000] [--iters 0]
+//! ```
+//!
+//! Redraws a per-site table every tick: liveness, commit/abort/force/
+//! datagram rates (derived by the collector from counter deltas),
+//! send-queue depth, trace-ring drops, supervisor restart counts, and
+//! commit latency percentiles from the phase histograms. `--iters N`
+//! stops after N refreshes (0 runs until interrupted) so scripts and
+//! smoke tests can take a bounded number of frames.
+
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use camelot_obs::Phase;
+use camelot_scope::{Collector, ScrapeTarget};
+
+fn opt(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut targets = Vec::new();
+    for w in args.windows(2) {
+        if w[0] == "--ctrl" {
+            match w[1].split_once('=') {
+                Some((site, addr)) => match (site.parse(), addr.parse()) {
+                    (Ok(site), Ok(addr)) => targets.push(ScrapeTarget { site, addr }),
+                    _ => {
+                        eprintln!("camelot-top: bad --ctrl {}", w[1]);
+                        std::process::exit(2);
+                    }
+                },
+                None => {
+                    eprintln!("camelot-top: --ctrl wants SITE=ADDR");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    if targets.is_empty() {
+        eprintln!(
+            "usage: camelot-top --ctrl SITE=ADDR... [--supervisor ADDR] \
+             [--every-ms 1000] [--iters 0]"
+        );
+        std::process::exit(2);
+    }
+    let supervisor: Option<SocketAddr> = opt(&args, "--supervisor").and_then(|s| s.parse().ok());
+    let every_ms: u64 = opt(&args, "--every-ms")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1000);
+    let iters: u64 = opt(&args, "--iters")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+
+    let mut collector = Collector::new();
+    let mut tick = 0u64;
+    loop {
+        let snap = collector.scrape(&targets, supervisor);
+        // ANSI clear + home; a dumb terminal just sees frames appended.
+        print!("\x1b[2J\x1b[H");
+        println!(
+            "camelot-top  t=+{:.1}s  {} sites",
+            snap.at_ms as f64 / 1000.0,
+            snap.sites.len()
+        );
+        println!(
+            "{:>4} {:>4} {:>9} {:>9} {:>9} {:>9} {:>7} {:>6} {:>8} {:>10} {:>10}",
+            "SITE",
+            "UP",
+            "COMMIT/s",
+            "ABORT/s",
+            "FORCE/s",
+            "DGRAM/s",
+            "QDEPTH",
+            "DROPS",
+            "RESTART",
+            "2PC_P50us",
+            "NB_P50us"
+        );
+        for s in &snap.sites {
+            let restarts = snap
+                .restarts
+                .as_ref()
+                .and_then(|r| r.iter().find(|(site, _)| *site == s.site))
+                .map(|(_, n)| n.to_string())
+                .unwrap_or_else(|| "-".to_string());
+            let (p2pc, pnb) = s
+                .phases
+                .as_ref()
+                .map(|p| {
+                    (
+                        p.get(Phase::Commit2pc).percentile(0.50),
+                        p.get(Phase::CommitNb).percentile(0.50),
+                    )
+                })
+                .unwrap_or((0, 0));
+            println!(
+                "{:>4} {:>4} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>7} {:>6} {:>8} {:>10} {:>10}",
+                s.site,
+                if s.up { "yes" } else { "NO" },
+                s.rate("commits"),
+                s.rate("aborts"),
+                s.rate("forces"),
+                s.rate("datagrams"),
+                s.transport.as_ref().map(|t| t.queue_depth).unwrap_or(0),
+                s.stats.as_ref().map(|st| st.trace_dropped).unwrap_or(0),
+                restarts,
+                p2pc,
+                pnb
+            );
+        }
+        tick += 1;
+        if iters > 0 && tick >= iters {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(every_ms));
+    }
+}

@@ -1,0 +1,66 @@
+//! Provenance stamps for recorded artifacts (bench JSON, scrape
+//! series, merged timelines): the git commit they were produced from
+//! and a fingerprint of the run configuration.
+
+/// The git commit the binary ran from (suffixed `-dirty` when the
+/// worktree has uncommitted changes), or `"unknown"` outside a git
+/// checkout — stamped into every recorded artifact so a committed
+/// result is traceable to the code that produced it.
+pub fn git_sha() -> String {
+    let run = |args: &[&str]| {
+        std::process::Command::new("git")
+            .args(args)
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+    };
+    let Some(sha) = run(&["rev-parse", "HEAD"])
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+    else {
+        return "unknown".to_string();
+    };
+    let dirty = run(&["status", "--porcelain"])
+        .map(|s| !s.trim().is_empty())
+        .unwrap_or(false);
+    if dirty {
+        format!("{sha}-dirty")
+    } else {
+        sha
+    }
+}
+
+/// FNV-1a over a config's textual rendering: a short stable
+/// fingerprint so two recorded artifacts are comparable iff their
+/// config hashes match.
+pub fn config_hash(config_text: &str) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in config_text.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+/// The `"stamp": {...}` JSON fragment shared by recorded outputs: git
+/// SHA plus a hash of the run configuration.
+pub fn stamp_json(config_text: &str) -> String {
+    format!(
+        "{{\"git_sha\": \"{}\", \"config_hash\": \"{}\"}}",
+        git_sha(),
+        config_hash(config_text)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_hash_is_stable_and_sensitive() {
+        assert_eq!(config_hash("abc"), config_hash("abc"));
+        assert_ne!(config_hash("abc"), config_hash("abd"));
+        assert_eq!(config_hash("").len(), 16);
+    }
+}
